@@ -1,0 +1,58 @@
+"""Benchmarks regenerating Figures 15-18: data requests vs RTT.
+
+Shape target: the correlation between log(#requests) and log(RTT) is
+negative in all four workloads (paper: -0.65, -0.40, -0.68, -0.45), and
+the popular-channel correlations are at least as strong as the
+unpopular ones for the same probe.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+FIG_IDS = ("fig15", "fig16", "fig17", "fig18")
+
+
+@pytest.fixture(scope="module")
+def figures(bank, scale, seed):
+    return {
+        fig_id: run_experiment(fig_id, bank=bank, scale=scale, seed=seed)
+        for fig_id in FIG_IDS
+    }
+
+
+@pytest.mark.parametrize("fig_id", FIG_IDS)
+def test_bench_rtt_figures(benchmark, figures, bank, scale, seed,
+                           save_result, fig_id):
+    figure = benchmark.pedantic(
+        lambda: run_experiment(fig_id, bank=bank, scale=scale, seed=seed),
+        rounds=1, iterations=1)
+    save_result(fig_id, figure.render())
+    analysis = figure.analysis
+    assert analysis.peers, "no connected peers analysed"
+    if analysis.correlation is not None and len(analysis.peers) >= 25:
+        # Top connected peers have smaller RTT: negative correlation.
+        assert analysis.correlation < 0.0
+
+
+def test_bench_fig15_correlation_clearly_negative(benchmark, figures):
+    analysis = benchmark.pedantic(lambda: figures["fig15"].analysis,
+                                  rounds=1, iterations=1)
+    if analysis.correlation is not None and len(analysis.peers) >= 20:
+        assert analysis.correlation < -0.15
+
+
+def test_bench_rtt_trend_grows_with_rank(benchmark, figures):
+    """The least-squares fit of log(RTT) vs rank slopes upward (the
+    most-requested peers sit at the low-RTT end)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    positive = 0
+    counted = 0
+    for fig_id in FIG_IDS:
+        trend = figures[fig_id].analysis.rtt_trend
+        if trend is not None and len(figures[fig_id].analysis.peers) >= 25:
+            counted += 1
+            if trend.slope > 0:
+                positive += 1
+    if counted:
+        assert positive >= counted - 1

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Popular vs unpopular channel locality — the paper's Figures 2-3 story.
+
+Runs the two TELE-probe workloads (a popular and an unpopular live
+channel) and prints the locality panels side by side: the ISP mix of the
+returned peer lists, the download byte mix, and the per-neighbor
+concentration with its stretched-exponential fit.
+
+Takes a few minutes at the default (reduced) scale.
+"""
+
+from repro.experiments import (Scale, WorkloadBank, contribution_figure,
+                               locality_figure)
+
+
+def main() -> None:
+    bank = WorkloadBank()
+    seed = 7
+    scale = Scale.SMALL  # bump to Scale.DEFAULT for steadier numbers
+
+    print("running the TELE-probe popular-channel session ...")
+    popular = bank.tele_popular(scale=scale, seed=seed)
+    print("running the TELE-probe unpopular-channel session ...")
+    unpopular = bank.tele_unpopular(scale=scale, seed=seed)
+
+    for session, fig_id, caption in (
+            (popular, "fig02", "popular program"),
+            (unpopular, "fig03", "unpopular program")):
+        figure = locality_figure(session, fig_id,
+                                 f"China-TELE probe, {caption}")
+        print()
+        print(figure.render())
+
+        contributions = contribution_figure(session, fig_id.replace(
+            "fig0", "fig1"), f"contributions, {caption}")
+        print()
+        print(contributions.render())
+
+    pop_loc = locality_figure(popular, "x", "").breakdown.locality
+    unpop_loc = locality_figure(unpopular, "x", "").breakdown.locality
+    print()
+    print(f"summary: popular locality {pop_loc:.1%} vs "
+          f"unpopular {unpop_loc:.1%}")
+    print("(the paper reports ~85% vs ~55% on its 2-hour 2008 traces)")
+
+
+if __name__ == "__main__":
+    main()

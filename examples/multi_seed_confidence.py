@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Multi-seed reproduction with confidence intervals.
+
+One simulated session is one draw; this example runs the popular-channel
+TELE-probe workload across several seeds and reports bootstrap
+confidence intervals for the headline metrics — the honest way to state
+"the reproduction shows X".
+"""
+
+from repro.analysis import aggregate_sessions
+from repro.workload import ScenarioConfig
+
+
+def main() -> None:
+    config = ScenarioConfig(population=35, duration=420.0, warmup=150.0)
+    seeds = [1, 2, 3, 4, 5]
+    print(f"running {len(seeds)} seeds of a "
+          f"{config.population}-viewer popular channel ...")
+    result = aggregate_sessions(config, seeds=seeds)
+    print()
+    print(result.render())
+    print()
+    estimate = result.locality_mean
+    print(f"=> traffic locality: {estimate.value:.1%} "
+          f"(95% CI {estimate.low:.1%} .. {estimate.high:.1%})")
+    if result.correlation_mean is not None:
+        corr = result.correlation_mean
+        print(f"=> requests-vs-RTT correlation: {corr.value:+.2f} "
+              f"(95% CI {corr.low:+.2f} .. {corr.high:+.2f}; "
+              f"the paper reports -0.65 for this workload)")
+
+
+if __name__ == "__main__":
+    main()

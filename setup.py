@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip lacks the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+`pip install -e . --no-use-pep517` editable installs.
+"""
+from setuptools import setup
+
+setup()

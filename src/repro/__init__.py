@@ -1,0 +1,76 @@
+"""repro: a reproduction of "A Case Study of Traffic Locality in Internet
+P2P Live Streaming Systems" (ICDCS 2009).
+
+The package builds the paper's measured system as a deterministic
+discrete-event simulation — a PPLive-style live-streaming network over
+an ISP-aware Internet underlay — plus the authors' entire measurement
+and analysis pipeline (probe-host packet capture, IP->ASN resolution,
+request/reply matching, locality and rank-distribution statistics).
+
+Quick start::
+
+    from repro import ScenarioConfig, run_session, locality_breakdown
+
+    result = run_session(ScenarioConfig(population=60, duration=600.0))
+    probe = result.probe()
+    breakdown = locality_breakdown(probe.trace, probe.report.data,
+                                   result.directory, result.infrastructure)
+    print(f"traffic locality: {breakdown.locality:.0%}")
+
+Sub-packages: ``sim`` (event engine), ``network`` (underlay),
+``streaming`` (video substrate), ``protocol`` (the PPLive-style client
+and servers), ``baselines`` (alternative peer-selection policies),
+``capture`` (sniffing), ``analysis`` + ``stats`` (the paper's metrics),
+``workload`` (populations, churn, scenarios, the 4-week campaign) and
+``experiments`` (one driver per table/figure).
+"""
+
+from .analysis import (LocalityBreakdown, aggregate_sessions,
+                       analyze_contributions, analyze_requests_vs_rtt,
+                       analyze_session_overlay, data_response_series,
+                       locality_breakdown, locality_timeline,
+                       peerlist_response_series, traffic_locality)
+from .baselines import (BiasedNeighborPolicy, IspOracle, OnoPolicy,
+                        P4PPolicy, ProximityOracle, TrackerOnlyRandomPolicy)
+from .capture import ProbeSniffer, TraceStore, match_all
+from .network import (ISPCategory, Internet, build_internet,
+                      default_isp_catalog)
+from .protocol import (PPLivePeer, PPLiveReferralPolicy, ProtocolConfig,
+                       TrackerServer)
+from .sim import Simulator
+from .stats import (fit_stretched_exponential, fit_zipf,
+                    top_fraction_share)
+from .streaming import ChunkGeometry, LiveChannel, Popularity
+from .workload import (CampaignConfig, ChurnModel, PopulationMix,
+                       ScenarioConfig, SessionResult, SessionScenario,
+                       SyntheticWorkloadModel, popular_channel_mix,
+                       run_campaign, run_session, unpopular_channel_mix)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine / underlay
+    "Simulator", "Internet", "build_internet", "default_isp_catalog",
+    "ISPCategory",
+    # protocol
+    "PPLivePeer", "ProtocolConfig", "PPLiveReferralPolicy", "TrackerServer",
+    # streaming
+    "ChunkGeometry", "LiveChannel", "Popularity",
+    # baselines
+    "TrackerOnlyRandomPolicy", "BiasedNeighborPolicy", "OnoPolicy",
+    "P4PPolicy", "IspOracle", "ProximityOracle",
+    # capture & analysis
+    "ProbeSniffer", "TraceStore", "match_all",
+    "locality_breakdown", "LocalityBreakdown", "traffic_locality",
+    "peerlist_response_series", "data_response_series",
+    "analyze_contributions", "analyze_requests_vs_rtt",
+    "analyze_session_overlay", "locality_timeline", "aggregate_sessions",
+    # stats
+    "fit_stretched_exponential", "fit_zipf", "top_fraction_share",
+    # workload
+    "ScenarioConfig", "SessionScenario", "SessionResult", "run_session",
+    "PopulationMix", "popular_channel_mix", "unpopular_channel_mix",
+    "ChurnModel", "CampaignConfig", "run_campaign",
+    "SyntheticWorkloadModel",
+]

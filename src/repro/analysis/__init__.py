@@ -1,0 +1,47 @@
+"""Trace analysis (S8): locality, response times, contributions, RTT."""
+
+from .aggregate import (AggregateResult, SessionMetrics,
+                        aggregate_sessions, session_metrics)
+from .contributions import (ContributionAnalysis, analyze_contributions,
+                            bytes_per_peer, connected_peers_by_isp,
+                            requests_per_peer)
+from .fairness import (FairnessReport, PeerFairness, analyze_fairness,
+                       gini_coefficient, session_fairness)
+from .locality import (CATEGORY_ORDER, LocalityBreakdown, bytes_by_isp,
+                       locality_breakdown, own_isp_share_of_replies,
+                       returned_by_source, returned_peer_counts,
+                       traffic_locality, transmissions_by_isp,
+                       unique_listed_peers)
+from .report import (bullet_list, counter_rows, format_category_counter,
+                     format_seconds, format_table, percentage)
+from .overlay import (OverlayAnalysis, analyze_overlay,
+                      analyze_session_overlay, expected_intra_fraction,
+                      intra_isp_edge_fraction, isp_assortativity,
+                      isp_modularity, overlay_graph)
+from .response import (DISPLAY_CLIP_SECONDS, ResponseSeries,
+                       average_response_by_group, data_response_series,
+                       fastest_group, peerlist_response_series)
+from .rtt import RttAnalysis, analyze_requests_vs_rtt, rtt_estimates
+from .timeline import TimelinePoint, locality_timeline, timeline_summary
+
+__all__ = [
+    "LocalityBreakdown", "locality_breakdown", "returned_peer_counts",
+    "returned_by_source", "own_isp_share_of_replies", "transmissions_by_isp",
+    "bytes_by_isp", "traffic_locality", "unique_listed_peers",
+    "CATEGORY_ORDER",
+    "ResponseSeries", "peerlist_response_series", "data_response_series",
+    "average_response_by_group", "fastest_group", "DISPLAY_CLIP_SECONDS",
+    "ContributionAnalysis", "analyze_contributions", "requests_per_peer",
+    "bytes_per_peer", "connected_peers_by_isp",
+    "RttAnalysis", "analyze_requests_vs_rtt", "rtt_estimates",
+    "OverlayAnalysis", "analyze_overlay", "analyze_session_overlay",
+    "overlay_graph", "intra_isp_edge_fraction", "expected_intra_fraction",
+    "isp_assortativity", "isp_modularity",
+    "TimelinePoint", "locality_timeline", "timeline_summary",
+    "AggregateResult", "SessionMetrics", "aggregate_sessions",
+    "session_metrics",
+    "FairnessReport", "PeerFairness", "analyze_fairness",
+    "gini_coefficient", "session_fairness",
+    "format_table", "format_category_counter", "percentage",
+    "format_seconds", "counter_rows", "bullet_list",
+]

@@ -1,0 +1,116 @@
+"""Contribution fairness across the swarm.
+
+The paper's Figures 11-14 show strong concentration from the *probe's*
+point of view (top 10 % of its neighbors upload ~70 % of its bytes).
+This module asks the complementary, population-wide question: how
+unequally is the upload burden shared across all peers, and who
+free-rides?  Useful for the incentive discussions the paper touches on
+when contrasting PPLive with BitTorrent's tit-for-tat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of non-negative ``values`` (0 = equal, →1 = one
+    contributor does everything)."""
+    if not values:
+        raise ValueError("gini of no values")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    # Standard rank formula: G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n).
+    weighted = sum((index + 1) * value
+                   for index, value in enumerate(ordered))
+    return 2.0 * weighted / (n * total) - (n + 1.0) / n
+
+
+@dataclass
+class PeerFairness:
+    """Upload/download balance of one peer."""
+
+    address: str
+    uploaded_bytes: int
+    downloaded_bytes: int
+
+    @property
+    def share_ratio(self) -> Optional[float]:
+        """Upload/download ratio (None when nothing was downloaded)."""
+        if self.downloaded_bytes == 0:
+            return None
+        return self.uploaded_bytes / self.downloaded_bytes
+
+
+@dataclass
+class FairnessReport:
+    """Population-wide contribution statistics."""
+
+    peers: List[PeerFairness]
+    upload_gini: float
+    #: Fraction of peers that uploaded less than 10% of what they
+    #: downloaded (free-riders in the BitTorrent sense).
+    free_rider_fraction: float
+    #: Fraction of total upload provided by the top 10% of uploaders.
+    top10_upload_share: float
+
+    def render(self) -> str:
+        lines = [
+            f"contribution fairness over {len(self.peers)} peers:",
+            f"  upload Gini coefficient: {self.upload_gini:.3f}",
+            f"  free-riders (<10% share ratio): "
+            f"{self.free_rider_fraction:.1%}",
+            f"  top 10% of uploaders carry "
+            f"{self.top10_upload_share:.1%} of the upload",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_fairness(peers: Iterable) -> FairnessReport:
+    """Compute the fairness report from peer objects.
+
+    Accepts anything exposing ``address``, ``bytes_uploaded`` and a
+    ``buffer`` with ``bytes_received`` (as :class:`PPLivePeer` does).
+    """
+    rows: List[PeerFairness] = []
+    for peer in peers:
+        buffer = getattr(peer, "buffer", None)
+        downloaded = buffer.bytes_received if buffer is not None else 0
+        rows.append(PeerFairness(
+            address=peer.address,
+            uploaded_bytes=getattr(peer, "bytes_uploaded", 0),
+            downloaded_bytes=downloaded))
+    if not rows:
+        raise ValueError("no peers to analyse")
+
+    uploads = [r.uploaded_bytes for r in rows]
+    gini = gini_coefficient(uploads)
+
+    ratios = [r.share_ratio for r in rows]
+    consumers = [r for r, ratio in zip(rows, ratios) if ratio is not None]
+    free_riders = sum(1 for r in consumers
+                      if r.share_ratio is not None and r.share_ratio < 0.1)
+    free_rider_fraction = (free_riders / len(consumers)
+                           if consumers else 0.0)
+
+    from ..stats.cdf import top_fraction_share
+    total_upload = sum(uploads)
+    top10 = (top_fraction_share(uploads, 0.10)
+             if total_upload > 0 else 0.0)
+
+    return FairnessReport(peers=rows, upload_gini=gini,
+                          free_rider_fraction=free_rider_fraction,
+                          top10_upload_share=top10)
+
+
+def session_fairness(session_result) -> FairnessReport:
+    """Fairness report over a finished session's surviving population."""
+    peers = list(session_result.population.active)
+    peers.extend(p.peer for p in session_result.probes.values())
+    return analyze_fairness(peers)

@@ -1,0 +1,225 @@
+"""ISP-level locality accounting (Figures 2-6).
+
+Every function here consumes *captured traces* (or transactions matched
+from them) plus the IP->ASN directory — never simulator internals — so
+the measurement path mirrors the paper's: sniff, resolve, aggregate.
+
+Infrastructure addresses (bootstrap, trackers, channel source) can be
+excluded from peer accounting via the ``infrastructure`` set, since the
+paper's peer statistics count viewers, not PPLive servers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Set
+
+from ..capture.matching import DataTransaction
+from ..capture.records import PEER_LIST_REPLY, TRACKER_REPLY
+from ..capture.store import TraceStore
+from ..network.asn import AsnDirectory
+from ..network.isp import ISPCategory
+
+#: Display order used by all the figure-style tables.
+CATEGORY_ORDER = (ISPCategory.TELE, ISPCategory.CNC, ISPCategory.CER,
+                  ISPCategory.OTHER_CN, ISPCategory.FOREIGN)
+
+
+def _category(directory: AsnDirectory,
+              address: str) -> Optional[ISPCategory]:
+    return directory.category_of(address)
+
+
+# ----------------------------------------------------------------------
+# Panel (a): returned peer addresses by ISP (with duplicates)
+# ----------------------------------------------------------------------
+def returned_peer_counts(trace: TraceStore, directory: AsnDirectory,
+                         infrastructure: Set[str] = frozenset()
+                         ) -> Counter:
+    """Count every address on every received peer list, by ISP category.
+
+    Duplicates deliberately count multiple times — the paper's
+    Figure 2(a) caption says "(with duplicate)".
+    """
+    counts: Counter = Counter()
+    for record in trace.incoming(PEER_LIST_REPLY, TRACKER_REPLY):
+        for address in getattr(record.payload, "peers", ()):
+            if address in infrastructure:
+                continue
+            category = _category(directory, address)
+            if category is not None:
+                counts[category] += 1
+    return counts
+
+
+def unique_listed_peers(trace: TraceStore,
+                        infrastructure: Set[str] = frozenset()) -> Set[str]:
+    """Distinct peer addresses ever seen on a returned list."""
+    unique: Set[str] = set()
+    for record in trace.incoming(PEER_LIST_REPLY, TRACKER_REPLY):
+        for address in getattr(record.payload, "peers", ()):
+            if address not in infrastructure:
+                unique.add(address)
+    return unique
+
+
+# ----------------------------------------------------------------------
+# Panel (b): returned addresses split by who returned them
+# ----------------------------------------------------------------------
+#: Replier grouping of Figure 2(b): trackers exist only in TELE/CNC/CER,
+#: so the buckets are {TELE,CNC,CER} x {peer,server} plus OTHER_p.
+REPLIER_BUCKETS = ("CNC_p", "CNC_s", "TELE_p", "TELE_s", "CER_p", "CER_s",
+                   "OTHER_p")
+
+
+def _replier_bucket(category: Optional[ISPCategory],
+                    is_tracker: bool) -> Optional[str]:
+    if category is None:
+        return None
+    suffix = "_s" if is_tracker else "_p"
+    if category is ISPCategory.TELE:
+        return "TELE" + suffix
+    if category is ISPCategory.CNC:
+        return "CNC" + suffix
+    if category is ISPCategory.CER:
+        return "CER" + suffix
+    # The paper observed no trackers outside the three big Chinese ISPs.
+    return None if is_tracker else "OTHER_p"
+
+
+def returned_by_source(trace: TraceStore, directory: AsnDirectory,
+                       infrastructure: Set[str] = frozenset()
+                       ) -> Dict[str, Counter]:
+    """Figure 2(b): per replier bucket, the ISP mix of returned entries."""
+    result: Dict[str, Counter] = {bucket: Counter()
+                                  for bucket in REPLIER_BUCKETS}
+    for record in trace.incoming(PEER_LIST_REPLY, TRACKER_REPLY):
+        is_tracker = record.msg_type == TRACKER_REPLY
+        replier_category = _category(directory, record.src)
+        bucket = _replier_bucket(replier_category, is_tracker)
+        if bucket is None:
+            continue
+        for address in getattr(record.payload, "peers", ()):
+            if address in infrastructure:
+                continue
+            category = _category(directory, address)
+            if category is not None:
+                result[bucket][category] += 1
+    return result
+
+
+def own_isp_share_of_replies(trace: TraceStore, directory: AsnDirectory,
+                             infrastructure: Set[str] = frozenset()
+                             ) -> Dict[str, float]:
+    """Per replier bucket, the fraction of entries in the replier's own ISP.
+
+    Quantifies the paper's observation that "peers in CNC and TELE
+    returned over 75% of IP addresses belonging to their same ISPs".
+    """
+    by_source = returned_by_source(trace, directory, infrastructure)
+    shares: Dict[str, float] = {}
+    own_of_bucket = {
+        "TELE_p": ISPCategory.TELE, "CNC_p": ISPCategory.CNC,
+        "CER_p": ISPCategory.CER,
+    }
+    for bucket, own_category in own_of_bucket.items():
+        counts = by_source[bucket]
+        total = sum(counts.values())
+        if total:
+            shares[bucket] = counts[own_category] / total
+    return shares
+
+
+# ----------------------------------------------------------------------
+# Panel (c): data transmissions and bytes by ISP
+# ----------------------------------------------------------------------
+def transmissions_by_isp(transactions: Sequence[DataTransaction],
+                         directory: AsnDirectory,
+                         infrastructure: Set[str] = frozenset()) -> Counter:
+    """Number of matched data request/reply pairs per remote ISP."""
+    counts: Counter = Counter()
+    for txn in transactions:
+        if txn.remote in infrastructure:
+            continue
+        category = _category(directory, txn.remote)
+        if category is not None:
+            counts[category] += 1
+    return counts
+
+
+def bytes_by_isp(transactions: Sequence[DataTransaction],
+                 directory: AsnDirectory,
+                 infrastructure: Set[str] = frozenset()) -> Counter:
+    """Downloaded streaming payload bytes per remote ISP."""
+    counts: Counter = Counter()
+    for txn in transactions:
+        if txn.remote in infrastructure:
+            continue
+        category = _category(directory, txn.remote)
+        if category is not None:
+            counts[category] += txn.payload_bytes
+    return counts
+
+
+def traffic_locality(transactions: Sequence[DataTransaction],
+                     directory: AsnDirectory,
+                     own_category: ISPCategory,
+                     infrastructure: Set[str] = frozenset()) -> float:
+    """Fraction of downloaded bytes served from ``own_category`` peers.
+
+    The paper's Figure 6 metric: "the percentage of traffic served from
+    peers in the same ISP".
+    """
+    per_isp = bytes_by_isp(transactions, directory, infrastructure)
+    total = sum(per_isp.values())
+    if total == 0:
+        return 0.0
+    return per_isp[own_category] / total
+
+
+@dataclass
+class LocalityBreakdown:
+    """Everything Figures 2-5 show for one probe/session."""
+
+    probe: str
+    probe_category: ISPCategory
+    returned_counts: Counter = field(default_factory=Counter)
+    by_source: Dict[str, Counter] = field(default_factory=dict)
+    transmissions: Counter = field(default_factory=Counter)
+    bytes: Counter = field(default_factory=Counter)
+    unique_listed: int = 0
+    locality: float = 0.0
+
+    @property
+    def returned_total(self) -> int:
+        return sum(self.returned_counts.values())
+
+    @property
+    def bytes_total(self) -> int:
+        return sum(self.bytes.values())
+
+
+def locality_breakdown(trace: TraceStore,
+                       transactions: Sequence[DataTransaction],
+                       directory: AsnDirectory,
+                       infrastructure: Set[str] = frozenset()
+                       ) -> LocalityBreakdown:
+    """Compute the full Figures 2-5 panel set from one probe trace."""
+    probe = trace.probe_address
+    probe_category = directory.category_of(probe)
+    if probe_category is None:
+        raise ValueError(f"probe address {probe} resolves to no AS")
+    return LocalityBreakdown(
+        probe=probe,
+        probe_category=probe_category,
+        returned_counts=returned_peer_counts(trace, directory,
+                                             infrastructure),
+        by_source=returned_by_source(trace, directory, infrastructure),
+        transmissions=transmissions_by_isp(transactions, directory,
+                                           infrastructure),
+        bytes=bytes_by_isp(transactions, directory, infrastructure),
+        unique_listed=len(unique_listed_peers(trace, infrastructure)),
+        locality=traffic_locality(transactions, directory, probe_category,
+                                  infrastructure),
+    )

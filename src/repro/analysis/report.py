@@ -1,0 +1,72 @@
+"""Plain-text rendering of analysis results.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep the formatting consistent and
+terminal-friendly (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+from .locality import CATEGORY_ORDER
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an ASCII table with right-padded columns."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(value.ljust(width)
+                         for value, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_category_counter(counts: Counter,
+                            as_percent: bool = False) -> str:
+    """One-line ISP-category breakdown in the paper's display order."""
+    total = sum(counts.values())
+    parts = []
+    for category in CATEGORY_ORDER:
+        value = counts.get(category, 0)
+        if as_percent and total:
+            parts.append(f"{category}={100.0 * value / total:.1f}%")
+        else:
+            parts.append(f"{category}={value}")
+    return "  ".join(parts)
+
+
+def percentage(numerator: float, denominator: float) -> str:
+    """Format a share as a percent string, guarding the zero case."""
+    if denominator == 0:
+        return "n/a"
+    return f"{100.0 * numerator / denominator:.1f}%"
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Format a response-time average as the paper does (4 decimals)."""
+    if value is None:
+        return "n/a"
+    return f"{value:.4f}"
+
+
+def counter_rows(counts: Counter) -> List[List[object]]:
+    """Counter -> table rows in category display order."""
+    total = sum(counts.values())
+    rows: List[List[object]] = []
+    for category in CATEGORY_ORDER:
+        value = counts.get(category, 0)
+        rows.append([str(category), value, percentage(value, total)])
+    return rows
+
+
+def bullet_list(items: Iterable[str], indent: str = "  - ") -> str:
+    return "\n".join(f"{indent}{item}" for item in items)

@@ -1,0 +1,112 @@
+"""Response-time analysis (Figures 7-10 and Table 1).
+
+Peer-list and data response times, grouped by the replier's ISP the way
+the paper does: TELE / CNC / OTHER, where OTHER merges CER, OtherCN and
+Foreign "since there are not many CER peers involved".
+
+The paper counts *all* response-time values in the averages but only
+plots values below 3 seconds "for better visual comparisons" —
+:func:`clipped_series` provides the plotted view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..capture.matching import DataTransaction, PeerListTransaction
+from ..network.asn import AsnDirectory
+from ..network.isp import ResponseGroup, response_group
+
+#: The paper's 3-second display cut-off.
+DISPLAY_CLIP_SECONDS = 3.0
+
+
+@dataclass
+class ResponseSeries:
+    """Response times from one replier group, in request order."""
+
+    group: ResponseGroup
+    times: List[float] = field(default_factory=list)
+    request_times: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.times)
+
+    @property
+    def average(self) -> Optional[float]:
+        """Mean over *all* values, as the paper computes it."""
+        if not self.times:
+            return None
+        return sum(self.times) / len(self.times)
+
+    def clipped(self, clip: float = DISPLAY_CLIP_SECONDS) -> List[float]:
+        """Only values below ``clip`` (the plotted subset)."""
+        return [t for t in self.times if t < clip]
+
+
+def _group_of(directory: AsnDirectory,
+              address: str) -> Optional[ResponseGroup]:
+    category = directory.category_of(address)
+    if category is None:
+        return None
+    return response_group(category)
+
+
+def peerlist_response_series(
+        transactions: Sequence[PeerListTransaction],
+        directory: AsnDirectory,
+        infrastructure: frozenset = frozenset()
+) -> Dict[ResponseGroup, ResponseSeries]:
+    """Figures 7-10: peer-list response times by replier group."""
+    series = {g: ResponseSeries(group=g) for g in ResponseGroup}
+    for txn in sorted(transactions, key=lambda t: t.request_time):
+        if txn.remote in infrastructure:
+            continue
+        group = _group_of(directory, txn.remote)
+        if group is None:
+            continue
+        series[group].times.append(txn.response_time)
+        series[group].request_times.append(txn.request_time)
+    return series
+
+
+def data_response_series(
+        transactions: Sequence[DataTransaction],
+        directory: AsnDirectory,
+        infrastructure: frozenset = frozenset()
+) -> Dict[ResponseGroup, ResponseSeries]:
+    """Table 1 input: data response times by replier group."""
+    series = {g: ResponseSeries(group=g) for g in ResponseGroup}
+    for txn in sorted(transactions, key=lambda t: t.request_time):
+        if txn.remote in infrastructure:
+            continue
+        group = _group_of(directory, txn.remote)
+        if group is None:
+            continue
+        series[group].times.append(txn.response_time)
+        series[group].request_times.append(txn.request_time)
+    return series
+
+
+def average_response_by_group(
+        series: Dict[ResponseGroup, ResponseSeries]
+) -> Dict[ResponseGroup, Optional[float]]:
+    """Collapse series to the per-group averages the paper tabulates."""
+    return {group: s.average for group, s in series.items()}
+
+
+def fastest_group(series: Dict[ResponseGroup, ResponseSeries]
+                  ) -> Optional[ResponseGroup]:
+    """The group with the smallest average response time, if any."""
+    best_group = None
+    best_average = None
+    for group, s in series.items():
+        average = s.average
+        if average is None:
+            continue
+        if best_average is None or average < best_average:
+            best_average = average
+            best_group = group
+    return best_group

@@ -1,0 +1,75 @@
+"""Request-count vs RTT analysis (Figures 15-18).
+
+"Since what we extract are application level latency, we take the
+minimum of them as the RTT estimation" — per remote peer, the RTT
+estimate is the minimum observed data-response time.  Peers are then
+ranked by the number of data requests they received from the probe, and
+the paper reports (a) the least-squares fit of log(RTT) against rank and
+(b) the correlation coefficient between log(#requests) and log(RTT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..capture.matching import DataTransaction
+from ..stats.correlation import log_linear_fit, log_log_correlation
+from ..stats.fitting import LinearFit
+from .contributions import requests_per_peer
+
+
+def rtt_estimates(transactions: Sequence[DataTransaction],
+                  infrastructure: Set[str] = frozenset()
+                  ) -> Dict[str, float]:
+    """Per-remote RTT estimate: the minimum application response time."""
+    estimates: Dict[str, float] = {}
+    for txn in transactions:
+        if txn.remote in infrastructure:
+            continue
+        current = estimates.get(txn.remote)
+        if current is None or txn.response_time < current:
+            estimates[txn.remote] = txn.response_time
+    return estimates
+
+
+@dataclass
+class RttAnalysis:
+    """One of Figures 15-18: ranked requests vs RTT."""
+
+    #: Remote peers ordered by descending request count.
+    peers: List[str]
+    #: Request count per rank position.
+    request_counts: List[int]
+    #: RTT estimate per rank position (seconds).
+    rtts: List[float]
+    #: Correlation of log(#requests) vs log(RTT) — negative means the
+    #: most-used peers are the nearest.
+    correlation: Optional[float]
+    #: Least-squares fit of log(RTT) against rank.
+    rtt_trend: Optional[LinearFit]
+
+
+def analyze_requests_vs_rtt(transactions: Sequence[DataTransaction],
+                            infrastructure: Set[str] = frozenset()
+                            ) -> RttAnalysis:
+    """Build the Figures 15-18 panel from one session's transactions."""
+    counts = requests_per_peer(transactions, infrastructure)
+    estimates = rtt_estimates(transactions, infrastructure)
+    # Order by descending request count; tie-break by address so the
+    # ranking is deterministic.
+    ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    peers = [address for address, _count in ordered]
+    request_counts = [count for _address, count in ordered]
+    rtts = [estimates[address] for address in peers]
+
+    correlation = None
+    trend = None
+    positive_pairs = sum(1 for c, r in zip(request_counts, rtts)
+                         if c > 0 and r > 0)
+    if positive_pairs >= 2:
+        correlation = log_log_correlation(request_counts, rtts)
+        ranks = list(range(1, len(peers) + 1))
+        trend = log_linear_fit(ranks, rtts)
+    return RttAnalysis(peers=peers, request_counts=request_counts,
+                       rtts=rtts, correlation=correlation, rtt_trend=trend)

@@ -1,0 +1,97 @@
+"""Within-session time series.
+
+The paper's response-time figures plot metrics "along time" through the
+two-hour playback; this module provides the matching sliding-window
+views for the locality metrics, so a single session's dynamics (warm-up
+transient, mid-session load effects) are visible rather than only the
+session-wide aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..capture.matching import DataTransaction
+from ..network.asn import AsnDirectory
+from ..network.isp import ISPCategory
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sliding-window sample."""
+
+    time: float
+    locality: float
+    transactions: int
+    bytes: int
+
+
+def locality_timeline(transactions: Sequence[DataTransaction],
+                      directory: AsnDirectory,
+                      own_category: ISPCategory,
+                      window: float = 120.0,
+                      step: Optional[float] = None,
+                      infrastructure: Set[str] = frozenset()
+                      ) -> List[TimelinePoint]:
+    """Sliding-window traffic locality through one session.
+
+    Each point covers ``[t - window, t)`` and reports the own-ISP byte
+    share of the data downloaded in that window.  Windows with no
+    traffic are skipped.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    included = sorted((t for t in transactions
+                       if t.remote not in infrastructure),
+                      key=lambda t: t.reply_time)
+    if not included:
+        return []
+    if step is None:
+        step = window / 2.0
+    if step <= 0:
+        raise ValueError("step must be positive")
+
+    start = included[0].reply_time
+    end = included[-1].reply_time
+    points: List[TimelinePoint] = []
+    # A trace shorter than one window still yields a single sample
+    # covering everything.
+    t = min(start + window, end + 1e-9) if end - start < window \
+        else start + window
+    index_low = 0
+    while t <= end + step:
+        window_start = t - window
+        # Advance the lower cursor; transactions are sorted by reply.
+        while (index_low < len(included)
+               and included[index_low].reply_time < window_start):
+            index_low += 1
+        total_bytes = 0
+        own_bytes = 0
+        count = 0
+        for txn in included[index_low:]:
+            if txn.reply_time >= t:
+                break
+            count += 1
+            total_bytes += txn.payload_bytes
+            if directory.category_of(txn.remote) is own_category:
+                own_bytes += txn.payload_bytes
+        if total_bytes > 0:
+            points.append(TimelinePoint(
+                time=t, locality=own_bytes / total_bytes,
+                transactions=count, bytes=total_bytes))
+        t += step
+    return points
+
+
+def timeline_summary(points: Sequence[TimelinePoint]) -> dict:
+    """Min/mean/max locality over a timeline (empty dict if no points)."""
+    if not points:
+        return {}
+    localities = [p.locality for p in points]
+    return {
+        "min": min(localities),
+        "mean": sum(localities) / len(localities),
+        "max": max(localities),
+        "samples": len(localities),
+    }

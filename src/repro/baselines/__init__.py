@@ -1,0 +1,16 @@
+"""Baseline peer-selection strategies and their topology oracles (S6)."""
+
+from .isp_tracker import IspAwareTrackerServer
+from .oracles import IspOracle, ProximityOracle
+from .strategies import (BiasedNeighborPolicy, OnoPolicy, P4PPolicy,
+                         TrackerOnlyRandomPolicy)
+
+__all__ = [
+    "IspOracle",
+    "ProximityOracle",
+    "IspAwareTrackerServer",
+    "TrackerOnlyRandomPolicy",
+    "BiasedNeighborPolicy",
+    "OnoPolicy",
+    "P4PPolicy",
+]

@@ -1,0 +1,71 @@
+"""Topology oracles the baseline strategies consult.
+
+The whole point of the paper is that PPLive needs none of these.  The
+baselines reproduce what the related work adds:
+
+* :class:`IspOracle` — the P4P-style ISP/application interface: given an
+  address, which AS does it belong to?  Backed by the ASN directory.
+* :class:`ProximityOracle` — the Ono-style proximity estimate: Ono infers
+  relative closeness from CDN redirection behaviour; we model the output
+  of that inference as a noisy view of the true pairwise base RTT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..network.asn import AsnDirectory
+from ..network.isp import ISPCategory
+from ..network.latency import LatencyModel
+from ..network.transport import UdpNetwork
+
+
+class IspOracle:
+    """Answers "is that address in my ISP?" — the P4P interface."""
+
+    def __init__(self, directory: AsnDirectory) -> None:
+        self._directory = directory
+
+    def asn_of(self, address: str) -> Optional[int]:
+        record = self._directory.lookup(address)
+        return record.asn if record is not None else None
+
+    def category_of(self, address: str) -> Optional[ISPCategory]:
+        return self._directory.category_of(address)
+
+    def same_isp(self, a: str, b: str) -> bool:
+        asn_a = self.asn_of(a)
+        return asn_a is not None and asn_a == self.asn_of(b)
+
+
+class ProximityOracle:
+    """Ono-style latency estimation without active measurement.
+
+    Returns the true pairwise base RTT perturbed by multiplicative noise
+    (CDN-inferred proximity is correlated with, but not equal to, real
+    latency).  ``noise_sigma = 0`` gives a perfect oracle.
+    """
+
+    def __init__(self, latency: LatencyModel, network: UdpNetwork,
+                 rng: random.Random, noise_sigma: float = 0.25) -> None:
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        self._latency = latency
+        self._network = network
+        self._rng = rng
+        self.noise_sigma = noise_sigma
+
+    def estimated_rtt(self, a: str, b: str) -> float:
+        """Estimated RTT between two addresses, in seconds."""
+        host_a = self._network.host_at(a)
+        host_b = self._network.host_at(b)
+        if host_a is None or host_b is None:
+            # Unknown endpoint: return a pessimistic default so unreachable
+            # candidates rank last.
+            return 1.0
+        true_rtt = self._latency.base_rtt(a, host_a.isp, b, host_b.isp)
+        if self.noise_sigma == 0:
+            return true_rtt
+        noise = self._rng.lognormvariate(0.0, self.noise_sigma)
+        return true_rtt * noise

@@ -1,0 +1,163 @@
+"""Baseline peer-selection strategies from the paper's related work.
+
+Each strategy plugs into :class:`~repro.protocol.peer.PPLivePeer` through
+the :class:`~repro.protocol.policy.PeerSelectionPolicy` interface, so the
+rest of the client (handshake race, data scheduling) is identical and a
+comparison isolates the selection policy itself:
+
+* :class:`TrackerOnlyRandomPolicy` — the BitTorrent model: "peers get to
+  know each other and make connections through the tracker only"; no
+  neighbor referral, uniform random picks.
+* :class:`BiasedNeighborPolicy` — Bindal et al. (ICDCS'06): keep roughly
+  ``internal_fraction`` of connections inside the requester's ISP.
+* :class:`OnoPolicy` — Choffnes & Bustamante (SIGCOMM'08): rank candidates
+  by CDN-inferred proximity, connect to the nearest.
+* :class:`P4PPolicy` — Xie et al. (SIGCOMM'08): consult the provider
+  interface and prefer intra-ISP candidates outright.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Sequence
+
+from ..protocol.config import ProtocolConfig
+from ..protocol.peerlist import ListSource
+from ..protocol.policy import PeerSelectionPolicy
+from .oracles import IspOracle, ProximityOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..protocol.peer import PPLivePeer
+
+
+class TrackerOnlyRandomPolicy(PeerSelectionPolicy):
+    """BitTorrent-style membership: tracker lists only, random picks."""
+
+    name = "tracker-only-random"
+    uses_neighbor_referral = False
+
+    def __init__(self, reannounce_interval: float = 60.0) -> None:
+        if reannounce_interval <= 0:
+            raise ValueError("reannounce_interval must be positive")
+        self.reannounce_interval = reannounce_interval
+
+    def tracker_interval(self, peer: "PPLivePeer",
+                         config: ProtocolConfig) -> float:
+        # The tracker is the only membership source, so the client must
+        # keep polling it regardless of playback quality.
+        return self.reannounce_interval
+
+    def select_candidates(self, peer: "PPLivePeer",
+                          addresses: Sequence[str],
+                          source: ListSource,
+                          rng: random.Random) -> List[str]:
+        if source is not ListSource.TRACKER:
+            return []
+        deficit = self.connection_deficit(peer)
+        if deficit <= 0:
+            return []
+        pool = self.fresh_connectable(peer, addresses)
+        if not pool:
+            return []
+        batch = min(len(pool), max(peer.config.connect_batch, deficit))
+        return rng.sample(pool, batch)
+
+
+class BiasedNeighborPolicy(PeerSelectionPolicy):
+    """Biased neighbor selection (Bindal et al.).
+
+    Tries to keep ``internal_fraction`` of the neighbor set inside the
+    client's own ISP, filling the remainder with external peers.  Uses
+    the ISP oracle — i.e. infrastructure support PPLive does not need.
+    """
+
+    name = "biased-neighbor"
+    uses_neighbor_referral = True
+
+    def __init__(self, oracle: IspOracle,
+                 internal_fraction: float = 0.9) -> None:
+        if not 0.0 <= internal_fraction <= 1.0:
+            raise ValueError("internal_fraction must be in [0, 1]")
+        self.oracle = oracle
+        self.internal_fraction = internal_fraction
+
+    def select_candidates(self, peer: "PPLivePeer",
+                          addresses: Sequence[str],
+                          source: ListSource,
+                          rng: random.Random) -> List[str]:
+        deficit = self.connection_deficit(peer)
+        if deficit <= 0:
+            return []
+        pool = self.fresh_connectable(peer, addresses)
+        if not pool:
+            return []
+        batch = min(len(pool), max(peer.config.connect_batch, deficit))
+        internal = [a for a in pool
+                    if self.oracle.same_isp(peer.address, a)]
+        external = [a for a in pool if a not in set(internal)]
+        rng.shuffle(internal)
+        rng.shuffle(external)
+        want_internal = round(batch * self.internal_fraction)
+        chosen = internal[:want_internal]
+        chosen += external[:batch - len(chosen)]
+        # Top up from whichever side still has spares.
+        if len(chosen) < batch:
+            leftovers = internal[want_internal:]
+            chosen += leftovers[:batch - len(chosen)]
+        return chosen
+
+
+class OnoPolicy(PeerSelectionPolicy):
+    """Ono: connect to the candidates estimated closest by the CDN trick."""
+
+    name = "ono"
+    uses_neighbor_referral = True
+
+    def __init__(self, oracle: ProximityOracle) -> None:
+        self.oracle = oracle
+
+    def select_candidates(self, peer: "PPLivePeer",
+                          addresses: Sequence[str],
+                          source: ListSource,
+                          rng: random.Random) -> List[str]:
+        deficit = self.connection_deficit(peer)
+        if deficit <= 0:
+            return []
+        pool = self.fresh_connectable(peer, addresses)
+        if not pool:
+            return []
+        batch = min(len(pool), max(peer.config.connect_batch, deficit))
+        ranked = sorted(pool, key=lambda a: self.oracle.estimated_rtt(
+            peer.address, a))
+        return ranked[:batch]
+
+
+class P4PPolicy(PeerSelectionPolicy):
+    """P4P: the provider portal says which candidates are intra-ISP."""
+
+    name = "p4p"
+    uses_neighbor_referral = True
+
+    def __init__(self, oracle: IspOracle) -> None:
+        self.oracle = oracle
+
+    def select_candidates(self, peer: "PPLivePeer",
+                          addresses: Sequence[str],
+                          source: ListSource,
+                          rng: random.Random) -> List[str]:
+        deficit = self.connection_deficit(peer)
+        if deficit <= 0:
+            return []
+        pool = self.fresh_connectable(peer, addresses)
+        if not pool:
+            return []
+        batch = min(len(pool), max(peer.config.connect_batch, deficit))
+        internal = [a for a in pool
+                    if self.oracle.same_isp(peer.address, a)]
+        external = [a for a in pool if a not in set(internal)]
+        rng.shuffle(internal)
+        rng.shuffle(external)
+        chosen = internal[:batch]
+        if len(chosen) < batch:
+            chosen += external[:batch - len(chosen)]
+        return chosen

@@ -1,0 +1,28 @@
+"""Packet capture at probe hosts (S7): sniffer, trace store, matching."""
+
+from .matching import (DataTransaction, MatchReport, PeerListTransaction,
+                       match_all, match_data_transactions,
+                       match_peerlist_transactions)
+from .records import (DATA_MISS, DATA_REPLY, DATA_REQUEST,
+                      PEER_LIST_REPLY, PEER_LIST_REQUEST, TRACKER_QUERY,
+                      TRACKER_REPLY, Direction, PacketRecord,
+                      record_from_summary)
+from .sniffer import ProbeSniffer
+from .store import TraceStore
+
+__all__ = [
+    "ProbeSniffer",
+    "TraceStore",
+    "PacketRecord",
+    "Direction",
+    "record_from_summary",
+    "DataTransaction",
+    "PeerListTransaction",
+    "MatchReport",
+    "match_data_transactions",
+    "match_peerlist_transactions",
+    "match_all",
+    "DATA_REQUEST", "DATA_REPLY", "DATA_MISS",
+    "PEER_LIST_REQUEST", "PEER_LIST_REPLY",
+    "TRACKER_QUERY", "TRACKER_REPLY",
+]

@@ -1,0 +1,117 @@
+"""Trace records produced by the packet sniffer.
+
+A :class:`PacketRecord` is what Wireshark would have shown the authors
+for one UDP datagram at a probe host: timestamp, direction, endpoint
+addresses, size, and the decoded application payload.  Records are
+flat and immutable so the analysis pipeline can treat a trace like a
+dataframe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..protocol import messages as m
+
+
+class Direction(enum.Enum):
+    """Datagram direction relative to the probe host."""
+
+    IN = "in"
+    OUT = "out"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One captured datagram."""
+
+    time: float
+    direction: Direction
+    src: str
+    dst: str
+    msg_type: str
+    wire_bytes: int
+    packet_id: int
+    payload: Any
+
+    @property
+    def remote(self) -> str:
+        """The non-probe endpoint of this packet."""
+        return self.src if self.direction is Direction.IN else self.dst
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dict used by the JSONL trace serialisation."""
+        row: Dict[str, Any] = {
+            "time": self.time,
+            "dir": self.direction.value,
+            "src": self.src,
+            "dst": self.dst,
+            "type": self.msg_type,
+            "bytes": self.wire_bytes,
+            "packet_id": self.packet_id,
+        }
+        payload = self.payload
+        for field_name in ("chunk", "first", "last", "seq", "have_until",
+                           "payload_bytes", "request_id", "channel_id"):
+            value = getattr(payload, field_name, None)
+            if value is not None:
+                row[field_name] = value
+        if isinstance(payload, (m.PeerListReply, m.TrackerReply)):
+            row["peers"] = list(payload.peers)
+        if isinstance(payload, m.PeerListRequest):
+            row["enclosed"] = list(payload.enclosed)
+        return row
+
+
+#: Message-type names considered "data transmissions" by the analysis.
+DATA_REQUEST = m.DataRequest.__name__
+DATA_REPLY = m.DataReply.__name__
+DATA_MISS = m.DataMiss.__name__
+PEER_LIST_REQUEST = m.PeerListRequest.__name__
+PEER_LIST_REPLY = m.PeerListReply.__name__
+TRACKER_QUERY = m.TrackerQuery.__name__
+TRACKER_REPLY = m.TrackerReply.__name__
+
+
+def record_from_summary(row: Dict[str, Any]) -> "PacketRecord":
+    """Rebuild a (payload-less) record from its JSONL summary.
+
+    The reconstructed record carries a :class:`ReplayedPayload` stand-in
+    exposing the summarised fields as attributes, which is all the
+    analysis pipeline needs.
+    """
+    payload = ReplayedPayload(row)
+    return PacketRecord(
+        time=float(row["time"]),
+        direction=Direction(row["dir"]),
+        src=row["src"],
+        dst=row["dst"],
+        msg_type=row["type"],
+        wire_bytes=int(row["bytes"]),
+        packet_id=int(row["packet_id"]),
+        payload=payload,
+    )
+
+
+class ReplayedPayload:
+    """Attribute view over a summarised payload row."""
+
+    _FIELDS = ("chunk", "first", "last", "seq", "have_until",
+               "payload_bytes", "request_id", "channel_id")
+
+    def __init__(self, row: Dict[str, Any]) -> None:
+        for field_name in self._FIELDS:
+            if field_name in row:
+                setattr(self, field_name, row[field_name])
+        if "peers" in row:
+            self.peers = tuple(row["peers"])
+        if "enclosed" in row:
+            self.enclosed = tuple(row["enclosed"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReplayedPayload {vars(self)}>"

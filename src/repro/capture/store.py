@@ -1,0 +1,134 @@
+"""Trace storage.
+
+A :class:`TraceStore` accumulates the :class:`PacketRecord` stream of one
+probe host over one viewing session and offers the slicing operations the
+analysis needs (by message type, direction, time window).  Traces can be
+round-tripped through JSON-lines files, which makes captured workloads
+shareable between the experiment harness and offline analysis, the way
+the authors kept their 130 GB of pcaps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterator, List, Union
+
+from .records import Direction, PacketRecord, record_from_summary
+
+
+class TraceStore:
+    """Append-only store of captured packets for one probe."""
+
+    def __init__(self, probe_address: str) -> None:
+        self.probe_address = probe_address
+        self._records: List[PacketRecord] = []
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def append(self, record: PacketRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> PacketRecord:
+        return self._records[index]
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[PacketRecord], bool]
+               ) -> List[PacketRecord]:
+        return [r for r in self._records if predicate(r)]
+
+    def of_type(self, *msg_types: str) -> List[PacketRecord]:
+        wanted = set(msg_types)
+        return [r for r in self._records if r.msg_type in wanted]
+
+    def incoming(self, *msg_types: str) -> List[PacketRecord]:
+        wanted = set(msg_types)
+        return [r for r in self._records
+                if r.direction is Direction.IN
+                and (not wanted or r.msg_type in wanted)]
+
+    def outgoing(self, *msg_types: str) -> List[PacketRecord]:
+        wanted = set(msg_types)
+        return [r for r in self._records
+                if r.direction is Direction.OUT
+                and (not wanted or r.msg_type in wanted)]
+
+    def between(self, start: float, end: float) -> List[PacketRecord]:
+        return [r for r in self._records if start <= r.time < end]
+
+    def remotes(self) -> List[str]:
+        """Distinct remote endpoints observed, in first-seen order."""
+        seen = {}
+        for record in self._records:
+            seen.setdefault(record.remote, None)
+        return list(seen)
+
+    @property
+    def span(self) -> float:
+        """Duration covered by the trace in seconds (0 when < 2 packets)."""
+        if len(self._records) < 2:
+            return 0.0
+        return self._records[-1].time - self._records[0].time
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def format_packets(self, limit: int = 20, offset: int = 0) -> str:
+        """Wireshark-style one-line-per-packet view (debugging aid)."""
+        lines = [f"# trace of {self.probe_address} "
+                 f"({len(self._records)} packets)"]
+        for record in self._records[offset:offset + limit]:
+            arrow = "->" if record.direction.value == "out" else "<-"
+            extra = ""
+            payload = record.payload
+            seq = getattr(payload, "seq", None)
+            chunk = getattr(payload, "chunk", None)
+            if chunk is not None:
+                extra = f" chunk={chunk}"
+            if seq is not None:
+                extra += f" seq={seq}"
+            lines.append(
+                f"{record.time:10.4f}  {self.probe_address} {arrow} "
+                f"{record.remote:<15} {record.msg_type:<18} "
+                f"{record.wire_bytes:>6}B{extra}")
+        remaining = len(self._records) - offset - limit
+        if remaining > 0:
+            lines.append(f"... {remaining} more packets")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the trace as JSON lines; returns the record count."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"probe": self.probe_address}) + "\n")
+            for record in self._records:
+                fh.write(json.dumps(record.summary()) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def load_jsonl(cls, path: Union[str, Path]) -> "TraceStore":
+        """Rebuild a trace written by :meth:`save_jsonl`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+            if not header_line:
+                raise ValueError(f"{path}: empty trace file")
+            header = json.loads(header_line)
+            store = cls(probe_address=header["probe"])
+            for line in fh:
+                line = line.strip()
+                if line:
+                    store.append(record_from_summary(json.loads(line)))
+        return store

@@ -1,0 +1,83 @@
+"""Command-line entry point: regenerate paper experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig02 [--scale small|default|full] [--seed N]
+    python -m repro table1
+    python -m repro all --scale small
+
+``all`` runs every single-session figure and Table 1 (the four canonical
+sessions are simulated once and shared); ``fig06`` runs the campaign and
+is therefore much slower.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (ALL_EXPERIMENT_IDS, Scale, WorkloadBank,
+                          run_experiment)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures from 'A Case Study of "
+                    "Traffic Locality in Internet P2P Live Streaming "
+                    "Systems' (ICDCS 2009).")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig02..fig18, table1), 'all' for every "
+             "single-session experiment, or 'list'")
+    parser.add_argument(
+        "--scale", choices=[s.value for s in Scale], default="small",
+        help="workload scale (default: small; 'full' is the paper's "
+             "2-hour sessions)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default: 7)")
+    return parser
+
+
+def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
+             seed: int) -> None:
+    started = time.time()
+    result = run_experiment(experiment_id, bank=bank, scale=scale,
+                            seed=seed)
+    elapsed = time.time() - started
+    print(result.render())
+    print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in ALL_EXPERIMENT_IDS:
+            print(experiment_id)
+        return 0
+
+    scale = Scale(args.scale)
+    bank = WorkloadBank()
+    if args.experiment == "all":
+        for experiment_id in ALL_EXPERIMENT_IDS:
+            if experiment_id == "fig06":
+                continue  # campaign: run explicitly, it is much slower
+            _run_one(experiment_id, bank, scale, args.seed)
+        print("(fig06 skipped by 'all'; run 'python -m repro fig06' "
+              "explicitly)")
+        return 0
+
+    if args.experiment not in ALL_EXPERIMENT_IDS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try 'list'", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, bank, scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

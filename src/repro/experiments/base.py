@@ -1,0 +1,144 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+The paper derives Figures 2/7/11/15 from one TELE-probe popular-channel
+trace, Figures 3/8/12/16 from one TELE-probe unpopular trace, and so on:
+four canonical viewing sessions feed fourteen figures and a table.  The
+:class:`WorkloadBank` mirrors that: it runs each canonical session once
+per (scale, seed) and memoises the result, so regenerating every figure
+costs four simulations, not fourteen.
+
+Scales let tests, benchmarks and full paper-shape runs share drivers:
+
+* ``SMALL``  — minutes-long sessions, tiny population (CI-friendly),
+* ``DEFAULT`` — half-hour sessions, 100+ peers (benchmark default),
+* ``FULL``   — the paper's 2-hour sessions (slow; for final numbers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from ..streaming.video import Popularity
+from ..workload.popularity import (popular_channel_mix,
+                                   unpopular_channel_mix)
+from ..workload.scenario import (MASON_PROBE, TELE_PROBE, ProbeSpec,
+                                 ScenarioConfig, SessionResult,
+                                 SessionScenario)
+
+
+class Scale(enum.Enum):
+    """How big/long the canonical sessions are."""
+
+    SMALL = "small"
+    DEFAULT = "default"
+    FULL = "full"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ScaleParams:
+    popular_population: int
+    unpopular_population: int
+    duration: float
+    warmup: float
+
+
+SCALE_PARAMS: Dict[Scale, ScaleParams] = {
+    Scale.SMALL: ScaleParams(popular_population=40,
+                             unpopular_population=16,
+                             duration=420.0, warmup=150.0),
+    Scale.DEFAULT: ScaleParams(popular_population=90,
+                               unpopular_population=28,
+                               duration=1200.0, warmup=200.0),
+    Scale.FULL: ScaleParams(popular_population=150,
+                            unpopular_population=40,
+                            duration=7200.0, warmup=300.0),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadKey:
+    """Identifies one canonical session."""
+
+    probe_name: str  # "tele" or "mason"
+    popularity: Popularity
+    scale: Scale
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return (f"{self.probe_name}-{self.popularity.value}"
+                f"@{self.scale.value}#{self.seed}")
+
+
+def _probe_for(name: str) -> ProbeSpec:
+    probes = {"tele": TELE_PROBE, "mason": MASON_PROBE}
+    try:
+        return probes[name]
+    except KeyError:
+        raise ValueError(f"unknown probe {name!r}; expected one of "
+                         f"{sorted(probes)}") from None
+
+
+def build_config(key: WorkloadKey) -> ScenarioConfig:
+    """Scenario configuration for one canonical session."""
+    params = SCALE_PARAMS[key.scale]
+    if key.popularity is Popularity.POPULAR:
+        mix = popular_channel_mix()
+        population = params.popular_population
+    else:
+        mix = unpopular_channel_mix()
+        population = params.unpopular_population
+    return ScenarioConfig(
+        seed=key.seed,
+        population=population,
+        mix=mix,
+        popularity=key.popularity,
+        probes=(_probe_for(key.probe_name),),
+        warmup=params.warmup,
+        duration=params.duration,
+    )
+
+
+class WorkloadBank:
+    """Runs and memoises the four canonical sessions."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[WorkloadKey, SessionResult] = {}
+
+    def session(self, probe_name: str, popularity: Popularity,
+                scale: Scale = Scale.DEFAULT, seed: int = 7) -> SessionResult:
+        key = WorkloadKey(probe_name=probe_name, popularity=popularity,
+                          scale=scale, seed=seed)
+        result = self._cache.get(key)
+        if result is None:
+            result = SessionScenario(build_config(key)).run()
+            self._cache[key] = result
+        return result
+
+    def tele_popular(self, scale: Scale = Scale.DEFAULT,
+                     seed: int = 7) -> SessionResult:
+        return self.session("tele", Popularity.POPULAR, scale, seed)
+
+    def tele_unpopular(self, scale: Scale = Scale.DEFAULT,
+                       seed: int = 7) -> SessionResult:
+        return self.session("tele", Popularity.UNPOPULAR, scale, seed)
+
+    def mason_popular(self, scale: Scale = Scale.DEFAULT,
+                      seed: int = 7) -> SessionResult:
+        return self.session("mason", Popularity.POPULAR, scale, seed)
+
+    def mason_unpopular(self, scale: Scale = Scale.DEFAULT,
+                        seed: int = 7) -> SessionResult:
+        return self.session("mason", Popularity.UNPOPULAR, scale, seed)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+#: Process-wide bank shared by the benchmark suite.
+DEFAULT_BANK = WorkloadBank()

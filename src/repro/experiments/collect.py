@@ -1,0 +1,188 @@
+"""Assemble EXPERIMENTS.md from the benchmark artifacts.
+
+Every benchmark writes its rendered panel to
+``benchmarks/results/<id>.txt``; this module pairs those artifacts with
+the paper's reported numbers and emits the paper-vs-measured record the
+repository ships as ``EXPERIMENTS.md``.
+
+Usage::
+
+    python -m repro.experiments.collect [results_dir] [output_md]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+#: What the paper reports, per experiment — the "expected shape" column.
+PAPER_TARGETS = {
+    "fig02": ("TELE probe, popular: ~70% of returned addresses from "
+              "TELE; >85% of transmissions and bytes from TELE."),
+    "fig03": ("TELE probe, unpopular: TELE and CNC returned counts "
+              "comparable (CNC slightly larger); ~55% of bytes from "
+              "TELE, ~18% from CNC."),
+    "fig04": ("Mason probe, popular: >55% of transmissions/bytes from "
+              "Foreign; TELE/CNC peers return >75% own-ISP entries."),
+    "fig05": ("Mason probe, unpopular: downloads dominated by Chinese "
+              "peers (mostly CNC) — too few Foreign viewers."),
+    "fig06": ("28-day campaign: China locality high and stable for the "
+              "popular program; Mason swings widely day to day; "
+              "unpopular locality lower."),
+    "fig07": ("TELE probe, popular peer-list responses: avg TELE "
+              "1.1482s < CNC 1.5640s; OTHER 0.9892s."),
+    "fig08": ("TELE probe, unpopular: TELE 0.7168s < CNC 0.8466s < "
+              "OTHER 0.9077s; smaller gaps than Fig 7."),
+    "fig09": ("Mason probe, popular: OTHER 0.2506s < TELE 0.3429s < "
+              "CNC 0.3733s."),
+    "fig10": ("Mason probe, unpopular: OTHER 0.4690s < TELE 0.5057s < "
+              "CNC 0.6347s; all slower than Fig 9."),
+    "table1": ("Data-request response times: TELE-Popular row 0.7889/"
+               "1.3155/0.7052 (TELE/CNC/OTHER); for unpopular programs "
+               "the probe's own group is fastest."),
+    "fig11": ("TELE popular: 326 connected of 3812 listed (~9%); SE fit "
+              "c=0.35, R^2=0.956 (Zipf fails); top 10% upload ~73% of "
+              "bytes; ~74% of connected peers are TELE."),
+    "fig12": ("TELE unpopular: 226 connected of 463 listed; SE c=0.4, "
+              "R^2=0.987; top 10% upload ~67%."),
+    "fig13": ("Mason popular: 233 connected of 3964 listed; Foreign "
+              "over-represented among connected peers; SE c=0.2, "
+              "R^2=0.998; top 10% upload ~82%."),
+    "fig14": ("Mason unpopular: 89 connected of 429 listed (~20%); SE "
+              "c=0.3, R^2=0.991; top 10% upload ~77%."),
+    "fig15": ("TELE popular: log-log correlation(#requests, RTT) = "
+              "-0.654; top connected peers have smaller RTT."),
+    "fig16": ("TELE unpopular: correlation -0.396 (weaker but "
+              "prominent)."),
+    "fig17": ("Mason popular: correlation -0.679."),
+    "fig18": ("Mason unpopular: correlation -0.450 (less pronounced)."),
+    "overlay": ("Not a paper figure: quantifies the 'triangle "
+                "construction' clustering the paper credits for the "
+                "locality."),
+    "ablation_a1_a3": ("DESIGN ablation: PPLive referral vs tracker-only "
+                       "random vs oracle baselines."),
+    "ablation_a2": ("DESIGN ablation: latency-driven neighbor "
+                    "replacement on vs off."),
+    "ablation_a4": ("DESIGN ablation: audience size sweep."),
+    "ablation_a5": ("Paper Section 3.4 suggestion: cache the top 10% "
+                    "responders."),
+    "ablation_a6": ("Paper reference [28]: ISP-aware tracker vs plain "
+                    "tracker."),
+}
+
+#: Experiment ordering in the generated document.
+DOCUMENT_ORDER = (
+    "fig02", "fig03", "fig04", "fig05", "fig06",
+    "fig07", "fig08", "fig09", "fig10", "table1",
+    "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18",
+    "overlay",
+    "ablation_a1_a3", "ablation_a2", "ablation_a4", "ablation_a5",
+    "ablation_a6",
+)
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Regenerated from the benchmark artifacts in `benchmarks/results/`
+(`pytest benchmarks/ --benchmark-only` rewrites them; then
+`python -m repro.experiments.collect` rebuilds this file).
+
+Absolute numbers are not expected to match the paper: the substrate is a
+~100-peer deterministic simulator, not the 2008 PPLive network with
+thousands of concurrent viewers per channel.  What must match — and is
+asserted by the benchmark suite — is the *shape*: which ISP wins each
+panel, the orderings of the response-time groups, which model fits the
+rank distributions, and the signs/relative magnitudes of the
+correlations.
+
+## Known deviations and why
+
+* **Locality magnitudes are lower** (e.g. Fig 2 byte locality ~60-75 %
+  simulated vs 85 % measured; Fig 11 top-10 % share ~40-50 % vs 73 %).
+  Clustering strength grows with swarm size and session length; a
+  ~100-peer swarm watched for 20-25 minutes cannot concentrate as hard
+  as a many-thousand-peer swarm watched for 2 hours.  Running with
+  ``REPRO_BENCH_SCALE=full`` closes part of the gap.
+* **CNC-probe locality trails TELE-probe locality** in Figure 6 more
+  than in the paper, because our popular-audience mix gives CNC a
+  smaller viewer share than TELE; the paper's audiences were large on
+  both carriers.
+* **Aggregate response times are larger** (~0.8-1.3 s vs 0.2-1.3 s):
+  our sub-piece batches (10x1380 B per request) are bigger than single
+  sub-piece exchanges, shifting every response-time figure upward while
+  preserving the group orderings.
+* **The probe's source-server fallback traffic is excluded** from the
+  peer statistics: at simulation scale the origin serves a visibly
+  larger relative share than PPLive's origin did, and the paper's
+  statistics count viewer peers.
+
+"""
+
+
+@dataclass
+class CollectedExperiment:
+    experiment_id: str
+    paper: str
+    measured: Optional[str]
+
+    def render(self) -> str:
+        lines = [f"## {self.experiment_id}", ""]
+        lines.append(f"**Paper:** {self.paper}")
+        lines.append("")
+        if self.measured is None:
+            lines.append("**Measured:** _no artifact found — run "
+                         "`pytest benchmarks/ --benchmark-only`_")
+        else:
+            lines.append("**Measured:**")
+            lines.append("")
+            lines.append("```")
+            lines.append(self.measured.rstrip())
+            lines.append("```")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def collect(results_dir: Path) -> List[CollectedExperiment]:
+    """Pair every known experiment with its artifact, if present."""
+    collected = []
+    for experiment_id in DOCUMENT_ORDER:
+        artifact = results_dir / f"{experiment_id}.txt"
+        measured = (artifact.read_text(encoding="utf-8")
+                    if artifact.exists() else None)
+        collected.append(CollectedExperiment(
+            experiment_id=experiment_id,
+            paper=PAPER_TARGETS[experiment_id],
+            measured=measured))
+    return collected
+
+
+def build_document(results_dir: Path) -> str:
+    """The full EXPERIMENTS.md content."""
+    parts = [HEADER]
+    found = 0
+    for experiment in collect(results_dir):
+        if experiment.measured is not None:
+            found += 1
+        parts.append(experiment.render())
+    parts.insert(1, f"_Artifacts present: {found}/{len(DOCUMENT_ORDER)}_\n")
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    results_dir = Path(argv[0]) if argv else Path("benchmarks/results")
+    output = Path(argv[1]) if len(argv) > 1 else Path("EXPERIMENTS.md")
+    if not results_dir.is_dir():
+        print(f"results directory {results_dir} not found",
+              file=sys.stderr)
+        return 2
+    output.write_text(build_document(results_dir), encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Figures 11-14: per-neighbor connections and contributions.
+
+Panels, per canonical session:
+
+(a) distribution of unique connected (data-transfer) peers by ISP,
+(b) per-peer data-request rank distribution, fitted with both a
+    stretched-exponential model (expected to fit) and a Zipf model
+    (expected not to), with the SE parameters ``c, a, b`` and R² values,
+(c) CDF of per-peer byte contributions, with the top-10 % share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.contributions import (ContributionAnalysis,
+                                      analyze_contributions)
+from ..analysis.locality import CATEGORY_ORDER, unique_listed_peers
+from ..analysis.report import format_table, percentage
+from ..workload.scenario import SessionResult
+
+
+@dataclass
+class ContributionFigure:
+    """One of Figures 11-14."""
+
+    figure_id: str
+    title: str
+    analysis: ContributionAnalysis
+    unique_listed: int
+
+    @property
+    def connected_fraction_of_listed(self) -> Optional[float]:
+        """Connected unique peers over unique listed peers (paper: ~9 %
+        for the TELE popular session, ~20 % for Mason unpopular)."""
+        if self.unique_listed == 0:
+            return None
+        return self.analysis.connected_unique / self.unique_listed
+
+    def render(self) -> str:
+        a = self.analysis
+        lines: List[str] = [
+            f"=== {self.figure_id}: {self.title} ===",
+            "",
+            "(a) unique connected peers (data transfer) by ISP:",
+        ]
+        total = a.connected_unique
+        rows = [[str(c), a.connected_by_isp.get(c, 0),
+                 percentage(a.connected_by_isp.get(c, 0), total)]
+                for c in CATEGORY_ORDER]
+        lines.append(format_table(["ISP", "peers", "share"], rows))
+        fraction = self.connected_fraction_of_listed
+        lines.append(
+            f"  {total} connected of {self.unique_listed} unique listed "
+            f"peers"
+            + (f" ({fraction:.1%})" if fraction is not None else ""))
+        lines.append("")
+        lines.append("(b) data-request rank distribution fits:")
+        if a.se_fit is not None and a.zipf_fit is not None:
+            se = a.se_fit
+            lines.append(
+                f"  stretched exponential: c = {se.c:.2f}, a = {se.a:.3f}, "
+                f"b = {se.b:.3f}, R^2 = {se.r_squared:.6f} (n = {se.n})")
+            lines.append(
+                f"  Zipf (log-log line):   alpha = {a.zipf_fit.alpha:.3f}, "
+                f"R^2 = {a.zipf_fit.r_squared:.6f}")
+            winner = ("stretched exponential"
+                      if se.r_squared >= a.zipf_fit.r_squared else "Zipf")
+            lines.append(f"  better fit: {winner}")
+        else:
+            lines.append("  (too few connected peers to fit)")
+        lines.append("")
+        lines.append("(c) contribution concentration:")
+        if a.top10_byte_share is not None:
+            lines.append(f"  top 10% of connected peers uploaded "
+                         f"{a.top10_byte_share:.1%} of the bytes")
+        if a.top10_request_share is not None:
+            lines.append(f"  top 10% of connected peers received "
+                         f"{a.top10_request_share:.1%} of the requests")
+        return "\n".join(lines)
+
+
+def contribution_figure(result: SessionResult, figure_id: str,
+                        title: str) -> ContributionFigure:
+    """Build one of Figures 11-14 from a canonical session."""
+    probe = result.probe()
+    analysis = analyze_contributions(probe.report.data, result.directory,
+                                     result.infrastructure)
+    listed = unique_listed_peers(probe.trace, result.infrastructure)
+    return ContributionFigure(figure_id=figure_id, title=title,
+                              analysis=analysis,
+                              unique_listed=len(listed))

@@ -1,0 +1,72 @@
+"""Figure 6: traffic locality over the four-week campaign.
+
+Two panels — popular and unpopular programs — each with one day-indexed
+locality curve per probe ISP (CNC, TELE, Mason), averaged over the two
+concurrent probes per ISP, exactly as the authors plotted their
+2008-10-11 .. 2008-11-07 data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.report import format_table
+from ..streaming.video import Popularity
+from ..workload.campaign import CampaignConfig, CampaignResult, run_campaign
+
+CURVES = ("CNC", "TELE", "Mason")
+
+
+@dataclass
+class Figure6:
+    """The campaign result rendered as the paper's two panels."""
+
+    result: CampaignResult
+
+    def panel_rows(self, popularity: Popularity) -> List[List[object]]:
+        days = (self.result.popular if popularity is Popularity.POPULAR
+                else self.result.unpopular)
+        rows = []
+        for day in days:
+            rows.append([day.day + 1]
+                        + [f"{day.locality_by_isp.get(c, 0.0):.1f}"
+                           for c in CURVES]
+                        + [day.population])
+        return rows
+
+    def average_locality(self, popularity: Popularity,
+                         curve: str) -> Optional[float]:
+        series = self.result.series(popularity, curve)
+        if not series:
+            return None
+        return sum(series) / len(series)
+
+    def variability(self, popularity: Popularity, curve: str) -> float:
+        """Max - min over the days (the paper's Mason curves swing)."""
+        series = self.result.series(popularity, curve)
+        if not series:
+            return 0.0
+        return max(series) - min(series)
+
+    def render(self) -> str:
+        lines = ["=== Figure 6: traffic locality over the campaign ==="]
+        for popularity, label in ((Popularity.POPULAR, "(a) popular"),
+                                  (Popularity.UNPOPULAR, "(b) unpopular")):
+            lines.append("")
+            lines.append(f"{label} program — locality % by day:")
+            lines.append(format_table(
+                ["day"] + list(CURVES) + ["population"],
+                self.panel_rows(popularity)))
+            for curve in CURVES:
+                avg = self.average_locality(popularity, curve)
+                swing = self.variability(popularity, curve)
+                if avg is not None:
+                    lines.append(f"  {curve}: mean {avg:.1f}%, "
+                                 f"day-to-day swing {swing:.1f} points")
+        return "\n".join(lines)
+
+
+def figure6(config: Optional[CampaignConfig] = None) -> Figure6:
+    """Run the campaign and wrap it as Figure 6."""
+    return Figure6(result=run_campaign(config))

@@ -1,0 +1,112 @@
+"""Experiment registry: one entry per paper table/figure.
+
+``run_experiment("fig11")`` reproduces the corresponding result from the
+shared :class:`WorkloadBank`; the four canonical sessions are simulated
+lazily and reused across all the figures they feed, exactly as the
+paper's figures share its four featured traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..streaming.video import Popularity
+from .base import DEFAULT_BANK, Scale, WorkloadBank
+from .contribution_figs import contribution_figure
+from .locality_figs import locality_figure
+from .response_figs import build_table1, response_figure
+from .rtt_figs import rtt_figure
+
+#: (probe, popularity, paper caption) per figure family member.
+_SESSIONS = {
+    "tele-popular": ("tele", Popularity.POPULAR,
+                     "a China-TELE node viewing a popular program"),
+    "tele-unpopular": ("tele", Popularity.UNPOPULAR,
+                       "a China-TELE node viewing an unpopular program"),
+    "mason-popular": ("mason", Popularity.POPULAR,
+                      "a USA-Mason node viewing a popular program"),
+    "mason-unpopular": ("mason", Popularity.UNPOPULAR,
+                        "a USA-Mason node viewing an unpopular program"),
+}
+
+_LOCALITY_FIGS = {
+    "fig02": "tele-popular",
+    "fig03": "tele-unpopular",
+    "fig04": "mason-popular",
+    "fig05": "mason-unpopular",
+}
+_RESPONSE_FIGS = {
+    "fig07": "tele-popular",
+    "fig08": "tele-unpopular",
+    "fig09": "mason-popular",
+    "fig10": "mason-unpopular",
+}
+_CONTRIBUTION_FIGS = {
+    "fig11": "tele-popular",
+    "fig12": "tele-unpopular",
+    "fig13": "mason-popular",
+    "fig14": "mason-unpopular",
+}
+_RTT_FIGS = {
+    "fig15": "tele-popular",
+    "fig16": "tele-unpopular",
+    "fig17": "mason-popular",
+    "fig18": "mason-unpopular",
+}
+
+
+def _session_for(bank: WorkloadBank, session_key: str, scale: Scale,
+                 seed: int):
+    probe, popularity, _caption = _SESSIONS[session_key]
+    return bank.session(probe, popularity, scale, seed)
+
+
+def run_experiment(experiment_id: str,
+                   bank: Optional[WorkloadBank] = None,
+                   scale: Scale = Scale.DEFAULT,
+                   seed: int = 7):
+    """Reproduce one table/figure; returns its result object.
+
+    ``experiment_id`` is "fig02".."fig18" or "table1" ("fig06" runs the
+    campaign and takes noticeably longer than the single-session
+    figures).
+    """
+    bank = bank if bank is not None else DEFAULT_BANK
+    if experiment_id in _LOCALITY_FIGS:
+        key = _LOCALITY_FIGS[experiment_id]
+        session = _session_for(bank, key, scale, seed)
+        return locality_figure(session, experiment_id,
+                               _SESSIONS[key][2])
+    if experiment_id in _RESPONSE_FIGS:
+        key = _RESPONSE_FIGS[experiment_id]
+        session = _session_for(bank, key, scale, seed)
+        return response_figure(session, experiment_id,
+                               f"peer-list response times, "
+                               f"{_SESSIONS[key][2]}")
+    if experiment_id in _CONTRIBUTION_FIGS:
+        key = _CONTRIBUTION_FIGS[experiment_id]
+        session = _session_for(bank, key, scale, seed)
+        return contribution_figure(session, experiment_id,
+                                   f"connections and contributions, "
+                                   f"{_SESSIONS[key][2]}")
+    if experiment_id in _RTT_FIGS:
+        key = _RTT_FIGS[experiment_id]
+        session = _session_for(bank, key, scale, seed)
+        return rtt_figure(session, experiment_id,
+                          f"data requests vs RTT, {_SESSIONS[key][2]}")
+    if experiment_id == "table1":
+        return build_table1(
+            _session_for(bank, "tele-popular", scale, seed),
+            _session_for(bank, "tele-unpopular", scale, seed),
+            _session_for(bank, "mason-popular", scale, seed),
+            _session_for(bank, "mason-unpopular", scale, seed))
+    if experiment_id == "fig06":
+        from .fig06 import figure6
+        return figure6()
+    raise ValueError(f"unknown experiment id {experiment_id!r}")
+
+
+ALL_EXPERIMENT_IDS = tuple(
+    sorted(set(_LOCALITY_FIGS) | set(_RESPONSE_FIGS)
+           | set(_CONTRIBUTION_FIGS) | set(_RTT_FIGS)
+           | {"table1", "fig06"}))

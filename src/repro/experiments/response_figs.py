@@ -1,0 +1,103 @@
+"""Figures 7-10 and Table 1: response-time analysis.
+
+Figures 7-10 plot every peer-list response time along the session,
+grouped by the replier's ISP group (TELE / CNC / OTHER), with group
+averages in the captions.  Table 1 reports the average response time to
+*data* requests for the four canonical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.report import format_seconds, format_table
+from ..analysis.response import (DISPLAY_CLIP_SECONDS, ResponseSeries,
+                                 data_response_series,
+                                 peerlist_response_series)
+from ..network.isp import ResponseGroup
+from ..workload.scenario import SessionResult
+
+GROUP_ORDER = (ResponseGroup.TELE, ResponseGroup.CNC, ResponseGroup.OTHER)
+
+
+@dataclass
+class ResponseFigure:
+    """One of Figures 7-10."""
+
+    figure_id: str
+    title: str
+    series: Dict[ResponseGroup, ResponseSeries]
+    unanswered: int
+
+    def average(self, group: ResponseGroup) -> Optional[float]:
+        return self.series[group].average
+
+    def render(self) -> str:
+        lines: List[str] = [f"=== {self.figure_id}: {self.title} ==="]
+        rows = []
+        for group in GROUP_ORDER:
+            series = self.series[group]
+            clipped = series.clipped(DISPLAY_CLIP_SECONDS)
+            rows.append([str(group), series.count,
+                         format_seconds(series.average),
+                         len(clipped)])
+        lines.append(format_table(
+            ["replier group", "replies", "avg resp (s)",
+             f"plotted (<{DISPLAY_CLIP_SECONDS:.0f}s)"], rows))
+        lines.append(f"  unanswered peer-list requests: {self.unanswered}")
+        return "\n".join(lines)
+
+
+def response_figure(result: SessionResult, figure_id: str,
+                    title: str) -> ResponseFigure:
+    """Build one of Figures 7-10 from a canonical session."""
+    probe = result.probe()
+    series = peerlist_response_series(probe.report.peer_lists,
+                                      result.directory,
+                                      result.infrastructure)
+    return ResponseFigure(figure_id=figure_id, title=title, series=series,
+                          unanswered=probe.report.unanswered_peer_lists)
+
+
+@dataclass
+class Table1:
+    """Average response time (s) to data requests, four workloads."""
+
+    #: row label -> {group: average seconds}
+    rows: Dict[str, Dict[ResponseGroup, Optional[float]]]
+
+    def render(self) -> str:
+        lines = ["=== Table 1: average response time (s) to data "
+                 "requests ==="]
+        table_rows = []
+        for label, averages in self.rows.items():
+            table_rows.append(
+                [label] + [format_seconds(averages.get(g))
+                           for g in GROUP_ORDER])
+        lines.append(format_table(
+            ["workload"] + [f"{g} peers" for g in GROUP_ORDER],
+            table_rows))
+        return "\n".join(lines)
+
+
+def table1_row(result: SessionResult) -> Dict[ResponseGroup,
+                                              Optional[float]]:
+    """One row of Table 1 from one canonical session."""
+    probe = result.probe()
+    series = data_response_series(probe.report.data, result.directory,
+                                  result.infrastructure)
+    return {group: s.average for group, s in series.items()}
+
+
+def build_table1(tele_popular: SessionResult,
+                 tele_unpopular: SessionResult,
+                 mason_popular: SessionResult,
+                 mason_unpopular: SessionResult) -> Table1:
+    """Assemble Table 1 from the four canonical sessions."""
+    return Table1(rows={
+        "TELE-Popular": table1_row(tele_popular),
+        "TELE-Unpopular": table1_row(tele_unpopular),
+        "Mason-Popular": table1_row(mason_popular),
+        "Mason-Unpopular": table1_row(mason_unpopular),
+    })

@@ -1,0 +1,59 @@
+"""Figures 15-18: data requests vs RTT per connected peer.
+
+Peers are ranked by the number of data requests the probe sent them; the
+per-peer RTT estimate is the minimum observed application-level response
+time.  The paper reports the correlation coefficient between
+log(#requests) and log(RTT) (negative: the busiest peers are the
+nearest) and a least-squares fit of log(RTT) against rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.report import format_table
+from ..analysis.rtt import RttAnalysis, analyze_requests_vs_rtt
+from ..workload.scenario import SessionResult
+
+
+@dataclass
+class RttFigure:
+    """One of Figures 15-18."""
+
+    figure_id: str
+    title: str
+    analysis: RttAnalysis
+
+    @property
+    def correlation(self) -> float:
+        return (self.analysis.correlation
+                if self.analysis.correlation is not None else 0.0)
+
+    def render(self) -> str:
+        a = self.analysis
+        lines: List[str] = [f"=== {self.figure_id}: {self.title} ==="]
+        lines.append(f"  connected peers ranked by #requests: {len(a.peers)}")
+        if a.correlation is not None:
+            lines.append(f"  correlation coefficient "
+                         f"log(#requests) vs log(RTT): {a.correlation:.3f}")
+        if a.rtt_trend is not None:
+            lines.append(f"  log(RTT) vs rank least-squares slope: "
+                         f"{a.rtt_trend.slope:.5f} "
+                         f"(R^2 = {a.rtt_trend.r_squared:.3f})")
+        top = min(10, len(a.peers))
+        rows = [[rank + 1, a.peers[rank], a.request_counts[rank],
+                 f"{a.rtts[rank]:.4f}"]
+                for rank in range(top)]
+        lines.append(format_table(
+            ["rank", "peer", "#requests", "RTT est (s)"], rows))
+        return "\n".join(lines)
+
+
+def rtt_figure(result: SessionResult, figure_id: str,
+               title: str) -> RttFigure:
+    """Build one of Figures 15-18 from a canonical session."""
+    probe = result.probe()
+    analysis = analyze_requests_vs_rtt(probe.report.data,
+                                       result.infrastructure)
+    return RttFigure(figure_id=figure_id, title=title, analysis=analysis)

@@ -1,0 +1,30 @@
+"""Simulated Internet underlay (substrates S2 + S3).
+
+ISPs and ASes, IPv4 addressing, an IP->ASN directory mirroring the Team
+Cymru service, a calibrated latency model, access-link bandwidth with
+FIFO uplink queueing, and a UDP-like datagram transport with sniffer taps.
+"""
+
+from .addressing import AddressAllocator, AddressExhaustedError, Prefix
+from .asn import AsnDirectory, AsnRecord
+from .bandwidth import (ADSL, CABLE, CAMPUS, SERVER, AccessProfile,
+                        UplinkQueue)
+from .builder import Internet, build_internet
+from .datagram import HEADER_BYTES, Datagram
+from .isp import (ISP, ISPCatalog, ISPCategory, ResponseGroup,
+                  default_isp_catalog, response_group)
+from .latency import (LatencyConfig, LatencyModel, PairClass, RttBand,
+                      classify_pair)
+from .transport import Host, UdpNetwork
+
+__all__ = [
+    "ISP", "ISPCatalog", "ISPCategory", "ResponseGroup",
+    "default_isp_catalog", "response_group",
+    "AddressAllocator", "AddressExhaustedError", "Prefix",
+    "AsnDirectory", "AsnRecord",
+    "AccessProfile", "UplinkQueue", "ADSL", "CABLE", "CAMPUS", "SERVER",
+    "LatencyConfig", "LatencyModel", "PairClass", "RttBand", "classify_pair",
+    "Datagram", "HEADER_BYTES",
+    "Host", "UdpNetwork",
+    "Internet", "build_internet",
+]

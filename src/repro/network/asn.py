@@ -1,0 +1,101 @@
+"""IP-to-ASN mapping service (substrate S3).
+
+The paper resolved every captured peer IP to its AS name with the Team
+Cymru ``IP to ASN Mapping`` service and grouped ASes into the five ISP
+categories.  This module provides the synthetic equivalent: a
+longest-prefix-match table over the allocator's CIDR blocks, plus the
+whois-style record format the real service returns.
+
+The analysis pipeline only consumes :meth:`AsnDirectory.lookup`, so the
+join between traffic and ISP category goes through exactly this lookup —
+never through simulator-internal knowledge of which node owns an address.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .addressing import AddressAllocator
+from .isp import ISP, ISPCatalog, ISPCategory
+
+
+@dataclass(frozen=True)
+class AsnRecord:
+    """One row of a Team-Cymru-style lookup response."""
+
+    address: str
+    asn: int
+    prefix: str
+    as_name: str
+    country: str
+    category: ISPCategory
+
+    def as_whois_line(self) -> str:
+        """Render in the pipe-separated format of the real service."""
+        return (f"{self.asn:<10}| {self.address:<15} | {self.prefix:<18}| "
+                f"{self.country} | {self.as_name}")
+
+
+class AsnDirectory:
+    """Longest-prefix-match IP -> AS directory."""
+
+    def __init__(self, catalog: ISPCatalog,
+                 allocator: AddressAllocator) -> None:
+        self._catalog = catalog
+        # (network_int, prefix_len, network, isp) sorted for binary search
+        self._table: List[Tuple[int, ipaddress.IPv4Network, ISP]] = []
+        for isp in catalog:
+            for prefix in allocator.prefixes_of(isp):
+                net_int = int(prefix.network.network_address)
+                self._table.append((net_int, prefix.network, isp))
+        self._table.sort(key=lambda row: row[0])
+        self._cache: Dict[str, Optional[AsnRecord]] = {}
+        self.lookups_served = 0
+
+    def lookup(self, address: str) -> Optional[AsnRecord]:
+        """Resolve ``address``; ``None`` when no AS originates it."""
+        self.lookups_served += 1
+        if address in self._cache:
+            return self._cache[address]
+        record = self._resolve(address)
+        self._cache[address] = record
+        return record
+
+    def category_of(self, address: str) -> Optional[ISPCategory]:
+        """Shorthand used throughout the analysis pipeline."""
+        record = self.lookup(address)
+        return record.category if record is not None else None
+
+    def bulk_lookup(self, addresses) -> List[Optional[AsnRecord]]:
+        """Resolve many addresses (mirrors the service's bulk interface)."""
+        return [self.lookup(address) for address in addresses]
+
+    def _resolve(self, address: str) -> Optional[AsnRecord]:
+        try:
+            addr_int = int(ipaddress.IPv4Address(address))
+        except ipaddress.AddressValueError:
+            return None
+        # Binary search for the greatest network address <= addr_int.
+        lo, hi = 0, len(self._table)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._table[mid][0] <= addr_int:
+                lo = mid + 1
+            else:
+                hi = mid
+        index = lo - 1
+        if index < 0:
+            return None
+        _, network, isp = self._table[index]
+        if ipaddress.IPv4Address(addr_int) not in network:
+            return None
+        return AsnRecord(
+            address=address,
+            asn=isp.asn,
+            prefix=str(network),
+            as_name=isp.as_name,
+            country=isp.country,
+            category=isp.category,
+        )

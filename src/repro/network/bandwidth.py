@@ -1,0 +1,96 @@
+"""Access-link bandwidth model.
+
+Response time in PPLive is not propagation alone: the paper observes that
+peer-list replies slow down mid-session in popular channels because each
+participating peer is serving more concurrent requesters ("the load on
+each participating TELE peer increased and thus the replies took longer").
+That effect comes from the *uplink*: a peer's replies and sub-piece
+uploads share a serial, capacity-limited upstream pipe.
+
+:class:`UplinkQueue` models the pipe as a FIFO serialiser: every outgoing
+datagram occupies the link for ``size * 8 / rate`` seconds and waits
+behind whatever is already queued.  When the backlog exceeds
+``max_backlog`` seconds the datagram is dropped — which is how overloaded
+peers come to silently ignore peer-list requests, another behaviour the
+paper reports ("a non-trivial number of peer-list requests were not
+answered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Down/up capacity of one host's access link, in bits per second."""
+
+    name: str
+    down_bps: float
+    up_bps: float
+    #: Maximum tolerated uplink backlog in seconds before tail-drop.
+    max_backlog: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.down_bps <= 0 or self.up_bps <= 0:
+            raise ValueError("link rates must be positive")
+        if self.max_backlog <= 0:
+            raise ValueError("max_backlog must be positive")
+
+
+#: 2008-era residential ADSL in China: ~2 Mbit/s down, 512 kbit/s up.
+#: The shallow backlog keeps replies from arriving after the requester's
+#: timeout (dropping early beats serving late).
+ADSL = AccessProfile("adsl", down_bps=2_000_000, up_bps=512_000,
+                     max_backlog=1.5)
+#: Better cable/fibre residential line.
+CABLE = AccessProfile("cable", down_bps=6_000_000, up_bps=1_000_000,
+                      max_backlog=1.5)
+#: University campus host (the paper's CERNET and Mason probes).
+CAMPUS = AccessProfile("campus", down_bps=10_000_000, up_bps=4_000_000,
+                       max_backlog=1.5)
+#: Infrastructure node (bootstrap/tracker servers).
+SERVER = AccessProfile("server", down_bps=100_000_000, up_bps=100_000_000,
+                       max_backlog=10.0)
+
+
+class UplinkQueue:
+    """FIFO serialiser for one host's upstream link."""
+
+    def __init__(self, profile: AccessProfile) -> None:
+        self.profile = profile
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued transmission ahead of a new arrival."""
+        return max(0.0, self._busy_until - now)
+
+    def utilization_hint(self, now: float) -> float:
+        """Backlog normalised by the drop threshold, in [0, 1]."""
+        return min(1.0, self.backlog(now) / self.profile.max_backlog)
+
+    def enqueue(self, size_bytes: int, now: float) -> Optional[float]:
+        """Admit a datagram; return its departure delay or ``None`` if dropped.
+
+        The returned value is the delay from ``now`` until the last bit
+        has left the host (queueing wait + serialisation).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative datagram size: {size_bytes}")
+        wait = self.backlog(now)
+        if wait > self.profile.max_backlog:
+            self.datagrams_dropped += 1
+            return None
+        serialisation = size_bytes * 8.0 / self.profile.up_bps
+        self._busy_until = now + wait + serialisation
+        self.bytes_sent += size_bytes
+        self.datagrams_sent += 1
+        return wait + serialisation
+
+    def reset(self, now: float = 0.0) -> None:
+        """Forget the backlog (used when a peer restarts its session)."""
+        self._busy_until = now

@@ -1,0 +1,57 @@
+"""Convenience builder wiring together a complete simulated Internet.
+
+Most callers (examples, experiments, tests) want "an Internet with the
+default ISPs, addressing, ASN directory, latency model and transport" in
+one call — :func:`build_internet` provides that; :class:`Internet` is the
+returned bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Simulator
+from .addressing import AddressAllocator
+from .asn import AsnDirectory
+from .isp import ISP, ISPCatalog, ISPCategory, default_isp_catalog
+from .latency import LatencyConfig, LatencyModel
+from .transport import UdpNetwork
+
+
+@dataclass
+class Internet:
+    """A fully wired underlay: catalog, addressing, directory, transport."""
+
+    sim: Simulator
+    catalog: ISPCatalog
+    allocator: AddressAllocator
+    directory: AsnDirectory
+    latency: LatencyModel
+    udp: UdpNetwork
+
+    def isp_named(self, name: str) -> ISP:
+        return self.catalog.by_name(name)
+
+    def isps_in(self, category: ISPCategory) -> list:
+        return self.catalog.in_category(category)
+
+
+def build_internet(sim: Simulator,
+                   catalog: ISPCatalog = None,
+                   latency_config: LatencyConfig = None,
+                   blocks_per_isp: int = 4) -> Internet:
+    """Construct the default simulated Internet on ``sim``.
+
+    The latency model is seeded from the simulator's master seed so that
+    the whole run is reproducible from one number.
+    """
+    if catalog is None:
+        catalog = default_isp_catalog()
+    if latency_config is None:
+        latency_config = LatencyConfig()
+    allocator = AddressAllocator(catalog, blocks_per_isp=blocks_per_isp)
+    directory = AsnDirectory(catalog, allocator)
+    latency = LatencyModel(latency_config, master_seed=sim.seed)
+    udp = UdpNetwork(sim, latency)
+    return Internet(sim=sim, catalog=catalog, allocator=allocator,
+                    directory=directory, latency=latency, udp=udp)

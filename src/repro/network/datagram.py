@@ -1,0 +1,42 @@
+"""The unit of network transmission.
+
+PPLive has used UDP for the bulk of its traffic since April 2007, so the
+transport below is datagram-oriented: unreliable, unordered, fire-and-
+forget.  A :class:`Datagram` carries an opaque ``payload`` (a protocol
+message object) plus the metadata a packet sniffer can see on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fixed per-packet overhead: IPv4 header (20) + UDP header (8).
+HEADER_BYTES = 28
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP datagram in flight."""
+
+    src: str
+    dst: str
+    payload: Any
+    payload_bytes: int
+    sent_at: float
+    #: Globally unique id, assigned at send time; lets capture code match
+    #: the send-side and receive-side observation of the same packet.
+    packet_id: int = field(default_factory=lambda: next(_sequence))
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total on-the-wire size including IP/UDP headers."""
+        return self.payload_bytes + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.payload).__name__
+        return (f"<Datagram #{self.packet_id} {self.src}->{self.dst} "
+                f"{kind} {self.wire_bytes}B t={self.sent_at:.4f}>")

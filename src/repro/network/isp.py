@@ -1,0 +1,144 @@
+"""ISP and autonomous-system modelling.
+
+The paper groups every observed peer into five ISP categories:
+
+* ``TELE`` — ChinaTelecom (most residential users in south China),
+* ``CNC`` — ChinaNetcom (north China residential),
+* ``CER`` — CERNET, the China Education and Research Network,
+* ``OtherCN`` — smaller Chinese ISPs (China Unicom, China Railway ...),
+* ``Foreign`` — every ISP outside China.
+
+We model each category as one or more :class:`ISP` objects carrying real
+autonomous-system-like metadata (ASN, AS name, country) so the analysis
+pipeline can perform the same IP -> ASN -> ISP-category join the authors
+did with the Team Cymru service.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class ISPCategory(enum.Enum):
+    """The paper's five-way grouping of ISPs."""
+
+    TELE = "TELE"
+    CNC = "CNC"
+    CER = "CER"
+    OTHER_CN = "OtherCN"
+    FOREIGN = "Foreign"
+
+    @property
+    def is_chinese(self) -> bool:
+        return self is not ISPCategory.FOREIGN
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Grouping used in the response-time figures (Figs 7-10, Table 1): CER,
+#: OtherCN and Foreign are merged into a single OTHER group because few
+#: CER peers participate in entertainment streaming.
+class ResponseGroup(enum.Enum):
+    TELE = "TELE"
+    CNC = "CNC"
+    OTHER = "OTHER"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def response_group(category: ISPCategory) -> ResponseGroup:
+    """Map the five-way ISP category onto the three-way response group."""
+    if category is ISPCategory.TELE:
+        return ResponseGroup.TELE
+    if category is ISPCategory.CNC:
+        return ResponseGroup.CNC
+    return ResponseGroup.OTHER
+
+
+@dataclass(frozen=True)
+class ISP:
+    """One autonomous system participating in the simulated Internet."""
+
+    name: str
+    asn: int
+    category: ISPCategory
+    country: str
+    #: CIDR prefixes owned by this AS; filled in by the address allocator.
+    prefixes: tuple = field(default_factory=tuple)
+
+    @property
+    def as_name(self) -> str:
+        """Team-Cymru-style AS name string (``ASNAME, CC``)."""
+        return f"{self.name.upper().replace(' ', '-')}, {self.country}"
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} {self.name} [{self.category}]"
+
+
+class ISPCatalog:
+    """Registry of all ISPs in a simulated Internet."""
+
+    def __init__(self, isps: Sequence[ISP]) -> None:
+        self._by_asn: Dict[int, ISP] = {}
+        self._by_name: Dict[str, ISP] = {}
+        self._by_category: Dict[ISPCategory, List[ISP]] = {
+            category: [] for category in ISPCategory}
+        for isp in isps:
+            self.add(isp)
+
+    def add(self, isp: ISP) -> None:
+        if isp.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {isp.asn}")
+        if isp.name in self._by_name:
+            raise ValueError(f"duplicate ISP name {isp.name!r}")
+        self._by_asn[isp.asn] = isp
+        self._by_name[isp.name] = isp
+        self._by_category[isp.category].append(isp)
+
+    def by_asn(self, asn: int) -> ISP:
+        return self._by_asn[asn]
+
+    def by_name(self, name: str) -> ISP:
+        return self._by_name[name]
+
+    def in_category(self, category: ISPCategory) -> List[ISP]:
+        return list(self._by_category[category])
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+
+def default_isp_catalog() -> ISPCatalog:
+    """The simulated Internet used throughout the reproduction.
+
+    ASNs for the Chinese carriers match their real-world numbers
+    (AS4134 ChinaTelecom, AS4837/AS9929 ChinaNetcom-era networks, AS4538
+    CERNET); foreign ASes are representative eyeball networks covering
+    North America, Europe and Asia-Pacific, since the paper observed a
+    large PPLive population outside China.
+    """
+    return ISPCatalog([
+        ISP("ChinaTelecom", 4134, ISPCategory.TELE, "CN"),
+        ISP("ChinaNetcom", 4837, ISPCategory.CNC, "CN"),
+        ISP("CERNET", 4538, ISPCategory.CER, "CN"),
+        ISP("ChinaUnicom", 9929, ISPCategory.OTHER_CN, "CN"),
+        ISP("ChinaRailcom", 9394, ISPCategory.OTHER_CN, "CN"),
+        ISP("ChinaMobile", 9808, ISPCategory.OTHER_CN, "CN"),
+        ISP("Comcast", 7922, ISPCategory.FOREIGN, "US"),
+        ISP("Verizon", 701, ISPCategory.FOREIGN, "US"),
+        ISP("GMU-Campus", 62, ISPCategory.FOREIGN, "US"),
+        ISP("DeutscheTelekom", 3320, ISPCategory.FOREIGN, "DE"),
+        ISP("NTT-OCN", 4713, ISPCategory.FOREIGN, "JP"),
+        ISP("KoreaTelecom", 4766, ISPCategory.FOREIGN, "KR"),
+        ISP("HKBN", 9269, ISPCategory.FOREIGN, "HK"),
+    ])

@@ -1,0 +1,182 @@
+"""UDP-like datagram transport over the simulated underlay.
+
+:class:`UdpNetwork` connects registered hosts.  A send experiences, in
+order:
+
+1. the sender's uplink queue (wait + serialisation, possibly tail-drop),
+2. a Bernoulli loss draw for the path class,
+3. one-way propagation delay from the :class:`LatencyModel`,
+
+after which the receiving host's :meth:`Host.handle_datagram` runs.  If
+the destination deregistered while the packet was in flight (peer churn),
+the packet is silently dropped — exactly what the real Internet does.
+
+Sniffer taps (:meth:`UdpNetwork.add_tap`) observe every datagram at send
+and delivery time; the capture substrate builds Wireshark-style traces on
+top of them without touching protocol internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from .bandwidth import AccessProfile, UplinkQueue
+from .datagram import Datagram
+from .isp import ISP
+from .latency import LatencyModel
+
+#: Tap signature: (event, datagram, time).  ``event`` is "send", "recv",
+#: "drop_uplink" or "drop_loss".
+TapFn = Callable[[str, Datagram, float], None]
+
+
+class Host:
+    """Base class for anything with an address on the simulated Internet.
+
+    Subclasses (peers, trackers, the bootstrap server) implement
+    :meth:`handle_datagram`.  The host owns its uplink queue; the network
+    owns propagation and loss.
+    """
+
+    def __init__(self, sim: Simulator, network: "UdpNetwork",
+                 address: str, isp: ISP, profile: AccessProfile) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.isp = isp
+        self.profile = profile
+        self.uplink = UplinkQueue(profile)
+        self.online = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def go_online(self) -> None:
+        """Attach to the network and start receiving datagrams."""
+        if not self.online:
+            self.network.register(self)
+            self.uplink.reset(self.sim.now)
+            self.online = True
+
+    def go_offline(self) -> None:
+        """Detach; in-flight packets to this host will be dropped."""
+        if self.online:
+            self.network.deregister(self)
+            self.online = False
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def send(self, dst: str, payload: Any, payload_bytes: int) -> bool:
+        """Transmit one datagram; returns False if dropped at the uplink."""
+        return self.network.send(self, dst, payload, payload_bytes)
+
+    def handle_datagram(self, datagram: Datagram) -> None:
+        """Receive one datagram.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "online" if self.online else "offline"
+        return (f"<{type(self).__name__} {self.address} "
+                f"{self.isp.category} {state}>")
+
+
+class UdpNetwork:
+    """The simulated Internet's datagram plane."""
+
+    def __init__(self, sim: Simulator, latency: LatencyModel) -> None:
+        self.sim = sim
+        self.latency = latency
+        self._hosts: Dict[str, Host] = {}
+        self._taps: List[TapFn] = []
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_lost = 0
+        self.datagrams_dropped_uplink = 0
+        self.datagrams_dropped_offline = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, host: Host) -> None:
+        existing = self._hosts.get(host.address)
+        if existing is not None and existing is not host:
+            raise ValueError(f"address {host.address} already registered")
+        self._hosts[host.address] = host
+
+    def deregister(self, host: Host) -> None:
+        if self._hosts.get(host.address) is host:
+            del self._hosts[host.address]
+
+    def host_at(self, address: str) -> Optional[Host]:
+        return self._hosts.get(address)
+
+    @property
+    def online_count(self) -> int:
+        return len(self._hosts)
+
+    # ------------------------------------------------------------------
+    # Taps (capture substrate attaches here)
+    # ------------------------------------------------------------------
+    def add_tap(self, tap: TapFn) -> None:
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: TapFn) -> None:
+        self._taps.remove(tap)
+
+    def _notify(self, event: str, datagram: Datagram, time: float) -> None:
+        for tap in self._taps:
+            tap(event, datagram, time)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def send(self, src_host: Host, dst: str, payload: Any,
+             payload_bytes: int) -> bool:
+        """Send a datagram from ``src_host`` to address ``dst``."""
+        now = self.sim.now
+        datagram = Datagram(src=src_host.address, dst=dst, payload=payload,
+                            payload_bytes=payload_bytes, sent_at=now)
+        self.datagrams_sent += 1
+
+        uplink_delay = src_host.uplink.enqueue(datagram.wire_bytes, now)
+        if uplink_delay is None:
+            self.datagrams_dropped_uplink += 1
+            self._notify("drop_uplink", datagram, now)
+            return False
+        self._notify("send", datagram, now)
+
+        dst_host = self._hosts.get(dst)
+        dst_isp = dst_host.isp if dst_host is not None else None
+        if dst_isp is not None and self.latency.is_lost(src_host.isp, dst_isp):
+            self.datagrams_lost += 1
+            self._notify("drop_loss", datagram, now)
+            return True  # the sender cannot tell loss from silence
+
+        if dst_isp is None:
+            # Destination unknown right now; approximate propagation with
+            # the source's intra-ISP delay so late joins behave sanely.
+            propagation = self.latency.one_way_delay(
+                src_host.address, src_host.isp, dst, src_host.isp,
+                datagram.wire_bytes)
+        else:
+            propagation = self.latency.one_way_delay(
+                src_host.address, src_host.isp, dst, dst_isp,
+                datagram.wire_bytes)
+
+        deliver_at = now + uplink_delay + propagation
+        self.sim.call_at(deliver_at, lambda: self._deliver(datagram),
+                         label="udp-deliver")
+        return True
+
+    def _deliver(self, datagram: Datagram) -> None:
+        host = self._hosts.get(datagram.dst)
+        if host is None:
+            self.datagrams_dropped_offline += 1
+            return
+        self.datagrams_delivered += 1
+        self.bytes_delivered += datagram.wire_bytes
+        self._notify("recv", datagram, self.sim.now)
+        host.handle_datagram(datagram)

@@ -1,0 +1,43 @@
+"""The PPLive-style live-streaming protocol (core contribution substrate S5).
+
+Public surface: the client (:class:`PPLivePeer`), infrastructure servers
+(:class:`BootstrapServer`, :class:`TrackerServer`, :class:`SourceServer`),
+the protocol configuration, wire messages and codec, and the
+peer-selection policy interface with the native PPLive policy.
+"""
+
+from . import messages
+from .bootstrap import BootstrapServer
+from .config import ProtocolConfig
+from .neighbors import NeighborState, NeighborTable
+from .peer import PeerPhase, PPLivePeer
+from .peerlist import Candidate, CandidatePool, ListSource
+from .policy import PeerSelectionPolicy, PPLiveReferralPolicy
+from .scheduler import DataScheduler, PendingRequest
+from .source import SOURCE_PROFILE, SourceServer
+from .tracker import TrackerServer
+from .wire import WireError, decode, encode, wire_size
+
+__all__ = [
+    "messages",
+    "ProtocolConfig",
+    "PPLivePeer",
+    "PeerPhase",
+    "BootstrapServer",
+    "TrackerServer",
+    "SourceServer",
+    "SOURCE_PROFILE",
+    "NeighborTable",
+    "NeighborState",
+    "CandidatePool",
+    "Candidate",
+    "ListSource",
+    "PeerSelectionPolicy",
+    "PPLiveReferralPolicy",
+    "DataScheduler",
+    "PendingRequest",
+    "encode",
+    "decode",
+    "wire_size",
+    "WireError",
+]

@@ -1,0 +1,86 @@
+"""Bootstrap / channel server.
+
+Steps (1)-(4) of the paper's Figure 1: a freshly launched client asks the
+bootstrap server for the active channel list, picks a channel, then asks
+again for that channel's playlink and tracker-server addresses — one
+tracker per group, chosen round-robin inside each group so load spreads
+the way a DNS-rotated deployment would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..network.bandwidth import SERVER, AccessProfile
+from ..network.datagram import Datagram
+from ..network.isp import ISP
+from ..network.transport import Host, UdpNetwork
+from ..sim.engine import Simulator
+from ..streaming.video import LiveChannel
+from . import messages as m
+from .wire import wire_size
+
+
+class BootstrapServer(Host):
+    """The channel/bootstrap server (one per simulated deployment)."""
+
+    def __init__(self, sim: Simulator, network: UdpNetwork, address: str,
+                 isp: ISP, profile: AccessProfile = SERVER) -> None:
+        super().__init__(sim, network, address, isp, profile)
+        self._channels: Dict[int, LiveChannel] = {}
+        #: channel_id -> list of tracker groups; each group is a list of
+        #: tracker addresses.
+        self._tracker_groups: Dict[int, List[List[str]]] = {}
+        self._rotation: Dict[int, int] = {}
+        self.channel_list_requests = 0
+        self.playlink_requests = 0
+
+    # ------------------------------------------------------------------
+    # Deployment-time configuration
+    # ------------------------------------------------------------------
+    def publish_channel(self, channel: LiveChannel,
+                        tracker_groups: Sequence[Sequence[str]]) -> None:
+        """Register a broadcast channel and its tracker deployment."""
+        if not tracker_groups or any(not g for g in tracker_groups):
+            raise ValueError("every tracker group needs at least one address")
+        self._channels[channel.channel_id] = channel
+        self._tracker_groups[channel.channel_id] = [
+            list(group) for group in tracker_groups]
+        self._rotation[channel.channel_id] = 0
+
+    def channels(self) -> List[LiveChannel]:
+        return list(self._channels.values())
+
+    # ------------------------------------------------------------------
+    # Protocol handling
+    # ------------------------------------------------------------------
+    def handle_datagram(self, datagram: Datagram) -> None:
+        payload = datagram.payload
+        if isinstance(payload, m.ChannelListRequest):
+            self._serve_channel_list(datagram.src)
+        elif isinstance(payload, m.PlaylinkRequest):
+            self._serve_playlink(datagram.src, payload.channel_id)
+        # Anything else is noise; a real server would ignore it too.
+
+    def _serve_channel_list(self, requester: str) -> None:
+        self.channel_list_requests += 1
+        reply = m.ChannelListReply(channels=tuple(
+            (c.channel_id, c.name) for c in self._channels.values()))
+        self.send(requester, reply, wire_size(reply))
+
+    def _serve_playlink(self, requester: str, channel_id: int) -> None:
+        self.playlink_requests += 1
+        channel = self._channels.get(channel_id)
+        if channel is None:
+            return  # unknown channel: silently ignored, like the original
+        groups = self._tracker_groups[channel_id]
+        rotation = self._rotation[channel_id]
+        self._rotation[channel_id] = rotation + 1
+        # "the client would receive one tracker server IP address for each
+        # of the five groups, respectively"
+        trackers = tuple(group[rotation % len(group)] for group in groups)
+        reply = m.PlaylinkReply(
+            channel_id=channel_id,
+            playlink=f"pplive://live/{channel_id}",
+            trackers=trackers)
+        self.send(requester, reply, wire_size(reply))

@@ -1,0 +1,155 @@
+"""Protocol parameters.
+
+Values follow the paper's reverse-engineered observations where it gives
+them (gossip every 20 s, tracker re-query decaying to once per 5 minutes,
+peer lists capped at 60 entries, 1380-byte sub-pieces, five tracker
+groups); the rest are calibrated to make a 2008-era PPLive client's
+externally visible behaviour plausible while staying simulation-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProtocolConfig:
+    """All tunables of the PPLive-style client and infrastructure."""
+
+    # ------------------------------------------------------------------
+    # Peer-list exchange (paper, Section 2)
+    # ------------------------------------------------------------------
+    #: "a peer periodically queries its neighbors for more active peers
+    #: once every 20 seconds"
+    gossip_interval: float = 20.0
+    #: Random de-synchronisation added to each gossip round (+- seconds).
+    gossip_jitter: float = 2.0
+    #: How many neighbors are asked for their peer list per round.
+    gossip_fanout: int = 3
+    #: "A peer list usually contains no more than 60 IP addresses."
+    peer_list_max: int = 60
+
+    # ------------------------------------------------------------------
+    # Tracker interaction
+    # ------------------------------------------------------------------
+    #: Tracker query interval while playback is not yet satisfactory.
+    tracker_interval_initial: float = 30.0
+    #: "a peer significantly reduces the frequency of querying tracker
+    #: servers to once every five minutes" once playback is satisfactory.
+    tracker_interval_backoff: float = 300.0
+    #: Continuity-index threshold that triggers the backoff.
+    satisfactory_continuity: float = 0.9
+    #: Number of tracker groups (paper: five, at different locations).
+    tracker_groups: int = 5
+    #: Entries a tracker returns per query.
+    tracker_reply_max: int = 60
+    #: Tracker forgets a peer not heard from for this long.
+    tracker_peer_ttl: float = 180.0
+
+    # ------------------------------------------------------------------
+    # Neighbor management
+    # ------------------------------------------------------------------
+    #: Hard cap on concurrently connected neighbors.
+    max_neighbors: int = 24
+    #: Below this the peer actively recruits new neighbors.
+    target_neighbors: int = 16
+    #: Candidates contacted (Hello sent) per received peer list.
+    connect_batch: int = 8
+    #: Handshake timeout before a Hello is written off.
+    hello_timeout: float = 4.0
+    #: Bootstrap/playlink request retry period (UDP replies can be lost;
+    #: without retries a lost reply would strand the client forever).
+    bootstrap_retry_interval: float = 5.0
+    #: A neighbor silent for this long is considered departed.  Gossip
+    #: fanout means a given neighbor is only pinged every couple of
+    #: minutes, so this must comfortably exceed that.
+    neighbor_silence_timeout: float = 120.0
+    #: When the table is at/above target, each maintenance round replaces
+    #: the slowest-responding neighbor with this probability — continuous
+    #: latency-driven selection pressure on the neighbor set.
+    neighbor_replace_probability: float = 0.12
+    #: A neighbor is protected from replacement for its first seconds.
+    neighbor_min_tenure: float = 60.0
+    #: Fraction of neighbors (the best responders) pinned against
+    #: replacement and silence-drop — the paper's Section 3.4 suggestion
+    #: that "it might be worth caching these top 10% of neighbors for
+    #: frequent data transmissions".  0 disables the optimisation.
+    pin_top_responders: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Data scheduling
+    # ------------------------------------------------------------------
+    #: Scheduler wake-up period (seconds).
+    scheduler_interval: float = 0.4
+    #: Sub-pieces fetched by one data request (batching keeps the
+    #: simulated packet count tractable; the request/reply *pairing*
+    #: matches the paper's transmission accounting).
+    subpieces_per_request: int = 10
+    #: Concurrent in-flight data requests per neighbor.
+    per_neighbor_inflight: int = 3
+    #: Total concurrent in-flight data requests.
+    total_inflight: int = 24
+    #: Data-request timeout before re-issuing elsewhere.
+    data_timeout: float = 3.0
+    #: EWMA smoothing factor for per-neighbor response time.
+    ewma_alpha: float = 0.25
+    #: Responsiveness weighting exponent: weight = rt ** -beta.
+    responsiveness_beta: float = 2.0
+    #: Response-time floor used in the weighting, so one very fast
+    #: neighbor cannot monopolise the schedule.
+    weight_response_floor: float = 0.15
+    #: Buffer-map announcement period (seconds) and per-round fanout.
+    buffermap_interval: float = 2.0
+    buffermap_fanout: int = 16
+    #: Probability a request explores a uniformly random eligible neighbor.
+    exploration_epsilon: float = 0.10
+    #: How far behind the live edge playout starts: each client draws its
+    #: lag uniformly from [startup_lag_min, startup_lag_max] chunks.  Lag
+    #: heterogeneity is what lets older-playpoint peers fetch from
+    #: newer-playpoint peers instead of stampeding the source.
+    startup_lag_min: int = 4
+    startup_lag_max: int = 14
+    #: Chunks buffered before playback starts.
+    startup_chunks: int = 3
+    #: How far ahead of the playout point the scheduler prefetches
+    #: (chunks).  Real PPLive clients buffer a window, not the live edge.
+    prefetch_chunks: int = 8
+    #: A chunk this close to its deadline may be fetched from the source.
+    urgent_deadline: float = 8.0
+    #: A viewer fallen this many chunks behind the live edge abandons its
+    #: position and re-syncs near the edge, as real live players do.
+    resync_lag_chunks: int = 30
+
+    # ------------------------------------------------------------------
+    # Availability estimation
+    # ------------------------------------------------------------------
+    #: Assumed neighbor progress rate: chunks per chunk-duration.
+    availability_slope: float = 1.0
+    #: Safety margin subtracted from the estimated availability (chunks).
+    availability_margin: int = 0
+    #: Extrapolation horizon: beyond this many chunks of assumed progress
+    #: a stale report stops growing (a stalled neighbor must re-report).
+    max_extrapolation_chunks: int = 0
+    #: How long a neighbor is ineligible for data after a timeout.
+    timeout_cooldown: float = 3.0
+    #: How long a neighbor is ineligible after answering with a miss.
+    miss_cooldown: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0 <= self.exploration_epsilon <= 1:
+            raise ValueError("exploration_epsilon must be in [0, 1]")
+        if self.target_neighbors > self.max_neighbors:
+            raise ValueError("target_neighbors cannot exceed max_neighbors")
+        if self.tracker_groups < 1:
+            raise ValueError("need at least one tracker group")
+        if self.startup_lag_min > self.startup_lag_max:
+            raise ValueError("startup_lag_min cannot exceed startup_lag_max")
+        if self.startup_lag_min < 1:
+            raise ValueError("startup_lag_min must be >= 1")
+        if self.prefetch_chunks < self.startup_chunks:
+            raise ValueError(
+                "prefetch_chunks must cover the startup buffer")

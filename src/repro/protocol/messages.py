@@ -1,0 +1,215 @@
+"""Wire messages of the PPLive-style protocol.
+
+Each message is a frozen dataclass with a class-level ``TYPE`` tag.  The
+binary layout (and therefore the on-the-wire size used for bandwidth and
+queueing) is defined by :mod:`repro.protocol.wire`; protocol code never
+builds raw bytes itself.
+
+The message set mirrors the behaviour reverse-engineered in the paper's
+Section 2:
+
+* bootstrap:  ``ChannelListRequest/Reply`` (steps 1-2),
+  ``PlaylinkRequest/Reply`` (steps 3-4, returns tracker addresses),
+* tracker:    ``TrackerQuery/TrackerReply`` (steps 5-6; the query also
+  announces the requester to the tracker),
+* gossip:     ``PeerListRequest`` ("with peer list enclosed") and
+  ``PeerListReply`` (steps 7-8),
+* membership: ``Hello/HelloAck/HelloReject/Goodbye``,
+* data:       ``DataRequest/DataReply/DataMiss`` at sub-piece-range
+  granularity, with the sender's availability piggybacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; every concrete message carries a ``TYPE`` byte."""
+
+    TYPE = 0x00
+
+
+# ----------------------------------------------------------------------
+# Bootstrap / channel server (steps 1-4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChannelListRequest(Message):
+    TYPE = 0x01
+
+
+@dataclass(frozen=True)
+class ChannelListReply(Message):
+    TYPE = 0x02
+    #: (channel_id, name) pairs of currently broadcast channels.
+    channels: Tuple[Tuple[int, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class PlaylinkRequest(Message):
+    TYPE = 0x03
+    channel_id: int = 0
+
+
+@dataclass(frozen=True)
+class PlaylinkReply(Message):
+    TYPE = 0x04
+    channel_id: int = 0
+    #: Opaque playlink token for the media player.
+    playlink: str = ""
+    #: One tracker address per tracker group.
+    trackers: Tuple[str, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Tracker (steps 5-6)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrackerQuery(Message):
+    """Ask a tracker for active peers; implicitly announces the sender."""
+
+    TYPE = 0x05
+    channel_id: int = 0
+
+
+@dataclass(frozen=True)
+class TrackerReply(Message):
+    TYPE = 0x06
+    channel_id: int = 0
+    peers: Tuple[str, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Membership
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Hello(Message):
+    """Connection attempt; carries the joiner's availability."""
+
+    TYPE = 0x07
+    channel_id: int = 0
+    have_until: int = -1
+    #: Oldest chunk the sender can serve (its buffer start).
+    have_from: int = 0
+
+
+@dataclass(frozen=True)
+class HelloAck(Message):
+    TYPE = 0x08
+    channel_id: int = 0
+    have_until: int = -1
+    have_from: int = 0
+
+
+@dataclass(frozen=True)
+class HelloReject(Message):
+    """Connection refused (neighbor table full)."""
+
+    TYPE = 0x09
+    channel_id: int = 0
+
+
+@dataclass(frozen=True)
+class Goodbye(Message):
+    TYPE = 0x0A
+    channel_id: int = 0
+
+
+# ----------------------------------------------------------------------
+# Peer-list gossip (steps 7-8)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PeerListRequest(Message):
+    """Peer-list query "by sending the peer list maintained by itself"."""
+
+    TYPE = 0x0B
+    channel_id: int = 0
+    #: The requester's own peer list, enclosed with the request.
+    enclosed: Tuple[str, ...] = ()
+    #: Requester availability, piggybacked.
+    have_until: int = -1
+    have_from: int = 0
+    #: Requester-chosen id to match the reply to this request.
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class PeerListReply(Message):
+    TYPE = 0x0C
+    channel_id: int = 0
+    peers: Tuple[str, ...] = ()
+    have_until: int = -1
+    have_from: int = 0
+    request_id: int = 0
+
+
+# ----------------------------------------------------------------------
+# Data plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DataRequest(Message):
+    """Request sub-pieces ``first..last`` (inclusive) of ``chunk``."""
+
+    TYPE = 0x0D
+    channel_id: int = 0
+    chunk: int = 0
+    first: int = 0
+    last: int = 0
+    #: Requester-chosen sequence number; echoed by the reply.  The
+    #: capture pipeline matches request/reply pairs on (address, seq),
+    #: as the paper did with sub-piece sequence numbers.
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class DataReply(Message):
+    """Carries the payload of sub-pieces ``first..last`` of ``chunk``."""
+
+    TYPE = 0x0E
+    channel_id: int = 0
+    chunk: int = 0
+    first: int = 0
+    last: int = 0
+    seq: int = 0
+    #: Replier availability, piggybacked.
+    have_until: int = -1
+    have_from: int = 0
+    #: Video payload bytes carried (sum of sub-piece sizes).
+    payload_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class DataMiss(Message):
+    """Negative reply: the replier does not have the requested range."""
+
+    TYPE = 0x0F
+    channel_id: int = 0
+    chunk: int = 0
+    seq: int = 0
+    have_until: int = -1
+    have_from: int = 0
+
+
+@dataclass(frozen=True)
+class BufferMapAnnounce(Message):
+    """Periodic availability advertisement to neighbors.
+
+    Mesh-pull streaming systems keep neighbor buffer knowledge fresh with
+    frequent, tiny availability messages; ours summarises the buffer as
+    the highest contiguous chunk.
+    """
+
+    TYPE = 0x10
+    channel_id: int = 0
+    have_until: int = -1
+    have_from: int = 0
+
+
+ALL_MESSAGE_TYPES = (
+    ChannelListRequest, ChannelListReply, PlaylinkRequest, PlaylinkReply,
+    TrackerQuery, TrackerReply, Hello, HelloAck, HelloReject, Goodbye,
+    PeerListRequest, PeerListReply, DataRequest, DataReply, DataMiss,
+    BufferMapAnnounce,
+)

@@ -1,0 +1,642 @@
+"""The PPLive-style client.
+
+One :class:`PPLivePeer` is one viewer.  Its externally visible behaviour
+follows the paper's Section 2 step by step:
+
+1. ask the bootstrap server for the channel list (steps 1-2),
+2. ask for the chosen channel's playlink + tracker addresses (3-4),
+3. query the trackers for initial peer lists (5-6),
+4. connect to randomly chosen listed peers *immediately on list
+   arrival*, racing handshakes for the limited neighbor-table slots,
+5. every 20 seconds gossip peer lists with neighbors, enclosing its own
+   list in the request (7-8),
+6. back the tracker query rate off to once per five minutes as soon as
+   playback is satisfactory,
+7. request video sub-pieces from neighbors, weighted by observed
+   responsiveness (see :mod:`repro.protocol.scheduler`).
+
+The client never inspects ISP, AS or geographic information: any
+locality in its traffic is emergent.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, List, Optional
+
+from ..network.bandwidth import AccessProfile
+from ..network.datagram import Datagram
+from ..network.isp import ISP
+from ..network.transport import Host, UdpNetwork
+from ..sim.engine import Simulator, Timer
+from ..streaming.buffer import ChunkBuffer
+from ..streaming.playback import PlaybackMonitor, PlayerState
+from ..streaming.video import LiveChannel
+from . import messages as m
+from .config import ProtocolConfig
+from .neighbors import NeighborTable
+from .peerlist import CandidatePool, ListSource
+from .policy import PeerSelectionPolicy, PPLiveReferralPolicy
+from .scheduler import DataScheduler
+from .wire import wire_size
+
+
+class PeerPhase(enum.Enum):
+    CREATED = "created"
+    BOOTSTRAPPING = "bootstrapping"
+    JOINING = "joining"
+    ACTIVE = "active"
+    DEPARTED = "departed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class PPLivePeer(Host):
+    """A live-streaming viewer node."""
+
+    #: Maintenance cadence: playback ticks, silence sweeps.
+    MAINTENANCE_INTERVAL = 2.0
+
+    def __init__(self, sim: Simulator, network: UdpNetwork, address: str,
+                 isp: ISP, profile: AccessProfile, config: ProtocolConfig,
+                 channel: LiveChannel, bootstrap_address: str,
+                 policy: Optional[PeerSelectionPolicy] = None,
+                 source_address: Optional[str] = None) -> None:
+        super().__init__(sim, network, address, isp, profile)
+        self.config = config
+        self.channel = channel
+        self.bootstrap_address = bootstrap_address
+        self.policy = policy if policy is not None else PPLiveReferralPolicy()
+        self.source_address = source_address
+        self.phase = PeerPhase.CREATED
+
+        self.pool = CandidatePool(self_address=address)
+        self.neighbors = NeighborTable(config.max_neighbors)
+        self.buffer: Optional[ChunkBuffer] = None
+        self.player: Optional[PlaybackMonitor] = None
+        self.scheduler: Optional[DataScheduler] = None
+
+        self.trackers: List[str] = []
+        self._pending_hellos: Dict[str, object] = {}
+        self._timers: List[Timer] = []
+        self._bootstrap_timer: Optional[Timer] = None
+        self._tracker_event = None
+        self._tracker_rotation = 0
+        self._peerlist_request_id = 0
+        node_random = sim.random.fork(f"peer:{address}")
+        self._rng = node_random.stream("protocol")
+        self._scheduler_rng = node_random.stream("scheduler")
+
+        # Accounting (trace-independent convenience counters)
+        self.peer_lists_sent = 0
+        self.peer_list_requests_received = 0
+        self.data_requests_served = 0
+        self.data_misses_sent = 0
+        self.bytes_uploaded = 0
+        self.hello_rejects = 0
+        self.resyncs = 0
+        self.joined_at: Optional[float] = None
+        self.departed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def join(self) -> None:
+        """Launch the client: go online and start the bootstrap dance."""
+        if self.phase is not PeerPhase.CREATED:
+            raise RuntimeError(f"cannot join from phase {self.phase}")
+        self.go_online()
+        self.joined_at = self.sim.now
+        self.phase = PeerPhase.BOOTSTRAPPING
+        self._transmit(self.bootstrap_address, m.ChannelListRequest())
+        self._bootstrap_timer = self.sim.every(
+            self.config.bootstrap_retry_interval, self._bootstrap_retry)
+        self._timers.append(self._bootstrap_timer)
+
+    def _bootstrap_retry(self) -> None:
+        """Re-send the current bootstrap-phase request if a reply was
+        lost; stops itself once the client is active."""
+        if self.phase is PeerPhase.BOOTSTRAPPING:
+            self._transmit(self.bootstrap_address, m.ChannelListRequest())
+        elif self.phase is PeerPhase.JOINING:
+            self._transmit(self.bootstrap_address, m.PlaylinkRequest(
+                channel_id=self.channel.channel_id))
+        else:
+            # ACTIVE or DEPARTED: the retry timer has done its job.
+            self._bootstrap_timer.stop()
+
+    def leave(self) -> None:
+        """Depart gracefully: goodbye to neighbors and trackers."""
+        if self.phase is PeerPhase.DEPARTED:
+            return
+        goodbye = m.Goodbye(channel_id=self.channel.channel_id)
+        for neighbor in self.neighbors.addresses():
+            self._transmit(neighbor, goodbye)
+        for tracker in self.trackers:
+            self._transmit(tracker, goodbye)
+        self._shutdown()
+
+    def crash(self) -> None:
+        """Depart silently (power loss / network drop): no goodbyes."""
+        if self.phase is not PeerPhase.DEPARTED:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        self.phase = PeerPhase.DEPARTED
+        self.departed_at = self.sim.now
+        for timer in self._timers:
+            timer.stop()
+        self._timers.clear()
+        if self._tracker_event is not None:
+            self.sim.cancel(self._tracker_event)
+            self._tracker_event = None
+        for event, _sent_at in self._pending_hellos.values():
+            self.sim.cancel(event)
+        self._pending_hellos.clear()
+        if self.player is not None:
+            self.player.stop(self.sim.now)
+        self.go_offline()
+
+    # ------------------------------------------------------------------
+    # Introspection used by policies and experiments
+    # ------------------------------------------------------------------
+    @property
+    def pending_hello_count(self) -> int:
+        return len(self._pending_hellos)
+
+    def playback_satisfactory(self) -> bool:
+        if self.player is None:
+            return False
+        return self.player.is_satisfactory(self.config.satisfactory_continuity)
+
+    def can_attempt(self, address: str) -> bool:
+        """Whether a connection attempt to ``address`` makes sense now."""
+        if address == self.address or address == self.bootstrap_address:
+            return False
+        if address in self.trackers:
+            return False
+        if address in self.neighbors or address in self._pending_hellos:
+            return False
+        candidate = self.pool.get(address)
+        if candidate is not None and candidate.backoff_until > self.sim.now:
+            return False
+        return True
+
+    @property
+    def have_until(self) -> int:
+        return self.buffer.have_until if self.buffer is not None else -1
+
+    @property
+    def have_from(self) -> int:
+        """Oldest chunk this client can serve (its buffer start)."""
+        return self.buffer.first_chunk if self.buffer is not None else 0
+
+    # ------------------------------------------------------------------
+    # Datagram dispatch
+    # ------------------------------------------------------------------
+    def handle_datagram(self, datagram: Datagram) -> None:
+        if self.phase is PeerPhase.DEPARTED:
+            return
+        payload = datagram.payload
+        handler = self._HANDLERS.get(type(payload))
+        if handler is not None:
+            handler(self, datagram.src, payload)
+
+    # -- bootstrap phase ------------------------------------------------
+    def _on_channel_list(self, src: str, msg: m.ChannelListReply) -> None:
+        if self.phase is not PeerPhase.BOOTSTRAPPING:
+            return
+        if all(cid != self.channel.channel_id for cid, _ in msg.channels):
+            # Channel not broadcast right now; give up.
+            self._shutdown()
+            return
+        self.phase = PeerPhase.JOINING
+        self._transmit(src, m.PlaylinkRequest(
+            channel_id=self.channel.channel_id))
+
+    def _on_playlink(self, src: str, msg: m.PlaylinkReply) -> None:
+        if self.phase is not PeerPhase.JOINING:
+            return
+        if msg.channel_id != self.channel.channel_id or not msg.trackers:
+            return
+        self.trackers = list(msg.trackers)
+        self._become_active()
+
+    def _become_active(self) -> None:
+        self.phase = PeerPhase.ACTIVE
+        now = self.sim.now
+        live = self.channel.live_chunk(now)
+        lag = self._rng.randint(self.config.startup_lag_min,
+                                self.config.startup_lag_max)
+        first_chunk = max(0, live - lag + 1)
+        geometry = self.channel.geometry
+        self.buffer = ChunkBuffer(geometry, first_chunk)
+        self.player = PlaybackMonitor(geometry, self.buffer, join_time=now,
+                                      startup_chunks=self.config.startup_chunks)
+        self.scheduler = DataScheduler(
+            self.sim, self.config, geometry, self.buffer, self.neighbors,
+            self._send_data_request, source_address=self.source_address,
+            rng=self._scheduler_rng)
+        # Initial burst: query every tracker group at once.
+        for tracker in self.trackers:
+            self._transmit(tracker, m.TrackerQuery(
+                channel_id=self.channel.channel_id))
+        self._schedule_tracker_round()
+        jitter = self.config.gossip_jitter
+        self._timers.append(self.sim.every(
+            self.config.gossip_interval, self._gossip_round,
+            jitter_fn=lambda: self._rng.uniform(-jitter, jitter)))
+        self._timers.append(self.sim.every(
+            self.config.scheduler_interval, self._scheduler_tick))
+        self._timers.append(self.sim.every(
+            self.config.buffermap_interval, self._buffermap_round,
+            jitter_fn=lambda: self._rng.uniform(-0.3, 0.3)))
+        self._timers.append(self.sim.every(
+            self.MAINTENANCE_INTERVAL, self._maintenance))
+
+    # -- tracker interaction ---------------------------------------------
+    def _schedule_tracker_round(self) -> None:
+        interval = self.policy.tracker_interval(self, self.config)
+        self._tracker_event = self.sim.call_after(
+            interval, self._tracker_round, label="tracker-round")
+
+    def _tracker_round(self) -> None:
+        if self.phase is not PeerPhase.ACTIVE or not self.trackers:
+            return
+        if self.playback_satisfactory():
+            # Steady state: poke a single tracker, round-robin.
+            targets = [self.trackers[self._tracker_rotation
+                                     % len(self.trackers)]]
+            self._tracker_rotation += 1
+        else:
+            targets = self.trackers
+        query = m.TrackerQuery(channel_id=self.channel.channel_id)
+        for tracker in targets:
+            self._transmit(tracker, query)
+        self._schedule_tracker_round()
+
+    def _on_tracker_reply(self, src: str, msg: m.TrackerReply) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        self.pool.add_many(msg.peers, self.sim.now, ListSource.TRACKER)
+        self._attempt_connections(msg.peers, ListSource.TRACKER)
+
+    # -- membership -------------------------------------------------------
+    def _attempt_connections(self, addresses, source: ListSource) -> None:
+        chosen = self.policy.select_candidates(
+            self, list(addresses), source, self._rng)
+        hello = m.Hello(channel_id=self.channel.channel_id,
+                        have_until=self.have_until,
+                        have_from=self.have_from)
+        for address in chosen:
+            if not self.can_attempt(address):
+                continue
+            timeout = self.sim.call_after(
+                self.config.hello_timeout,
+                lambda a=address: self._on_hello_timeout(a),
+                label="hello-timeout")
+            self._pending_hellos[address] = (timeout, self.sim.now)
+            self._transmit(address, hello)
+
+    def _on_hello_timeout(self, address: str) -> None:
+        if self._pending_hellos.pop(address, None) is not None:
+            self.pool.note_failure(address, self.sim.now)
+
+    def _on_hello(self, src: str, msg: m.Hello) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        if msg.channel_id != self.channel.channel_id:
+            return
+        if src in self.neighbors:
+            self.neighbors.get(src).record_availability(
+                msg.have_until, self.sim.now, msg.have_from)
+            self._transmit(src, m.HelloAck(
+                channel_id=self.channel.channel_id,
+                have_until=self.have_until, have_from=self.have_from))
+            return
+        if self.neighbors.is_full:
+            self.hello_rejects += 1
+            self._transmit(src, m.HelloReject(
+                channel_id=self.channel.channel_id))
+            return
+        state = self.neighbors.add(src, self.sim.now)
+        state.record_availability(msg.have_until, self.sim.now,
+                                  msg.have_from)
+        self.pool.add(src, self.sim.now, ListSource.NEIGHBOR)
+        self._transmit(src, m.HelloAck(channel_id=self.channel.channel_id,
+                                       have_until=self.have_until,
+                                       have_from=self.have_from))
+
+    def _on_hello_ack(self, src: str, msg: m.HelloAck) -> None:
+        pending = self._pending_hellos.pop(src, None)
+        if pending is None:
+            # Ack for a handshake we already timed out, or a keepalive.
+            if src in self.neighbors:
+                self.neighbors.get(src).record_availability(
+                    msg.have_until, self.sim.now, msg.have_from)
+            return
+        event, sent_at = pending
+        self.sim.cancel(event)
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        if src in self.neighbors:
+            return
+        if self.neighbors.is_full:
+            # Lost the race: the table filled while this ack was in flight.
+            self._transmit(src, m.Goodbye(
+                channel_id=self.channel.channel_id))
+            return
+        state = self.neighbors.add(src, self.sim.now)
+        state.hello_rtt = self.sim.now - sent_at
+        state.record_availability(msg.have_until, self.sim.now,
+                                  msg.have_from)
+
+    def _on_hello_reject(self, src: str, msg: m.HelloReject) -> None:
+        pending = self._pending_hellos.pop(src, None)
+        if pending is not None:
+            self.sim.cancel(pending[0])
+        self.pool.note_failure(src, self.sim.now)
+
+    def _on_goodbye(self, src: str, msg: m.Goodbye) -> None:
+        self._drop_neighbor(src)
+
+    def _drop_neighbor(self, address: str) -> None:
+        if self.neighbors.remove(address) is not None:
+            if self.scheduler is not None:
+                self.scheduler.forget_neighbor(address)
+            self._recruit_if_short()
+
+    def _recruit_if_short(self) -> None:
+        """React to a table deficit immediately instead of waiting for
+        the next gossip round: ask a neighbor for its list, or fall back
+        to a tracker when no neighbors are left."""
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        engaged = len(self.neighbors) + self.pending_hello_count
+        if engaged >= self.config.target_neighbors:
+            return
+        targets = self.neighbors.addresses()
+        if targets and self.policy.uses_neighbor_referral:
+            target = self._rng.choice(targets)
+            self._peerlist_request_id += 1
+            own_list = tuple(self.pool.build_peer_list(
+                targets, self.config.peer_list_max, self.sim.now))
+            self._transmit(target, m.PeerListRequest(
+                channel_id=self.channel.channel_id, enclosed=own_list,
+                have_until=self.have_until, have_from=self.have_from,
+                request_id=self._peerlist_request_id))
+        elif self.trackers:
+            tracker = self.trackers[self._tracker_rotation
+                                    % len(self.trackers)]
+            self._tracker_rotation += 1
+            self._transmit(tracker, m.TrackerQuery(
+                channel_id=self.channel.channel_id))
+        # Also retry known-but-unconnected candidates right away.
+        candidates = self.pool.connectable(
+            self.sim.now, exclude=self.neighbors.addresses())
+        if candidates:
+            self._attempt_connections(candidates, ListSource.NEIGHBOR)
+
+    # -- gossip -------------------------------------------------------------
+    def _gossip_round(self) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        if not self.policy.uses_neighbor_referral:
+            return
+        targets = self.neighbors.addresses()
+        if not targets:
+            return
+        fanout = min(self.config.gossip_fanout, len(targets))
+        chosen = self._rng.sample(targets, fanout)
+        own_list = tuple(self.pool.build_peer_list(
+            self.neighbors.addresses(), self.config.peer_list_max,
+            self.sim.now))
+        for target in chosen:
+            self._peerlist_request_id += 1
+            request = m.PeerListRequest(
+                channel_id=self.channel.channel_id, enclosed=own_list,
+                have_until=self.have_until, have_from=self.have_from,
+                request_id=self._peerlist_request_id)
+            self._transmit(target, request)
+
+    def _on_peer_list_request(self, src: str, msg: m.PeerListRequest) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        self.peer_list_requests_received += 1
+        now = self.sim.now
+        self.pool.add_many(msg.enclosed, now, ListSource.ENCLOSED)
+        neighbor = self.neighbors.get(src)
+        if neighbor is not None:
+            neighbor.record_availability(msg.have_until, now,
+                                         msg.have_from)
+        peers = tuple(self.pool.build_peer_list(
+            self.neighbors.addresses(), self.config.peer_list_max, now))
+        reply = m.PeerListReply(channel_id=self.channel.channel_id,
+                                peers=peers, have_until=self.have_until,
+                                have_from=self.have_from,
+                                request_id=msg.request_id)
+        self.peer_lists_sent += 1
+        self._transmit(src, reply)
+
+    def _on_peer_list_reply(self, src: str, msg: m.PeerListReply) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        now = self.sim.now
+        neighbor = self.neighbors.get(src)
+        if neighbor is not None:
+            neighbor.record_availability(msg.have_until, now,
+                                         msg.have_from)
+            neighbor.peer_lists_received += 1
+        self.pool.add_many(msg.peers, now, ListSource.NEIGHBOR)
+        # "a client ... always tries to connect to the listed peers as
+        # soon as the list is received"
+        self._attempt_connections(msg.peers, ListSource.NEIGHBOR)
+
+    # -- availability ----------------------------------------------------
+    def _buffermap_round(self) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        targets = self.neighbors.addresses()
+        if not targets:
+            return
+        fanout = min(self.config.buffermap_fanout, len(targets))
+        announce = m.BufferMapAnnounce(channel_id=self.channel.channel_id,
+                                       have_until=self.have_until,
+                                       have_from=self.have_from)
+        for target in self._rng.sample(targets, fanout):
+            self._transmit(target, announce)
+
+    def _on_buffermap(self, src: str, msg: m.BufferMapAnnounce) -> None:
+        neighbor = self.neighbors.get(src)
+        if neighbor is not None:
+            neighbor.record_availability(msg.have_until, self.sim.now,
+                                         msg.have_from)
+
+    # -- data plane -----------------------------------------------------------
+    def _send_data_request(self, address: str, chunk: int, first: int,
+                           last: int, seq: int) -> None:
+        request = m.DataRequest(channel_id=self.channel.channel_id,
+                                chunk=chunk, first=first, last=last, seq=seq)
+        self._transmit(address, request)
+
+    def _on_data_request(self, src: str, msg: m.DataRequest) -> None:
+        if self.phase is not PeerPhase.ACTIVE or self.buffer is None:
+            return
+        neighbor = self.neighbors.get(src)
+        if neighbor is not None:
+            neighbor.last_heard = self.sim.now
+        total = self.channel.geometry.subpieces_per_chunk
+        valid_range = (msg.chunk >= 0 and 0 <= msg.first <= msg.last
+                       and msg.last < total)
+        has_range = valid_range and all(
+            self.buffer.has_subpiece(msg.chunk, sp)
+            for sp in range(msg.first, msg.last + 1))
+        if not has_range:
+            self.data_misses_sent += 1
+            self._transmit(src, m.DataMiss(
+                channel_id=self.channel.channel_id, chunk=msg.chunk,
+                seq=msg.seq, have_until=self.have_until,
+                have_from=self.have_from))
+            return
+        payload_bytes = self.channel.geometry.range_bytes(msg.first, msg.last)
+        reply = m.DataReply(channel_id=self.channel.channel_id,
+                            chunk=msg.chunk, first=msg.first, last=msg.last,
+                            seq=msg.seq, have_until=self.have_until,
+                            have_from=self.have_from,
+                            payload_bytes=payload_bytes)
+        self.data_requests_served += 1
+        self.bytes_uploaded += payload_bytes
+        self._transmit(src, reply)
+
+    def _on_data_reply(self, src: str, msg: m.DataReply) -> None:
+        if self.scheduler is None:
+            return
+        self.scheduler.on_reply(msg.seq, msg.chunk, msg.first, msg.last,
+                                msg.have_until, msg.have_from)
+        if self.player is not None:
+            self.player.tick(self.sim.now)
+
+    def _on_data_miss(self, src: str, msg: m.DataMiss) -> None:
+        if self.scheduler is None:
+            return
+        self.scheduler.on_miss(msg.seq, msg.have_until, msg.have_from)
+
+    # -- periodic upkeep ---------------------------------------------------
+    def _scheduler_tick(self) -> None:
+        if (self.phase is not PeerPhase.ACTIVE or self.scheduler is None
+                or self.player is None):
+            return
+        live = self.channel.live_chunk(self.sim.now)
+        urgent_until = None
+        if self.player.state is PlayerState.STARTUP:
+            # Before playback starts the whole startup buffer is urgent:
+            # a fresh client pulls it from the source if nobody else has
+            # it yet (e.g. the very first viewers of a channel).
+            urgent_until = (self.buffer.first_chunk
+                            + self.config.startup_chunks)
+        self.scheduler.tick(live, self.player.playout_chunk, urgent_until)
+
+    def _maintenance(self) -> None:
+        if self.phase is not PeerPhase.ACTIVE:
+            return
+        now = self.sim.now
+        if self.player is not None:
+            self.player.tick(now)
+        if self.buffer is not None:
+            live = self.channel.live_chunk(now)
+            if live - self.buffer.have_until > self.config.resync_lag_chunks:
+                self._resync(live)
+        pinned = self._pinned_addresses()
+        cutoff = now - self.config.neighbor_silence_timeout
+        for address in self.neighbors.silent_since(cutoff):
+            if address not in pinned:
+                self._drop_neighbor(address)
+        self._maybe_replace_slowest(now, pinned)
+
+    def _pinned_addresses(self) -> frozenset:
+        """Top responders cached against eviction (paper Section 3.4).
+
+        With ``pin_top_responders = f``, the best ``ceil(f * n)``
+        neighbors by observed responsiveness are protected from both the
+        silence sweep and latency replacement, keeping the hottest data
+        connections alive.
+        """
+        fraction = self.config.pin_top_responders
+        if fraction <= 0 or not len(self.neighbors):
+            return frozenset()
+        states = [s for s in self.neighbors if s.ewma_response is not None]
+        if not states:
+            return frozenset()
+        keep = math.ceil(fraction * len(self.neighbors))
+        states.sort(key=lambda s: s.ewma_response)
+        return frozenset(s.address for s in states[:keep])
+
+    def _maybe_replace_slowest(self, now: float,
+                               pinned: frozenset = frozenset()) -> None:
+        """Latency-driven neighbor-set refinement.
+
+        When the table is full enough, occasionally drop the neighbor
+        with the worst observed response time; the freed slot is then
+        re-filled through the usual handshake race, which nearby peers
+        tend to win.  Purely latency-based — no topology input.
+        """
+        if len(self.neighbors) < self.config.target_neighbors:
+            return
+        if self._rng.random() >= self.config.neighbor_replace_probability:
+            return
+        candidates = [
+            s for s in self.neighbors
+            if (s.inflight == 0
+                and now - s.connected_at >= self.config.neighbor_min_tenure
+                and s.address != self.source_address
+                and s.address not in pinned)
+        ]
+        if len(candidates) < 2:
+            return
+        worst = max(candidates, key=lambda s: s.effective_response())
+        self._transmit(worst.address, m.Goodbye(
+            channel_id=self.channel.channel_id))
+        self._drop_neighbor(worst.address)
+
+    def _resync(self, live: int) -> None:
+        """Jump back near the live edge after falling hopelessly behind.
+
+        A live player cannot "catch up" on missed content; like the real
+        client it abandons its position and rejoins close to the edge,
+        keeping its neighbor relationships.
+        """
+        self.resyncs += 1
+        now = self.sim.now
+        if self.player is not None:
+            self.player.stop(now)
+        lag = self._rng.randint(self.config.startup_lag_min,
+                                self.config.startup_lag_max)
+        first_chunk = max(0, live - lag + 1)
+        geometry = self.channel.geometry
+        self.buffer = ChunkBuffer(geometry, first_chunk)
+        self.player = PlaybackMonitor(geometry, self.buffer, join_time=now,
+                                      startup_chunks=self.config.startup_chunks)
+        if self.scheduler is not None:
+            self.scheduler.reset_for_buffer(self.buffer)
+
+    # -- low-level send ------------------------------------------------------
+    def _transmit(self, dst: str, msg: m.Message) -> bool:
+        return self.send(dst, msg, wire_size(msg))
+
+    _HANDLERS = {
+        m.ChannelListReply: _on_channel_list,
+        m.PlaylinkReply: _on_playlink,
+        m.TrackerReply: _on_tracker_reply,
+        m.Hello: _on_hello,
+        m.HelloAck: _on_hello_ack,
+        m.HelloReject: _on_hello_reject,
+        m.Goodbye: _on_goodbye,
+        m.PeerListRequest: _on_peer_list_request,
+        m.PeerListReply: _on_peer_list_reply,
+        m.DataRequest: _on_data_request,
+        m.DataReply: _on_data_reply,
+        m.DataMiss: _on_data_miss,
+        m.BufferMapAnnounce: _on_buffermap,
+    }

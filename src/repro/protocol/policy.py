@@ -1,0 +1,108 @@
+"""Peer-selection policy interface and the native PPLive policy.
+
+The paper's central finding is that PPLive's *default* behaviour — "once
+the client receives a peer list, it randomly selects a number of peers
+from the list and connects to them immediately" — yields ISP-level
+locality with no topology input.  To test that claim against
+alternatives (Section "baselines"), the client delegates exactly three
+decisions to a policy object:
+
+1. whether neighbor referral (gossip) is used at all,
+2. which freshly learned candidates to attempt connections to,
+3. how often to fall back to the trackers.
+
+Everything else (the latency race for connection slots, the
+responsiveness-weighted data scheduling) is shared, so experiments that
+swap policies measure the selection strategy and nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Sequence
+
+from .config import ProtocolConfig
+from .peerlist import ListSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .peer import PPLivePeer
+
+
+class PeerSelectionPolicy:
+    """Strategy hooks consulted by :class:`~repro.protocol.peer.PPLivePeer`."""
+
+    #: Human-readable policy name (used in experiment reports).
+    name = "abstract"
+    #: Whether the client gossips peer lists with neighbors at all.
+    uses_neighbor_referral = True
+
+    def select_candidates(self, peer: "PPLivePeer",
+                          addresses: Sequence[str],
+                          source: ListSource,
+                          rng: random.Random) -> List[str]:
+        """Choose which of ``addresses`` to attempt connections to, now.
+
+        Called immediately when a peer list arrives, because PPLive
+        "always tries to connect to the listed peers as soon as the list
+        is received".  Returns a (possibly empty) list of addresses.
+        """
+        raise NotImplementedError
+
+    def tracker_interval(self, peer: "PPLivePeer",
+                         config: ProtocolConfig) -> float:
+        """Seconds until the next tracker query round."""
+        if peer.playback_satisfactory():
+            return config.tracker_interval_backoff
+        return config.tracker_interval_initial
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def connection_deficit(peer: "PPLivePeer") -> int:
+        """How many more neighbors the client wants right now."""
+        config = peer.config
+        engaged = len(peer.neighbors) + peer.pending_hello_count
+        return max(0, config.target_neighbors - engaged)
+
+    @staticmethod
+    def fresh_connectable(peer: "PPLivePeer",
+                          addresses: Sequence[str]) -> List[str]:
+        """Filter ``addresses`` down to genuinely attemptable ones."""
+        seen = set()
+        out = []
+        for address in addresses:
+            if address in seen:
+                continue
+            seen.add(address)
+            if peer.can_attempt(address):
+                out.append(address)
+        return out
+
+
+class PPLiveReferralPolicy(PeerSelectionPolicy):
+    """The native strategy: random picks, immediate connection attempts.
+
+    Deliberately topology-blind.  Locality emerges only because (a) the
+    lists themselves are referred by neighbors whose own tables are
+    already latency-sorted, and (b) among the contacted candidates the
+    nearer ones complete the handshake race first.
+    """
+
+    name = "pplive-referral"
+    uses_neighbor_referral = True
+
+    def select_candidates(self, peer: "PPLivePeer",
+                          addresses: Sequence[str],
+                          source: ListSource,
+                          rng: random.Random) -> List[str]:
+        deficit = self.connection_deficit(peer)
+        if deficit <= 0:
+            return []
+        pool = self.fresh_connectable(peer, addresses)
+        if not pool:
+            return []
+        # Over-subscribe the deficit: contact a full batch and let the
+        # fastest responders win the remaining table slots.
+        batch = min(len(pool), max(peer.config.connect_batch, deficit))
+        return rng.sample(pool, batch)

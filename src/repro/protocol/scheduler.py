@@ -1,0 +1,336 @@
+"""Chunk/sub-piece request scheduling.
+
+The scheduler turns "which sub-pieces am I missing before the live edge"
+into concrete :class:`DataRequest` messages addressed to neighbors.  Its
+neighbor choice is the second half of the paper's locality mechanism:
+
+* eligibility is availability-based (the neighbor's *extrapolated*
+  advertised progress must cover the chunk),
+* among eligible neighbors the pick is weighted by observed
+  responsiveness, ``weight = ewma_response ** -beta``, with an
+  epsilon-greedy exploration floor so newcomers get sampled,
+* misses and timeouts feed back into the neighbor's availability bias and
+  EWMA, so stale or overloaded neighbors fade out naturally.
+
+Because nearby (same-ISP) neighbors systematically answer faster, this
+purely latency-driven feedback concentrates requests on them — producing
+both the ISP-level byte locality (Figs 2-5) and the stretched-exponential
+per-neighbor request distribution with its RTT anticorrelation
+(Figs 11-18) without ever consulting topology information.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..sim.engine import Simulator
+from ..sim.random import weighted_choice
+from ..streaming.buffer import ChunkBuffer
+from ..streaming.chunks import ChunkGeometry
+from .config import ProtocolConfig
+from .neighbors import NeighborState, NeighborTable
+
+#: Callback the owning peer supplies to actually transmit a request:
+#: (neighbor_address, chunk, first, last, seq) -> None
+SendRequestFn = Callable[[str, int, int, int, int], None]
+
+
+@dataclass
+class PendingRequest:
+    """One in-flight data request."""
+
+    seq: int
+    neighbor: str
+    chunk: int
+    first: int
+    last: int
+    sent_at: float
+    timeout_event: object = None
+    to_source: bool = False
+
+
+class DataScheduler:
+    """Plans and tracks data requests for one viewing session."""
+
+    def __init__(self, sim: Simulator, config: ProtocolConfig,
+                 geometry: ChunkGeometry, buffer: ChunkBuffer,
+                 neighbors: NeighborTable, send_request: SendRequestFn,
+                 source_address: Optional[str] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.sim = sim
+        self.config = config
+        self.geometry = geometry
+        self.buffer = buffer
+        self.neighbors = neighbors
+        self.send_request = send_request
+        self.source_address = source_address
+        self._rng = rng if rng is not None else sim.random.stream("scheduler")
+        self._pending: Dict[int, PendingRequest] = {}
+        #: chunk -> sub-pieces currently covered by in-flight requests.
+        self._requested: Dict[int, Set[int]] = {}
+        self._next_seq = 1
+        self._source_inflight = 0
+        self._source_cooldown_until = 0.0
+        # Accounting
+        self.requests_issued = 0
+        self.requests_to_source = 0
+        self.replies_handled = 0
+        self.misses_handled = 0
+        self.timeouts = 0
+        self.duplicate_replies = 0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    def tick(self, live_chunk: int, playout_chunk: int,
+             urgent_until: Optional[int] = None) -> None:
+        """Issue requests for missing data inside the prefetch window.
+
+        The window spans from the buffer frontier up to
+        ``playout + prefetch_chunks``, clipped at the live edge — the
+        client fills a bounded look-ahead buffer rather than racing to
+        the newest chunk, which is what creates the lag gradient the
+        swarm redistributes along.
+        """
+        self._drop_stale_bookkeeping()
+        if live_chunk < self.buffer.first_chunk:
+            return
+        window_top = min(live_chunk,
+                         playout_chunk + self.config.prefetch_chunks)
+        if urgent_until is None:
+            urgent_chunks = max(
+                1, math.ceil(self.config.urgent_deadline
+                             / self.geometry.chunk_seconds))
+            urgent_until = playout_chunk + urgent_chunks
+        chunk = self.buffer.have_until + 1
+        budget = self.config.total_inflight - self.inflight
+        if budget <= 0 or chunk > window_top:
+            return
+        # Availability and cooldown are stable within one tick: evaluate
+        # each neighbor once here instead of per candidate chunk.
+        availability = self._availability_snapshot()
+        while chunk <= window_top and budget > 0:
+            run = self._next_missing_run(chunk)
+            if run is None:
+                chunk += 1
+                continue
+            first, last = run
+            is_urgent = chunk <= urgent_until
+            target = self._pick_neighbor(chunk, is_urgent, availability)
+            if target is None:
+                chunk += 1
+                continue
+            self._issue(target, chunk, first, last)
+            budget -= 1
+            # Allow several batches of the same chunk in one tick, going
+            # to (possibly) different neighbors.
+
+    def _availability_snapshot(self) -> List[tuple]:
+        """(estimated_have, have_from, state) per usable neighbor."""
+        now = self.sim.now
+        cfg = self.config
+        chunk_seconds = self.geometry.chunk_seconds
+        snapshot = []
+        for state in self.neighbors:
+            if state.address == self.source_address:
+                continue
+            if state.cooldown_until > now:
+                continue
+            est = state.estimated_have(now, chunk_seconds,
+                                       cfg.availability_slope,
+                                       cfg.availability_margin,
+                                       cfg.max_extrapolation_chunks)
+            if est >= 0:
+                snapshot.append((est, state.reported_from, state))
+        return snapshot
+
+    def _next_missing_run(self, chunk: int) -> Optional[tuple]:
+        """Longest contiguous run of unrequested missing sub-pieces."""
+        missing = self.buffer.missing_subpieces(chunk)
+        covered = self._requested.get(chunk)
+        if covered:
+            missing = [sp for sp in missing if sp not in covered]
+        if not missing:
+            return None
+        first = missing[0]
+        last = first
+        limit = self.config.subpieces_per_request
+        for sp in missing[1:]:
+            if sp == last + 1 and (last - first + 1) < limit:
+                last = sp
+            else:
+                break
+        return first, last
+
+    def _pick_neighbor(self, chunk: int, is_urgent: bool,
+                       availability: Optional[List[tuple]] = None
+                       ) -> Optional[NeighborState]:
+        if availability is None:
+            availability = self._availability_snapshot()
+        limit = self.config.per_neighbor_inflight
+        eligible = [state for est, have_from, state in availability
+                    if est >= chunk >= have_from
+                    and state.inflight < limit]
+        if not eligible:
+            if (is_urgent and self.source_address is not None
+                    and self._source_inflight
+                    < self.config.per_neighbor_inflight
+                    and self.sim.now >= self._source_cooldown_until):
+                return self._source_state()
+            return None
+        if self._rng.random() < self.config.exploration_epsilon:
+            return self._rng.choice(eligible)
+        weights = [self._weight(s) for s in eligible]
+        return weighted_choice(self._rng, eligible, weights)
+
+    def _weight(self, state: NeighborState) -> float:
+        # Before any data flows the handshake round-trip is the latency
+        # prior, so nearby neighbors attract requests from the very first
+        # schedule.  The floor bounds how much one very fast neighbor can
+        # monopolise.
+        response = max(state.effective_response(),
+                       self.config.weight_response_floor)
+        return response ** -self.config.responsiveness_beta
+
+    def _source_state(self) -> NeighborState:
+        # A synthetic state for the channel source; never stored in the
+        # neighbor table and never counted against its capacity.
+        state = NeighborState(address=self.source_address,
+                              connected_at=0.0, last_heard=self.sim.now)
+        state.reported_have = 1 << 60
+        return state
+
+    # ------------------------------------------------------------------
+    # Issue / resolve
+    # ------------------------------------------------------------------
+    def _issue(self, target: NeighborState, chunk: int,
+               first: int, last: int) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        to_source = target.address == self.source_address
+        pending = PendingRequest(seq=seq, neighbor=target.address,
+                                 chunk=chunk, first=first, last=last,
+                                 sent_at=self.sim.now, to_source=to_source)
+        pending.timeout_event = self.sim.call_after(
+            self.config.data_timeout, lambda: self._on_timeout(seq),
+            label="data-timeout")
+        self._pending[seq] = pending
+        self._requested.setdefault(chunk, set()).update(
+            range(first, last + 1))
+        if to_source:
+            self._source_inflight += 1
+            self.requests_to_source += 1
+        else:
+            target.inflight += 1
+            target.data_requests_sent += 1
+        self.requests_issued += 1
+        self.send_request(target.address, chunk, first, last, seq)
+
+    def on_reply(self, seq: int, chunk: int, first: int, last: int,
+                 have_until: int, have_from: int = 0) -> int:
+        """Handle a data reply; returns the number of new sub-pieces."""
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            self.duplicate_replies += 1
+            return 0
+        self._settle(pending)
+        self.replies_handled += 1
+        neighbor = self.neighbors.get(pending.neighbor)
+        if neighbor is not None:
+            neighbor.record_response(self.sim.now - pending.sent_at,
+                                     self.config.ewma_alpha)
+            neighbor.record_availability(have_until, self.sim.now, have_from)
+            neighbor.data_replies_received += 1
+        added = self.buffer.add_range(chunk, first, last)
+        if neighbor is not None:
+            neighbor.bytes_received += self.geometry.range_bytes(first, last)
+        return added
+
+    def on_miss(self, seq: int, have_until: int,
+                have_from: int = 0) -> None:
+        """Handle a negative reply (replier lacked the range)."""
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            return
+        self._settle(pending)
+        self.misses_handled += 1
+        neighbor = self.neighbors.get(pending.neighbor)
+        if neighbor is not None:
+            neighbor.record_miss(self.sim.now)
+            neighbor.cooldown_until = self.sim.now + self.config.miss_cooldown
+            if have_until >= 0:
+                # A miss is the most authoritative availability signal:
+                # overwrite (do not merely max) the reported range.
+                neighbor.reported_have = have_until
+                neighbor.reported_at = self.sim.now
+                neighbor.reported_from = have_from
+
+    def _on_timeout(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            return
+        self._settle(pending, cancel_timeout=False)
+        self.timeouts += 1
+        if pending.to_source:
+            self._source_cooldown_until = (self.sim.now
+                                           + self.config.timeout_cooldown)
+        neighbor = self.neighbors.get(pending.neighbor)
+        if neighbor is not None:
+            neighbor.data_timeouts += 1
+            neighbor.cooldown_until = (self.sim.now
+                                       + self.config.timeout_cooldown)
+            # Penalise the EWMA with the full timeout so unresponsive
+            # neighbors stop attracting requests.
+            neighbor.record_response(self.config.data_timeout,
+                                     self.config.ewma_alpha)
+
+    def _settle(self, pending: PendingRequest,
+                cancel_timeout: bool = True) -> None:
+        if cancel_timeout and pending.timeout_event is not None:
+            self.sim.cancel(pending.timeout_event)
+        covered = self._requested.get(pending.chunk)
+        if covered is not None:
+            covered.difference_update(range(pending.first, pending.last + 1))
+            if not covered:
+                del self._requested[pending.chunk]
+        if pending.to_source:
+            self._source_inflight = max(0, self._source_inflight - 1)
+        else:
+            neighbor = self.neighbors.get(pending.neighbor)
+            if neighbor is not None:
+                neighbor.inflight = max(0, neighbor.inflight - 1)
+
+    def reset_for_buffer(self, buffer: ChunkBuffer) -> None:
+        """Rebind to a fresh buffer after a live re-sync.
+
+        All in-flight requests are settled (timeout events cancelled,
+        per-neighbor inflight counters released) so the neighbor table
+        stays consistent; late replies for old sequence numbers are then
+        counted as duplicates and ignored.
+        """
+        for seq in list(self._pending):
+            pending = self._pending.pop(seq)
+            self._settle(pending)
+        self._requested.clear()
+        self.buffer = buffer
+
+    def forget_neighbor(self, address: str) -> None:
+        """Drop in-flight state for a departed neighbor."""
+        stale = [seq for seq, p in self._pending.items()
+                 if p.neighbor == address and not p.to_source]
+        for seq in stale:
+            pending = self._pending.pop(seq)
+            self._settle(pending)
+
+    def _drop_stale_bookkeeping(self) -> None:
+        frontier = self.buffer.have_until
+        stale = [c for c in self._requested if c <= frontier]
+        for chunk in stale:
+            del self._requested[chunk]

@@ -1,0 +1,134 @@
+"""Channel source (origin) server.
+
+The origin injects the live stream into the swarm.  It behaves like a
+peer with three differences: it has *every* chunk up to the live edge, it
+never requests anything, and its neighbor capacity / uplink are those of
+a modest server — deliberately not large enough to feed the whole swarm,
+so the population must redistribute chunks peer-to-peer, as the real
+system does.
+
+It answers Hello (until its table fills), peer-list gossip (returning the
+peers that recently contacted it — which is how the earliest joiners
+learn about each other) and data requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..network.bandwidth import AccessProfile
+from ..network.datagram import Datagram
+from ..network.isp import ISP
+from ..network.transport import Host, UdpNetwork
+from ..sim.engine import Simulator
+from ..streaming.video import LiveChannel
+from . import messages as m
+from .config import ProtocolConfig
+from .wire import wire_size
+
+#: Default origin uplink: enough for a few dozen direct children only.
+SOURCE_PROFILE = AccessProfile("source", down_bps=20_000_000,
+                               up_bps=20_000_000, max_backlog=4.0)
+
+
+class SourceServer(Host):
+    """Origin server for one live channel."""
+
+    def __init__(self, sim: Simulator, network: UdpNetwork, address: str,
+                 isp: ISP, channel: LiveChannel, config: ProtocolConfig,
+                 profile: AccessProfile = SOURCE_PROFILE,
+                 max_children: int = 48) -> None:
+        super().__init__(sim, network, address, isp, profile)
+        self.channel = channel
+        self.config = config
+        self.max_children = max_children
+        #: address -> last contact time, bounded by max_children.
+        self._children: Dict[str, float] = {}
+        self.data_requests_served = 0
+        self.bytes_uploaded = 0
+        self.hello_rejects = 0
+
+    # ------------------------------------------------------------------
+    # Availability
+    # ------------------------------------------------------------------
+    @property
+    def have_until(self) -> int:
+        """The origin always has everything up to the live edge."""
+        return self.channel.live_chunk(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Protocol handling
+    # ------------------------------------------------------------------
+    def handle_datagram(self, datagram: Datagram) -> None:
+        payload = datagram.payload
+        if isinstance(payload, m.Hello):
+            self._on_hello(datagram.src, payload)
+        elif isinstance(payload, m.PeerListRequest):
+            self._on_peer_list_request(datagram.src, payload)
+        elif isinstance(payload, m.DataRequest):
+            self._on_data_request(datagram.src, payload)
+        elif isinstance(payload, m.Goodbye):
+            self._children.pop(datagram.src, None)
+
+    def _note_child(self, src: str) -> bool:
+        """Track a contact; returns False when the table is full."""
+        if src in self._children:
+            self._children[src] = self.sim.now
+            return True
+        self._expire_children()
+        if len(self._children) >= self.max_children:
+            return False
+        self._children[src] = self.sim.now
+        return True
+
+    def _expire_children(self) -> None:
+        cutoff = self.sim.now - self.config.neighbor_silence_timeout
+        stale = [a for a, t in self._children.items() if t < cutoff]
+        for address in stale:
+            del self._children[address]
+
+    def _on_hello(self, src: str, msg: m.Hello) -> None:
+        if msg.channel_id != self.channel.channel_id:
+            return
+        if not self._note_child(src):
+            self.hello_rejects += 1
+            self._transmit(src, m.HelloReject(
+                channel_id=self.channel.channel_id))
+            return
+        self._transmit(src, m.HelloAck(channel_id=self.channel.channel_id,
+                                       have_until=self.have_until,
+                                       have_from=0))
+
+    def _on_peer_list_request(self, src: str, msg: m.PeerListRequest) -> None:
+        if msg.channel_id != self.channel.channel_id:
+            return
+        self._note_child(src)
+        peers = tuple(a for a in self._children
+                      if a != src)[:self.config.peer_list_max]
+        self._transmit(src, m.PeerListReply(
+            channel_id=self.channel.channel_id, peers=peers,
+            have_until=self.have_until, have_from=0,
+            request_id=msg.request_id))
+
+    def _on_data_request(self, src: str, msg: m.DataRequest) -> None:
+        if msg.channel_id != self.channel.channel_id:
+            return
+        self._children[src] = self.sim.now
+        total = self.channel.geometry.subpieces_per_chunk
+        bad_range = not (0 <= msg.first <= msg.last < total)
+        if bad_range or msg.chunk > self.have_until or msg.chunk < 0:
+            self._transmit(src, m.DataMiss(
+                channel_id=self.channel.channel_id, chunk=msg.chunk,
+                seq=msg.seq, have_until=self.have_until, have_from=0))
+            return
+        payload_bytes = self.channel.geometry.range_bytes(msg.first, msg.last)
+        self.data_requests_served += 1
+        self.bytes_uploaded += payload_bytes
+        self._transmit(src, m.DataReply(
+            channel_id=self.channel.channel_id, chunk=msg.chunk,
+            first=msg.first, last=msg.last, seq=msg.seq,
+            have_until=self.have_until, have_from=0,
+            payload_bytes=payload_bytes))
+
+    def _transmit(self, dst: str, msg: m.Message) -> bool:
+        return self.send(dst, msg, wire_size(msg))

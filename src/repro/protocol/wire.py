@@ -1,0 +1,366 @@
+"""Binary codec for protocol messages.
+
+The simulator passes message *objects* between hosts, but bandwidth,
+queueing delay and capture all need faithful on-the-wire sizes.  This
+module defines the byte layout, provides :func:`encode` / :func:`decode`
+for it, and — because encoding in the hot path would be wasteful —
+:func:`wire_size`, an arithmetic size computation guaranteed (and tested)
+to equal ``len(encode(msg))``.
+
+Layout: 4-byte header ``b"PP" | version | type``, then a type-specific
+body.  Addresses are packed as IPv4 (4 bytes) + port (2 bytes, always 0
+here); strings are length-prefixed UTF-8; integers are big-endian.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import Tuple
+
+from . import messages as m
+
+MAGIC = b"PP"
+VERSION = 1
+HEADER = struct.Struct(">2sBB")
+ADDRESS = struct.Struct(">IH")
+U8 = struct.Struct(">B")
+U16 = struct.Struct(">H")
+U32 = struct.Struct(">I")
+I64 = struct.Struct(">q")
+
+ADDRESS_BYTES = ADDRESS.size  # 6
+
+
+class WireError(ValueError):
+    """Malformed bytes or an unencodable message."""
+
+
+# ----------------------------------------------------------------------
+# Primitive packers
+# ----------------------------------------------------------------------
+def _pack_address(address: str) -> bytes:
+    try:
+        return ADDRESS.pack(int(ipaddress.IPv4Address(address)), 0)
+    except ipaddress.AddressValueError as exc:
+        raise WireError(f"bad address {address!r}") from exc
+
+
+def _unpack_address(data: bytes, offset: int) -> Tuple[str, int]:
+    value, _port = ADDRESS.unpack_from(data, offset)
+    return str(ipaddress.IPv4Address(value)), offset + ADDRESS.size
+
+
+def _pack_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 255:
+        raise WireError(f"string too long ({len(raw)} bytes)")
+    return U8.pack(len(raw)) + raw
+
+
+def _unpack_string(data: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = U8.unpack_from(data, offset)
+    offset += 1
+    raw = data[offset:offset + length]
+    if len(raw) != length:
+        raise WireError("truncated string")
+    return raw.decode("utf-8"), offset + length
+
+
+def _pack_addresses(addresses) -> bytes:
+    if len(addresses) > 65535:
+        raise WireError("address list too long")
+    parts = [U16.pack(len(addresses))]
+    parts.extend(_pack_address(a) for a in addresses)
+    return b"".join(parts)
+
+
+def _unpack_addresses(data: bytes, offset: int) -> Tuple[Tuple[str, ...], int]:
+    (count,) = U16.unpack_from(data, offset)
+    offset += 2
+    out = []
+    for _ in range(count):
+        address, offset = _unpack_address(data, offset)
+        out.append(address)
+    return tuple(out), offset
+
+
+# ----------------------------------------------------------------------
+# Encode
+# ----------------------------------------------------------------------
+def encode(msg: m.Message) -> bytes:
+    """Serialise ``msg`` to bytes."""
+    body = _encode_body(msg)
+    return HEADER.pack(MAGIC, VERSION, msg.TYPE) + body
+
+
+def _encode_body(msg: m.Message) -> bytes:
+    if isinstance(msg, m.ChannelListRequest):
+        return b""
+    if isinstance(msg, m.ChannelListReply):
+        parts = [U16.pack(len(msg.channels))]
+        for channel_id, name in msg.channels:
+            parts.append(U32.pack(channel_id))
+            parts.append(_pack_string(name))
+        return b"".join(parts)
+    if isinstance(msg, m.PlaylinkRequest):
+        return U32.pack(msg.channel_id)
+    if isinstance(msg, m.PlaylinkReply):
+        return (U32.pack(msg.channel_id) + _pack_string(msg.playlink)
+                + _pack_addresses(msg.trackers))
+    if isinstance(msg, m.TrackerQuery):
+        return U32.pack(msg.channel_id)
+    if isinstance(msg, m.TrackerReply):
+        return U32.pack(msg.channel_id) + _pack_addresses(msg.peers)
+    if isinstance(msg, m.Hello):
+        return (U32.pack(msg.channel_id) + I64.pack(msg.have_until)
+                + I64.pack(msg.have_from))
+    if isinstance(msg, m.HelloAck):
+        return (U32.pack(msg.channel_id) + I64.pack(msg.have_until)
+                + I64.pack(msg.have_from))
+    if isinstance(msg, m.HelloReject):
+        return U32.pack(msg.channel_id)
+    if isinstance(msg, m.Goodbye):
+        return U32.pack(msg.channel_id)
+    if isinstance(msg, m.PeerListRequest):
+        return (U32.pack(msg.channel_id) + _pack_addresses(msg.enclosed)
+                + I64.pack(msg.have_until) + I64.pack(msg.have_from)
+                + U32.pack(msg.request_id))
+    if isinstance(msg, m.PeerListReply):
+        return (U32.pack(msg.channel_id) + _pack_addresses(msg.peers)
+                + I64.pack(msg.have_until) + I64.pack(msg.have_from)
+                + U32.pack(msg.request_id))
+    if isinstance(msg, m.DataRequest):
+        return (U32.pack(msg.channel_id) + I64.pack(msg.chunk)
+                + U16.pack(msg.first) + U16.pack(msg.last)
+                + U32.pack(msg.seq))
+    if isinstance(msg, m.DataReply):
+        return (U32.pack(msg.channel_id) + I64.pack(msg.chunk)
+                + U16.pack(msg.first) + U16.pack(msg.last)
+                + U32.pack(msg.seq) + I64.pack(msg.have_until)
+                + I64.pack(msg.have_from)
+                + U32.pack(msg.payload_bytes)
+                + b"\x00" * msg.payload_bytes)
+    if isinstance(msg, m.DataMiss):
+        return (U32.pack(msg.channel_id) + I64.pack(msg.chunk)
+                + U32.pack(msg.seq) + I64.pack(msg.have_until)
+                + I64.pack(msg.have_from))
+    if isinstance(msg, m.BufferMapAnnounce):
+        return (U32.pack(msg.channel_id) + I64.pack(msg.have_until)
+                + I64.pack(msg.have_from))
+    raise WireError(f"cannot encode {type(msg).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Size (no allocation of the payload)
+# ----------------------------------------------------------------------
+def wire_size(msg: m.Message) -> int:
+    """Exact encoded size of ``msg`` in bytes (== ``len(encode(msg))``)."""
+    header = HEADER.size
+    if isinstance(msg, m.ChannelListRequest):
+        return header
+    if isinstance(msg, m.ChannelListReply):
+        body = 2 + sum(4 + 1 + len(name.encode("utf-8"))
+                       for _cid, name in msg.channels)
+        return header + body
+    if isinstance(msg, (m.PlaylinkRequest, m.TrackerQuery,
+                        m.HelloReject, m.Goodbye)):
+        return header + 4
+    if isinstance(msg, m.PlaylinkReply):
+        return (header + 4 + 1 + len(msg.playlink.encode("utf-8"))
+                + 2 + ADDRESS_BYTES * len(msg.trackers))
+    if isinstance(msg, m.TrackerReply):
+        return header + 4 + 2 + ADDRESS_BYTES * len(msg.peers)
+    if isinstance(msg, (m.Hello, m.HelloAck)):
+        return header + 4 + 8 + 8
+    if isinstance(msg, m.PeerListRequest):
+        return (header + 4 + 2 + ADDRESS_BYTES * len(msg.enclosed)
+                + 8 + 8 + 4)
+    if isinstance(msg, m.PeerListReply):
+        return header + 4 + 2 + ADDRESS_BYTES * len(msg.peers) + 8 + 8 + 4
+    if isinstance(msg, m.DataRequest):
+        return header + 4 + 8 + 2 + 2 + 4
+    if isinstance(msg, m.DataReply):
+        return header + 4 + 8 + 2 + 2 + 4 + 8 + 8 + 4 + msg.payload_bytes
+    if isinstance(msg, m.DataMiss):
+        return header + 4 + 8 + 4 + 8 + 8
+    if isinstance(msg, m.BufferMapAnnounce):
+        return header + 4 + 8 + 8
+    raise WireError(f"cannot size {type(msg).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Decode
+# ----------------------------------------------------------------------
+def decode(data: bytes) -> m.Message:
+    """Parse bytes back into a message object."""
+    if len(data) < HEADER.size:
+        raise WireError("short header")
+    magic, version, type_byte = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported version {version}")
+    offset = HEADER.size
+    decoder = _DECODERS.get(type_byte)
+    if decoder is None:
+        raise WireError(f"unknown message type 0x{type_byte:02x}")
+    return decoder(data, offset)
+
+
+def _decode_channel_list_request(data, offset):
+    return m.ChannelListRequest()
+
+
+def _decode_channel_list_reply(data, offset):
+    (count,) = U16.unpack_from(data, offset)
+    offset += 2
+    channels = []
+    for _ in range(count):
+        (channel_id,) = U32.unpack_from(data, offset)
+        offset += 4
+        name, offset = _unpack_string(data, offset)
+        channels.append((channel_id, name))
+    return m.ChannelListReply(channels=tuple(channels))
+
+
+def _decode_playlink_request(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    return m.PlaylinkRequest(channel_id=channel_id)
+
+
+def _decode_playlink_reply(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    offset += 4
+    playlink, offset = _unpack_string(data, offset)
+    trackers, offset = _unpack_addresses(data, offset)
+    return m.PlaylinkReply(channel_id=channel_id, playlink=playlink,
+                           trackers=trackers)
+
+
+def _decode_tracker_query(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    return m.TrackerQuery(channel_id=channel_id)
+
+
+def _decode_tracker_reply(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    offset += 4
+    peers, offset = _unpack_addresses(data, offset)
+    return m.TrackerReply(channel_id=channel_id, peers=peers)
+
+
+def _decode_hello(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (have_until,) = I64.unpack_from(data, offset + 4)
+    (have_from,) = I64.unpack_from(data, offset + 12)
+    return m.Hello(channel_id=channel_id, have_until=have_until,
+                   have_from=have_from)
+
+
+def _decode_hello_ack(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (have_until,) = I64.unpack_from(data, offset + 4)
+    (have_from,) = I64.unpack_from(data, offset + 12)
+    return m.HelloAck(channel_id=channel_id, have_until=have_until,
+                      have_from=have_from)
+
+
+def _decode_hello_reject(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    return m.HelloReject(channel_id=channel_id)
+
+
+def _decode_goodbye(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    return m.Goodbye(channel_id=channel_id)
+
+
+def _decode_peer_list_request(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    offset += 4
+    enclosed, offset = _unpack_addresses(data, offset)
+    (have_until,) = I64.unpack_from(data, offset)
+    offset += 8
+    (have_from,) = I64.unpack_from(data, offset)
+    offset += 8
+    (request_id,) = U32.unpack_from(data, offset)
+    return m.PeerListRequest(channel_id=channel_id, enclosed=enclosed,
+                             have_until=have_until, have_from=have_from,
+                             request_id=request_id)
+
+
+def _decode_peer_list_reply(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    offset += 4
+    peers, offset = _unpack_addresses(data, offset)
+    (have_until,) = I64.unpack_from(data, offset)
+    offset += 8
+    (have_from,) = I64.unpack_from(data, offset)
+    offset += 8
+    (request_id,) = U32.unpack_from(data, offset)
+    return m.PeerListReply(channel_id=channel_id, peers=peers,
+                           have_until=have_until, have_from=have_from,
+                           request_id=request_id)
+
+
+def _decode_data_request(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (chunk,) = I64.unpack_from(data, offset + 4)
+    (first,) = U16.unpack_from(data, offset + 12)
+    (last,) = U16.unpack_from(data, offset + 14)
+    (seq,) = U32.unpack_from(data, offset + 16)
+    return m.DataRequest(channel_id=channel_id, chunk=chunk, first=first,
+                         last=last, seq=seq)
+
+
+def _decode_data_reply(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (chunk,) = I64.unpack_from(data, offset + 4)
+    (first,) = U16.unpack_from(data, offset + 12)
+    (last,) = U16.unpack_from(data, offset + 14)
+    (seq,) = U32.unpack_from(data, offset + 16)
+    (have_until,) = I64.unpack_from(data, offset + 20)
+    (have_from,) = I64.unpack_from(data, offset + 28)
+    (payload_bytes,) = U32.unpack_from(data, offset + 36)
+    return m.DataReply(channel_id=channel_id, chunk=chunk, first=first,
+                       last=last, seq=seq, have_until=have_until,
+                       have_from=have_from, payload_bytes=payload_bytes)
+
+
+def _decode_buffer_map(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (have_until,) = I64.unpack_from(data, offset + 4)
+    (have_from,) = I64.unpack_from(data, offset + 12)
+    return m.BufferMapAnnounce(channel_id=channel_id,
+                               have_until=have_until, have_from=have_from)
+
+
+def _decode_data_miss(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (chunk,) = I64.unpack_from(data, offset + 4)
+    (seq,) = U32.unpack_from(data, offset + 12)
+    (have_until,) = I64.unpack_from(data, offset + 16)
+    (have_from,) = I64.unpack_from(data, offset + 24)
+    return m.DataMiss(channel_id=channel_id, chunk=chunk, seq=seq,
+                      have_until=have_until, have_from=have_from)
+
+
+_DECODERS = {
+    m.ChannelListRequest.TYPE: _decode_channel_list_request,
+    m.ChannelListReply.TYPE: _decode_channel_list_reply,
+    m.PlaylinkRequest.TYPE: _decode_playlink_request,
+    m.PlaylinkReply.TYPE: _decode_playlink_reply,
+    m.TrackerQuery.TYPE: _decode_tracker_query,
+    m.TrackerReply.TYPE: _decode_tracker_reply,
+    m.Hello.TYPE: _decode_hello,
+    m.HelloAck.TYPE: _decode_hello_ack,
+    m.HelloReject.TYPE: _decode_hello_reject,
+    m.Goodbye.TYPE: _decode_goodbye,
+    m.PeerListRequest.TYPE: _decode_peer_list_request,
+    m.PeerListReply.TYPE: _decode_peer_list_reply,
+    m.DataRequest.TYPE: _decode_data_request,
+    m.DataReply.TYPE: _decode_data_reply,
+    m.DataMiss.TYPE: _decode_data_miss,
+    m.BufferMapAnnounce.TYPE: _decode_buffer_map,
+}

@@ -1,0 +1,37 @@
+"""Simulated wall clock.
+
+A tiny object rather than a bare float so that every component holding a
+reference observes the same monotonically advancing time, and so tests can
+assert on monotonicity violations early instead of debugging causality
+bugs downstream.
+"""
+
+from __future__ import annotations
+
+from .errors import SchedulingError
+
+
+class Clock:
+    """Monotonic simulated time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SchedulingError(f"clock cannot start at {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to ``time`` (never backwards)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"clock cannot move backwards: {self._now} -> {time}")
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Clock t={self._now:.6f}>"

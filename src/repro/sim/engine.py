@@ -1,0 +1,188 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock, the pending-event queue, and the master
+random-number router.  Model components schedule callbacks with
+:meth:`call_at` / :meth:`call_after`, create repeating timers with
+:meth:`every`, and read the current time from :attr:`now`.
+
+The engine is single-threaded and deterministic: with the same seed and
+the same model code, two runs produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .clock import Clock
+from .errors import EngineStoppedError, SchedulingError
+from .events import Event, EventQueue
+from .random import RandomRouter
+
+
+class Timer:
+    """A repeating timer created by :meth:`Simulator.every`.
+
+    The callback may call :meth:`stop` (or the engine may stop) to end the
+    series.  ``jitter_fn``, when provided, is called before each rearm and
+    its return value is added to the period — used by protocol code to
+    de-synchronise gossip rounds across peers.
+    """
+
+    __slots__ = ("_sim", "_period", "_callback", "_jitter_fn",
+                 "_event", "_stopped")
+
+    def __init__(self, sim: "Simulator", period: float,
+                 callback: Callable[[], Any],
+                 jitter_fn: Optional[Callable[[], float]] = None) -> None:
+        if period <= 0:
+            raise SchedulingError(f"timer period must be positive: {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter_fn = jitter_fn
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self._arm()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Cancel the timer; the callback will not fire again."""
+        self._stopped = True
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _arm(self) -> None:
+        delay = self._period
+        if self._jitter_fn is not None:
+            delay = max(1e-9, delay + self._jitter_fn())
+        self._event = self._sim.call_after(delay, self._fire,
+                                           label="timer")
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._arm()
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = Clock(start_time)
+        self.queue = EventQueue()
+        self.random = RandomRouter(seed)
+        self.seed = seed
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[[], Any],
+                label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if self._stopped:
+            raise EngineStoppedError("cannot schedule on a stopped engine")
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at {time:.6f}, now is {self.now:.6f}")
+        return self.queue.schedule(time, callback, label)
+
+    def call_after(self, delay: float, callback: Callable[[], Any],
+                   label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` seconds (>= 0)."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, callback, label)
+
+    def every(self, period: float, callback: Callable[[], Any],
+              jitter_fn: Optional[Callable[[], float]] = None) -> Timer:
+        """Create a repeating :class:`Timer` firing every ``period`` seconds."""
+        return Timer(self, period, callback, jitter_fn)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        callback = event.callback
+        self.events_executed += 1
+        if callback is not None:
+            callback()
+        return True
+
+    def run_until(self, end_time: float,
+                  max_events: Optional[int] = None) -> int:
+        """Run events with timestamps <= ``end_time``.
+
+        Returns the number of events executed.  The clock is left at
+        ``end_time`` even if the queue drains earlier, so back-to-back
+        ``run_until`` calls observe contiguous time.
+        """
+        if end_time < self.now:
+            raise SchedulingError(
+                f"end_time {end_time:.6f} is before now {self.now:.6f}")
+        executed = 0
+        self._running = True
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        self.clock.advance_to(end_time)
+        return executed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue is empty (or ``max_events`` is reached)."""
+        executed = 0
+        self._running = True
+        try:
+            while self.step():
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Permanently stop the engine and drop all pending events."""
+        self._stopped = True
+        self.queue.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self.now:.3f} pending={len(self.queue)} "
+                f"executed={self.events_executed}>")

@@ -1,0 +1,110 @@
+"""Event objects and the pending-event queue.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
+number is a global monotonic counter, which gives two guarantees that the
+rest of the simulator relies on:
+
+* events at the same timestamp fire in the order they were scheduled
+  (FIFO tie-breaking), and
+* the execution order is fully deterministic for a fixed seed, because it
+  never depends on object identity or hash ordering.
+
+Events can be cancelled in O(1); cancelled entries are skipped lazily when
+popped, which is the standard "tombstone" technique from the ``heapq``
+documentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are handed back from :meth:`EventQueue.schedule` so callers
+    can cancel the event later.  ``callback`` is invoked with no arguments
+    when the event fires.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], Any], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], Any]] = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+        # Drop the reference so cancelled events do not pin closures (and
+        # everything they capture) in memory until they surface in the heap.
+        self.callback = None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        label = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}{label}>"
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, callback: Callable[[], Any],
+                 label: str = "") -> Event:
+        """Enqueue ``callback`` to fire at absolute ``time``."""
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` if it has not fired yet."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,105 @@
+"""Generator-based simulation processes.
+
+Callback scheduling is enough for most of the protocol code, but some
+behaviours (session scripts in the workload generator, multi-step probe
+scenarios) read far more naturally as sequential coroutines::
+
+    def session(env):
+        yield Sleep(5.0)        # join after five seconds
+        peer.start()
+        yield Sleep(7200.0)     # watch for two hours
+        peer.leave()
+
+    spawn(sim, session)
+
+A process is a generator that yields :class:`Sleep` commands (or bare
+floats, treated as sleep durations).  ``spawn`` drives it on the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Union
+
+from .engine import Simulator
+from .errors import ProcessError
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Suspend the process for ``duration`` simulated seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ProcessError(f"negative sleep: {self.duration}")
+
+
+Command = Union[Sleep, float, int]
+ProcessGenerator = Generator[Command, None, None]
+
+
+class Process:
+    """Handle for a spawned process; supports cancellation and completion."""
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator,
+                 name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.cancelled = False
+        self.error: Optional[BaseException] = None
+        self._pending_event: Any = None
+
+    @property
+    def alive(self) -> bool:
+        return not (self.finished or self.cancelled)
+
+    def cancel(self) -> None:
+        """Stop the process; its generator is closed immediately."""
+        if not self.alive:
+            return
+        self.cancelled = True
+        if self._pending_event is not None:
+            self._sim.cancel(self._pending_event)
+            self._pending_event = None
+        self._generator.close()
+
+    def _advance(self) -> None:
+        self._pending_event = None
+        if not self.alive:
+            return
+        try:
+            command = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return
+        except BaseException as exc:
+            self.finished = True
+            self.error = exc
+            raise
+        self._schedule(command)
+
+    def _schedule(self, command: Command) -> None:
+        if isinstance(command, (int, float)):
+            command = Sleep(float(command))
+        if not isinstance(command, Sleep):
+            raise ProcessError(
+                f"process {self.name!r} yielded unsupported {command!r}")
+        self._pending_event = self._sim.call_after(
+            command.duration, self._advance, label=f"process:{self.name}")
+
+
+def spawn(sim: Simulator,
+          fn: Callable[..., ProcessGenerator],
+          *args: Any,
+          name: str = "",
+          delay: float = 0.0,
+          **kwargs: Any) -> Process:
+    """Start ``fn(*args, **kwargs)`` as a process after ``delay`` seconds."""
+    generator = fn(*args, **kwargs)
+    process = Process(sim, generator, name or getattr(fn, "__name__", ""))
+    sim.call_after(delay, process._advance, label=f"spawn:{process.name}")
+    return process

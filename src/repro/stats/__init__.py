@@ -1,0 +1,33 @@
+"""Statistics toolkit (S9): SE/Zipf rank fits, CDFs, correlations."""
+
+from .bootstrap import (BootstrapEstimate, bootstrap_ci, bootstrap_mean,
+                        bootstrap_share, transaction_locality_ci)
+from .cdf import (contribution_cdf, empirical_ccdf, empirical_cdf,
+                  top_fraction_share)
+from .correlation import log_linear_fit, log_log_correlation, pearson
+from .fitting import LinearFit, least_squares_line, r_squared, rank_values
+from .se import (StretchedExponentialFit, fit_stretched_exponential,
+                 se_rank_curve, weibull_ccdf)
+from .zipf import ZipfFit, fit_zipf
+
+__all__ = [
+    "LinearFit",
+    "least_squares_line",
+    "r_squared",
+    "rank_values",
+    "StretchedExponentialFit",
+    "fit_stretched_exponential",
+    "se_rank_curve",
+    "weibull_ccdf",
+    "ZipfFit",
+    "fit_zipf",
+    "empirical_cdf",
+    "empirical_ccdf",
+    "contribution_cdf",
+    "top_fraction_share",
+    "pearson",
+    "log_log_correlation",
+    "log_linear_fit",
+    "BootstrapEstimate", "bootstrap_ci", "bootstrap_mean",
+    "bootstrap_share", "transaction_locality_ci",
+]

@@ -1,0 +1,113 @@
+"""Bootstrap resampling for uncertainty estimates.
+
+Single-probe session statistics (locality percentages, top-10 % shares,
+correlations) are point estimates over a few hundred transactions; the
+bootstrap gives them honest error bars without distributional
+assumptions.  Used by the multi-seed aggregation layer and available
+directly for custom analyses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BootstrapEstimate:
+    """A statistic with a percentile-bootstrap confidence interval."""
+
+    value: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def __str__(self) -> str:
+        return (f"{self.value:.4f} "
+                f"[{self.low:.4f}, {self.high:.4f}]@{self.confidence:.0%}")
+
+
+def bootstrap_ci(samples: Sequence[T],
+                 statistic: Callable[[Sequence[T]], float],
+                 rng: random.Random,
+                 resamples: int = 1000,
+                 confidence: float = 0.95) -> BootstrapEstimate:
+    """Percentile-bootstrap CI of ``statistic`` over ``samples``.
+
+    The statistic is evaluated on the original data (the point estimate)
+    and on ``resamples`` resamples-with-replacement; the interval is the
+    matching percentile range of the resampled values.
+    """
+    if not samples:
+        raise ValueError("cannot bootstrap from no samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    data = list(samples)
+    n = len(data)
+    point = float(statistic(data))
+    values: List[float] = []
+    for _ in range(resamples):
+        resample = [data[rng.randrange(n)] for _ in range(n)]
+        values.append(float(statistic(resample)))
+    values.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, int(alpha * resamples) - 1)
+    high_index = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return BootstrapEstimate(value=point, low=values[low_index],
+                             high=values[high_index],
+                             confidence=confidence, resamples=resamples)
+
+
+def bootstrap_mean(samples: Sequence[float], rng: random.Random,
+                   resamples: int = 1000,
+                   confidence: float = 0.95) -> BootstrapEstimate:
+    """Shorthand: CI of the mean."""
+    return bootstrap_ci(samples,
+                        lambda xs: sum(xs) / len(xs),
+                        rng, resamples, confidence)
+
+
+def bootstrap_share(flags: Sequence[bool], rng: random.Random,
+                    resamples: int = 1000,
+                    confidence: float = 0.95) -> BootstrapEstimate:
+    """CI of a proportion (e.g. share of same-ISP transactions)."""
+    return bootstrap_ci(flags,
+                        lambda xs: sum(1 for x in xs if x) / len(xs),
+                        rng, resamples, confidence)
+
+
+def transaction_locality_ci(transactions, directory, own_category,
+                            rng: random.Random,
+                            infrastructure: frozenset = frozenset(),
+                            resamples: int = 500) -> Optional[
+                                BootstrapEstimate]:
+    """Bootstrap CI of byte-weighted traffic locality for one session.
+
+    Resamples whole transactions, so burstiness in transaction sizes is
+    reflected in the interval.  Returns ``None`` when there is no
+    eligible traffic.
+    """
+    rows = [(t.payload_bytes,
+             directory.category_of(t.remote) is own_category)
+            for t in transactions if t.remote not in infrastructure]
+    rows = [(size, own) for size, own in rows if size > 0]
+    if not rows:
+        return None
+
+    def weighted_share(sample):
+        total = sum(size for size, _own in sample)
+        if total == 0:
+            return 0.0
+        return sum(size for size, own in sample if own) / total
+
+    return bootstrap_ci(rows, weighted_share, rng, resamples)

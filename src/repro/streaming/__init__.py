@@ -1,0 +1,17 @@
+"""Live-video streaming substrate (S4): chunks, channels, buffers, playback."""
+
+from .buffer import ChunkBuffer
+from .chunks import (SUBPIECE_LARGE, SUBPIECE_SMALL, ChunkGeometry)
+from .playback import PlaybackMonitor, PlayerState
+from .video import LiveChannel, Popularity
+
+__all__ = [
+    "ChunkGeometry",
+    "SUBPIECE_LARGE",
+    "SUBPIECE_SMALL",
+    "ChunkBuffer",
+    "PlaybackMonitor",
+    "PlayerState",
+    "LiveChannel",
+    "Popularity",
+]

@@ -1,0 +1,133 @@
+"""Receiver-side chunk buffer.
+
+Tracks which sub-pieces of which chunks have arrived, maintains the
+highest *contiguous* complete chunk (what the peer can advertise and can
+play), and evicts chunks far behind the playout point so memory stays
+bounded over a multi-hour session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from .chunks import ChunkGeometry
+
+
+class ChunkBuffer:
+    """Sub-piece-accurate receive buffer for one live session."""
+
+    def __init__(self, geometry: ChunkGeometry,
+                 first_chunk: int, keep_behind: int = 32) -> None:
+        if keep_behind < 1:
+            raise ValueError("keep_behind must be >= 1")
+        self.geometry = geometry
+        self.first_chunk = first_chunk
+        self.keep_behind = keep_behind
+        #: Highest chunk index such that every chunk in
+        #: [first_chunk, have_until] is complete; first_chunk-1 when none.
+        self.have_until = first_chunk - 1
+        #: Partially received chunks: chunk -> set of received sub-pieces.
+        self._partial: Dict[int, Set[int]] = {}
+        #: Complete chunks above the contiguous frontier.
+        self._complete_ahead: Set[int] = set()
+        self.bytes_received = 0
+        self.duplicate_subpieces = 0
+        self.chunks_completed = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_chunk(self, chunk: int) -> bool:
+        """True when every sub-piece of ``chunk`` has arrived."""
+        if chunk < self.first_chunk:
+            return False
+        return chunk <= self.have_until or chunk in self._complete_ahead
+
+    def has_subpiece(self, chunk: int, subpiece: int) -> bool:
+        if self.has_chunk(chunk):
+            return True
+        return subpiece in self._partial.get(chunk, ())
+
+    def missing_subpieces(self, chunk: int) -> list:
+        """Sub-piece indices of ``chunk`` not yet received, ascending."""
+        if self.has_chunk(chunk):
+            return []
+        total = self.geometry.subpieces_per_chunk
+        received = self._partial.get(chunk)
+        if not received:
+            # Untouched chunk — the scheduler's common case.
+            return list(range(total))
+        return [i for i in range(total) if i not in received]
+
+    def completion(self, chunk: int) -> float:
+        """Fraction of ``chunk``'s sub-pieces received, in [0, 1]."""
+        if self.has_chunk(chunk):
+            return 1.0
+        received = len(self._partial.get(chunk, ()))
+        return received / self.geometry.subpieces_per_chunk
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_subpiece(self, chunk: int, subpiece: int) -> bool:
+        """Record one received sub-piece.  Returns True if it was new."""
+        total = self.geometry.subpieces_per_chunk
+        if not 0 <= subpiece < total:
+            raise IndexError(f"sub-piece {subpiece} out of range 0..{total-1}")
+        if chunk < self.first_chunk or self.has_subpiece(chunk, subpiece):
+            self.duplicate_subpieces += 1
+            return False
+        received = self._partial.setdefault(chunk, set())
+        received.add(subpiece)
+        self.bytes_received += self.geometry.subpiece_size(subpiece)
+        if len(received) == total:
+            del self._partial[chunk]
+            self._complete_ahead.add(chunk)
+            self.chunks_completed += 1
+            self._advance_frontier()
+        return True
+
+    def add_range(self, chunk: int, first: int, last: int) -> int:
+        """Record sub-pieces ``first..last`` inclusive; returns #new ones."""
+        added = 0
+        for subpiece in range(first, last + 1):
+            if self.add_subpiece(chunk, subpiece):
+                added += 1
+        return added
+
+    def _advance_frontier(self) -> None:
+        while self.have_until + 1 in self._complete_ahead:
+            self._complete_ahead.discard(self.have_until + 1)
+            self.have_until += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def evict_before(self, playout_chunk: int) -> int:
+        """Drop partial state far behind playout; returns #chunks dropped.
+
+        Complete chunks are summarised by ``have_until`` so only partial
+        and ahead-of-frontier bookkeeping needs eviction.
+        """
+        horizon = playout_chunk - self.keep_behind
+        stale = [c for c in self._partial if c < horizon]
+        for chunk in stale:
+            del self._partial[chunk]
+        # A partial chunk behind playout will never complete: advance the
+        # frontier past it so scheduling stops considering it.
+        if self.have_until < horizon:
+            self.have_until = horizon
+            self._advance_frontier()
+        return len(stale)
+
+    def partial_chunks(self) -> Iterable[int]:
+        return self._partial.keys()
+
+    def advertised_have(self) -> int:
+        """The availability this peer advertises to neighbors."""
+        return self.have_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ChunkBuffer have_until={self.have_until} "
+                f"partial={len(self._partial)} "
+                f"ahead={len(self._complete_ahead)}>")

@@ -1,0 +1,84 @@
+"""Chunk and sub-piece geometry of a live stream.
+
+PPLive divides the video into chunks, "which may be further divided into
+smaller sub-pieces of 1380 or 690 bytes each" (paper, Section 2).  A
+:class:`ChunkGeometry` fixes, for one channel: the stream bitrate, the
+chunk duration, the sub-piece size, and therefore how many sub-pieces a
+chunk contains and which chunk is at the live edge at any instant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The two sub-piece sizes observed on the wire (bytes).
+SUBPIECE_LARGE = 1380
+SUBPIECE_SMALL = 690
+
+
+@dataclass(frozen=True)
+class ChunkGeometry:
+    """Static layout of one channel's stream."""
+
+    bitrate_bps: float = 384_000.0
+    chunk_seconds: float = 4.0
+    subpiece_bytes: int = SUBPIECE_LARGE
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if self.chunk_seconds <= 0:
+            raise ValueError("chunk duration must be positive")
+        if self.subpiece_bytes not in (SUBPIECE_LARGE, SUBPIECE_SMALL):
+            raise ValueError(
+                f"sub-piece size must be {SUBPIECE_LARGE} or "
+                f"{SUBPIECE_SMALL}, got {self.subpiece_bytes}")
+        # The geometry is immutable and these two values sit on the
+        # simulator's hottest path — precompute them once.
+        chunk_bytes = int(self.bitrate_bps * self.chunk_seconds / 8.0)
+        object.__setattr__(self, "_chunk_bytes", chunk_bytes)
+        object.__setattr__(
+            self, "_subpieces_per_chunk",
+            max(1, math.ceil(chunk_bytes / self.subpiece_bytes)))
+
+    @property
+    def chunk_bytes(self) -> int:
+        """Payload bytes of one complete chunk."""
+        return self._chunk_bytes
+
+    @property
+    def subpieces_per_chunk(self) -> int:
+        """Number of sub-pieces in one chunk (last one may be short)."""
+        return self._subpieces_per_chunk
+
+    def subpiece_size(self, index: int) -> int:
+        """Size in bytes of sub-piece ``index`` within a chunk."""
+        if not 0 <= index < self.subpieces_per_chunk:
+            raise IndexError(f"sub-piece {index} out of range")
+        if index < self.subpieces_per_chunk - 1:
+            return self.subpiece_bytes
+        remainder = self.chunk_bytes - self.subpiece_bytes * index
+        return remainder if remainder > 0 else self.subpiece_bytes
+
+    def range_bytes(self, first: int, last: int) -> int:
+        """Total bytes of sub-pieces ``first..last`` inclusive."""
+        if first > last:
+            raise ValueError(f"empty range {first}..{last}")
+        return sum(self.subpiece_size(i) for i in range(first, last + 1))
+
+    def live_chunk(self, now: float, channel_start: float = 0.0) -> int:
+        """Index of the newest *complete* chunk at simulated time ``now``.
+
+        Chunk ``k`` covers stream time ``[k*d, (k+1)*d)`` and becomes
+        available at the source once fully generated, i.e. at
+        ``channel_start + (k+1)*d``.  Returns -1 before the first chunk
+        completes.
+        """
+        elapsed = now - channel_start
+        return math.floor(elapsed / self.chunk_seconds) - 1
+
+    def chunk_playout_time(self, chunk: int, playout_start: float,
+                           first_chunk: int) -> float:
+        """Wall-clock time at which ``chunk`` must be ready for playout."""
+        return playout_start + (chunk - first_chunk) * self.chunk_seconds

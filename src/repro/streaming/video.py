@@ -1,0 +1,48 @@
+"""Live channels.
+
+A :class:`LiveChannel` is the unit a viewer joins: it has an id, a
+human-readable name, a :class:`ChunkGeometry`, a popularity rating (the
+rough analogue of PPLive's access-count-based channel rating), and the
+simulated time at which its broadcast started.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .chunks import ChunkGeometry
+
+
+class Popularity(enum.Enum):
+    """Coarse channel rating, mirroring the paper's popular/unpopular split."""
+
+    POPULAR = "popular"
+    UNPOPULAR = "unpopular"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LiveChannel:
+    """One live-streaming channel."""
+
+    channel_id: int
+    name: str
+    popularity: Popularity = Popularity.POPULAR
+    geometry: ChunkGeometry = field(default_factory=ChunkGeometry)
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channel_id < 0:
+            raise ValueError("channel id must be non-negative")
+        if not self.name:
+            raise ValueError("channel needs a name")
+
+    def live_chunk(self, now: float) -> int:
+        """Newest complete chunk index at time ``now`` (-1 if none yet)."""
+        return self.geometry.live_chunk(now, self.start_time)
+
+    def __str__(self) -> str:
+        return f"#{self.channel_id} {self.name} ({self.popularity})"

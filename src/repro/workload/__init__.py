@@ -1,0 +1,30 @@
+"""Workload generation (S10): mixes, churn, diurnal patterns, scenarios."""
+
+from .campaign import (CampaignConfig, CampaignResult, DailyLocality,
+                       run_campaign)
+from .churn import ChurnModel, PopulationManager
+from .diurnal import (DiurnalPattern, SECONDS_PER_DAY,
+                      session_start_seconds)
+from .popularity import (CategoryMix, PopulationMix, mix_for,
+                         popular_channel_mix, unpopular_channel_mix)
+from .scenario import (CER_PROBE, CNC_PROBE, MASON_PROBE, TELE_PROBE,
+                       Deployment, ProbeResult, ProbeSpec, ScenarioConfig,
+                       SessionResult, SessionScenario, run_session)
+from .multichannel import (ChannelResult, ChannelSpec,
+                           MultiChannelResult, MultiChannelScenario,
+                           paper_channel_pair)
+from .synthetic import SyntheticWorkloadModel, synthetic_category_of
+
+__all__ = [
+    "PopulationMix", "CategoryMix", "popular_channel_mix",
+    "unpopular_channel_mix", "mix_for",
+    "ChurnModel", "PopulationManager",
+    "DiurnalPattern", "SECONDS_PER_DAY", "session_start_seconds",
+    "ScenarioConfig", "SessionScenario", "SessionResult", "Deployment",
+    "ProbeSpec", "ProbeResult", "run_session",
+    "TELE_PROBE", "CNC_PROBE", "CER_PROBE", "MASON_PROBE",
+    "CampaignConfig", "CampaignResult", "DailyLocality", "run_campaign",
+    "SyntheticWorkloadModel", "synthetic_category_of",
+    "MultiChannelScenario", "MultiChannelResult", "ChannelSpec",
+    "ChannelResult", "paper_channel_pair",
+]

@@ -1,0 +1,116 @@
+"""Peer churn: arrivals, session durations, departures.
+
+Live-streaming audiences are far more volatile than file-sharing swarms:
+viewers zap in and out.  The churn model keeps a channel's concurrent
+audience near a target size by replacing departures with fresh arrivals,
+with log-normal session durations (heavy-tailed, as every IPTV
+measurement study finds) and a small probability of *silent* departures
+(crashes) that exercise the protocol's timeout paths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Statistical shape of viewer sessions."""
+
+    #: Median session length in seconds (log-normal).
+    median_session: float = 1500.0
+    #: Log-normal sigma of session lengths.
+    session_sigma: float = 0.9
+    #: Minimum session length (zapping away almost immediately).
+    min_session: float = 120.0
+    #: Probability a departure is silent (no Goodbye messages).
+    crash_probability: float = 0.15
+
+    def sample_session(self, rng: random.Random) -> float:
+        # mu = ln(median) gives a log-normal with the requested median.
+        duration = rng.lognormvariate(
+            math.log(self.median_session), self.session_sigma)
+        return max(duration, self.min_session)
+
+    def is_crash(self, rng: random.Random) -> bool:
+        return rng.random() < self.crash_probability
+
+
+class PopulationManager:
+    """Keeps a swarm near a target size with churned viewers.
+
+    ``spawn_viewer`` is a factory supplied by the scenario: it creates,
+    joins and returns a fresh peer.  The manager only decides *when*
+    viewers come and go.
+    """
+
+    def __init__(self, sim: Simulator, target_size: int,
+                 spawn_viewer: Callable[[], object],
+                 churn: Optional[ChurnModel] = None,
+                 ramp_seconds: float = 120.0,
+                 replace_departures: bool = True) -> None:
+        if target_size < 1:
+            raise ValueError("target_size must be >= 1")
+        self.sim = sim
+        self.target_size = target_size
+        self.spawn_viewer = spawn_viewer
+        self.churn = churn if churn is not None else ChurnModel()
+        self.ramp_seconds = ramp_seconds
+        self.replace_departures = replace_departures
+        self._rng = sim.random.stream("population")
+        self._stopped = False
+        self.active: List[object] = []
+        self.total_spawned = 0
+        self.total_departed = 0
+        self.total_crashed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the initial audience, staggered over the ramp window."""
+        for _ in range(self.target_size):
+            delay = self._rng.uniform(0.0, self.ramp_seconds)
+            self.sim.call_after(delay, self._arrive, label="viewer-arrive")
+
+    def stop(self) -> None:
+        """Stop replacing departures (scenario is winding down)."""
+        self._stopped = True
+
+    @property
+    def active_count(self) -> int:
+        return len(self.active)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        viewer = self.spawn_viewer()
+        self.active.append(viewer)
+        self.total_spawned += 1
+        duration = self.churn.sample_session(self._rng)
+        self.sim.call_after(duration, lambda: self._depart(viewer),
+                            label="viewer-depart")
+
+    def _depart(self, viewer: object) -> None:
+        if viewer not in self.active:
+            return
+        self.active.remove(viewer)
+        self.total_departed += 1
+        if self.churn.is_crash(self._rng):
+            self.total_crashed += 1
+            viewer.crash()
+        else:
+            viewer.leave()
+        if self.replace_departures and not self._stopped:
+            # A replacement arrives after a short think time, keeping the
+            # concurrent audience hovering around the target.
+            delay = self._rng.uniform(1.0, 30.0)
+            self.sim.call_after(delay, self._arrive, label="viewer-arrive")

@@ -1,0 +1,73 @@
+"""Diurnal viewing pattern.
+
+The paper measured "during peak and non-peak hours"; its 2-hour featured
+session starts at 8:30 PM, "the peak time for PPLive users in China"
+(per Hei et al.).  The diurnal model scales a channel's nominal audience
+by the time of day, peaking in the evening and bottoming out in the
+early morning, so campaign experiments can place sessions realistically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_DAY = 86_400.0
+#: Peak viewing time: 20:30 local (in seconds from midnight).
+PEAK_SECONDS = 20.5 * 3600.0
+#: Quietest time: around 05:00.
+TROUGH_SECONDS = 5.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """Smooth day-cycle multiplier for audience size.
+
+    ``factor`` follows a raised cosine between ``trough_level`` (at ~5 AM)
+    and 1.0 (at ~8:30 PM).  A weekly modulation can be layered on top for
+    weekend bumps.
+    """
+
+    trough_level: float = 0.25
+    weekend_boost: float = 1.15
+
+    def __post_init__(self) -> None:
+        if not 0 < self.trough_level <= 1:
+            raise ValueError("trough_level must be in (0, 1]")
+        if self.weekend_boost < 1:
+            raise ValueError("weekend_boost must be >= 1")
+
+    def factor(self, time_seconds: float) -> float:
+        """Audience multiplier in (0, weekend_boost] at absolute time.
+
+        ``time_seconds`` is seconds since the campaign epoch (day 0,
+        midnight); day 0 is taken to be a Saturday, matching the paper's
+        Oct 11 2008 start date.
+        """
+        seconds_of_day = time_seconds % SECONDS_PER_DAY
+        phase = 2.0 * math.pi * (seconds_of_day - PEAK_SECONDS) / SECONDS_PER_DAY
+        # cos(0) = 1 at the peak; scale into [trough_level, 1].
+        base = (self.trough_level
+                + (1.0 - self.trough_level) * (1.0 + math.cos(phase)) / 2.0)
+        if self.is_weekend(time_seconds):
+            base = min(base * self.weekend_boost, self.weekend_boost)
+        return base
+
+    @staticmethod
+    def day_index(time_seconds: float) -> int:
+        """Day number since the campaign epoch (0-based)."""
+        return int(time_seconds // SECONDS_PER_DAY)
+
+    @classmethod
+    def is_weekend(cls, time_seconds: float) -> bool:
+        """Day 0 = Saturday 2008-10-11, so days 0,1,7,8,... are weekends."""
+        return cls.day_index(time_seconds) % 7 in (0, 1)
+
+
+def session_start_seconds(day: int, hour: float = 20.5) -> float:
+    """Campaign-relative start time for a session on ``day`` at ``hour``."""
+    if day < 0:
+        raise ValueError("day must be >= 0")
+    if not 0 <= hour < 24:
+        raise ValueError("hour must be in [0, 24)")
+    return day * SECONDS_PER_DAY + hour * 3600.0

@@ -1,0 +1,239 @@
+"""Multi-channel deployments.
+
+PPLive broadcast 150+ channels over one bootstrap server and one set of
+tracker groups, and the authors measured the popular and the unpopular
+program *simultaneously*.  :class:`MultiChannelScenario` reproduces that
+setup: one simulated Internet, one bootstrap, the five shared tracker
+groups, and then per channel a source server, an audience, and
+optionally instrumented probes — so cross-channel effects (shared
+tracker registries, shared infrastructure load) are modelled rather than
+assumed away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..capture.matching import match_all
+from ..capture.sniffer import ProbeSniffer
+from ..protocol.config import ProtocolConfig
+from ..protocol.peer import PPLivePeer
+from ..protocol.source import SourceServer
+from ..sim.engine import Simulator
+from ..streaming.chunks import ChunkGeometry
+from ..streaming.video import LiveChannel, Popularity
+from .churn import ChurnModel, PopulationManager
+from .popularity import (PopulationMix, popular_channel_mix,
+                         unpopular_channel_mix)
+from .scenario import (Deployment, ProbeResult, ProbeSpec, ScenarioConfig,
+                       SessionScenario, TELE_PROBE, MASON_PROBE)
+
+
+@dataclass
+class ChannelSpec:
+    """One broadcast channel and its audience."""
+
+    name: str
+    popularity: Popularity
+    mix: PopulationMix
+    population: int
+    probes: Tuple[ProbeSpec, ...] = ()
+    geometry: ChunkGeometry = field(default_factory=ChunkGeometry)
+
+
+def paper_channel_pair(popular_population: int = 60,
+                       unpopular_population: int = 20,
+                       include_probes: bool = True) -> List[ChannelSpec]:
+    """The paper's measurement setup: one popular + one unpopular
+    program, with TELE and Mason probes on each."""
+    probes_popular: Tuple[ProbeSpec, ...] = ()
+    probes_unpopular: Tuple[ProbeSpec, ...] = ()
+    if include_probes:
+        import dataclasses
+        probes_popular = (
+            dataclasses.replace(TELE_PROBE, name="tele-popular"),
+            dataclasses.replace(MASON_PROBE, name="mason-popular"))
+        probes_unpopular = (
+            dataclasses.replace(TELE_PROBE, name="tele-unpopular"),
+            dataclasses.replace(MASON_PROBE, name="mason-unpopular"))
+    return [
+        ChannelSpec(name="popular-program",
+                    popularity=Popularity.POPULAR,
+                    mix=popular_channel_mix(),
+                    population=popular_population,
+                    probes=probes_popular),
+        ChannelSpec(name="unpopular-program",
+                    popularity=Popularity.UNPOPULAR,
+                    mix=unpopular_channel_mix(),
+                    population=unpopular_population,
+                    probes=probes_unpopular),
+    ]
+
+
+@dataclass
+class ChannelResult:
+    """Everything one channel produced."""
+
+    spec: ChannelSpec
+    channel: LiveChannel
+    source: SourceServer
+    population: PopulationManager
+    probes: Dict[str, ProbeResult]
+
+
+@dataclass
+class MultiChannelResult:
+    """The finished multi-channel world."""
+
+    deployment: Deployment
+    channels: Dict[int, ChannelResult]
+
+    @property
+    def directory(self):
+        return self.deployment.internet.directory
+
+    @property
+    def infrastructure(self) -> frozenset:
+        addresses = set(self.deployment.infrastructure_addresses)
+        for channel in self.channels.values():
+            addresses.add(channel.source.address)
+        return frozenset(addresses)
+
+    def probe(self, name: str) -> ProbeResult:
+        for channel in self.channels.values():
+            if name in channel.probes:
+                return channel.probes[name]
+        raise KeyError(f"no probe named {name!r}")
+
+    def probe_names(self) -> List[str]:
+        return [name for channel in self.channels.values()
+                for name in channel.probes]
+
+
+class MultiChannelScenario:
+    """Runs several channels over one shared deployment."""
+
+    def __init__(self, channels: Sequence[ChannelSpec],
+                 seed: int = 7, warmup: float = 200.0,
+                 duration: float = 900.0,
+                 protocol: Optional[ProtocolConfig] = None,
+                 churn: Optional[ChurnModel] = None,
+                 source_uplink_share: float = 0.35) -> None:
+        if not channels:
+            raise ValueError("need at least one channel")
+        self.channels = list(channels)
+        self.seed = seed
+        self.warmup = warmup
+        self.duration = duration
+        self.protocol = protocol if protocol is not None \
+            else ProtocolConfig()
+        self.churn = churn if churn is not None else ChurnModel()
+        self.source_uplink_share = source_uplink_share
+
+    def run(self) -> MultiChannelResult:
+        sim = Simulator(seed=self.seed)
+        # Build base infrastructure through the single-channel scenario
+        # (bootstrap + 5 tracker groups + first channel's source) ...
+        base_config = ScenarioConfig(
+            seed=self.seed,
+            population=self.channels[0].population,
+            mix=self.channels[0].mix,
+            popularity=self.channels[0].popularity,
+            warmup=self.warmup, duration=self.duration,
+            protocol=self.protocol, churn=self.churn,
+            geometry=self.channels[0].geometry,
+            source_uplink_share=self.source_uplink_share)
+        base_scenario = SessionScenario(base_config)
+        deployment = base_scenario.build_deployment(sim)
+        internet = deployment.internet
+        catalog = internet.catalog
+        tele = catalog.by_name("ChinaTelecom")
+
+        # ... then add the remaining channels to the same world.
+        channel_objects: Dict[int, LiveChannel] = {
+            1: deployment.channel}
+        sources: Dict[int, SourceServer] = {1: deployment.source}
+        for index, spec in enumerate(self.channels[1:], start=2):
+            channel = LiveChannel(channel_id=index, name=spec.name,
+                                  popularity=spec.popularity,
+                                  geometry=spec.geometry, start_time=0.0)
+            demand = spec.population * spec.geometry.bitrate_bps
+            from ..network.bandwidth import AccessProfile
+            source_bps = max(2.0 * spec.geometry.bitrate_bps,
+                             self.source_uplink_share * demand)
+            profile = AccessProfile(f"source-{index}", down_bps=source_bps,
+                                    up_bps=source_bps, max_backlog=2.0)
+            source = SourceServer(sim, internet.udp,
+                                  internet.allocator.allocate(tele), tele,
+                                  channel, self.protocol, profile=profile)
+            source.go_online()
+            for tracker in deployment.trackers:
+                tracker.seed_peer(channel.channel_id, source.address)
+            deployment.bootstrap.publish_channel(
+                channel, [[t.address] for t in deployment.trackers])
+            channel_objects[index] = channel
+            sources[index] = source
+
+        # Audiences and probes per channel.
+        managers: Dict[int, PopulationManager] = {}
+        probe_peers: Dict[int, Dict[str, PPLivePeer]] = {}
+        sniffers: Dict[int, Dict[str, ProbeSniffer]] = {}
+        for index, spec in enumerate(self.channels, start=1):
+            channel = channel_objects[index]
+            source = sources[index]
+            sampling_rng = sim.random.stream(f"viewers:{index}")
+
+            def spawn(spec=spec, channel=channel, source=source,
+                      rng=sampling_rng):
+                isp, profile = spec.mix.sample_viewer(catalog, rng)
+                peer = PPLivePeer(
+                    sim, internet.udp, internet.allocator.allocate(isp),
+                    isp, profile, self.protocol, channel,
+                    bootstrap_address=deployment.bootstrap.address,
+                    source_address=source.address)
+                peer.join()
+                return peer
+
+            manager = PopulationManager(sim, spec.population, spawn,
+                                        churn=self.churn)
+            manager.start()
+            managers[index] = manager
+            probe_peers[index] = {}
+            sniffers[index] = {}
+
+            for probe_spec in spec.probes:
+                def launch(probe_spec=probe_spec, channel=channel,
+                           source=source, index=index):
+                    isp = catalog.by_name(probe_spec.isp_name)
+                    peer = PPLivePeer(
+                        sim, internet.udp,
+                        internet.allocator.allocate(isp), isp,
+                        probe_spec.profile, self.protocol, channel,
+                        bootstrap_address=deployment.bootstrap.address,
+                        source_address=source.address)
+                    sniffer = ProbeSniffer(internet.udp, peer.address)
+                    sniffer.start()
+                    probe_peers[index][probe_spec.name] = peer
+                    sniffers[index][probe_spec.name] = sniffer
+                    peer.join()
+
+                sim.call_after(self.warmup, launch, label="probe-join")
+
+        sim.run_until(self.warmup + self.duration)
+
+        channels: Dict[int, ChannelResult] = {}
+        for index, spec in enumerate(self.channels, start=1):
+            managers[index].stop()
+            probes: Dict[str, ProbeResult] = {}
+            for name, peer in probe_peers[index].items():
+                peer.leave()
+                trace = sniffers[index][name].stop()
+                probes[name] = ProbeResult(
+                    spec=[p for p in spec.probes if p.name == name][0],
+                    peer=peer, trace=trace, report=match_all(trace))
+            channels[index] = ChannelResult(
+                spec=spec, channel=channel_objects[index],
+                source=sources[index], population=managers[index],
+                probes=probes)
+        return MultiChannelResult(deployment=deployment, channels=channels)

@@ -1,0 +1,124 @@
+"""Viewer-population composition.
+
+Who watches a channel, and from which ISP, determines how much locality
+is *possible*: the paper's popular program draws a TELE-heavy Chinese
+audience, while its unpopular program has a small population with
+comparable TELE/CNC shares and a relatively larger foreign tail.
+
+A :class:`PopulationMix` maps ISP categories to viewer weights and,
+inside each category, to concrete ASes and access-link profiles.  The
+presets below are calibrated so the *returned-peer* mixes of Figures
+2(a)-5(a) come out with the right orderings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..network.bandwidth import ADSL, CABLE, CAMPUS, AccessProfile
+from ..network.isp import ISP, ISPCatalog, ISPCategory
+from ..sim.random import weighted_choice
+
+
+@dataclass(frozen=True)
+class CategoryMix:
+    """Distribution inside one ISP category."""
+
+    #: Relative weight of this category in the viewer population.
+    weight: float
+    #: (ISP name, weight) pairs inside the category.
+    isps: Tuple[Tuple[str, float], ...]
+    #: (access profile, weight) pairs for viewers in this category.
+    profiles: Tuple[Tuple[AccessProfile, float], ...]
+
+
+@dataclass(frozen=True)
+class PopulationMix:
+    """Full ISP/AS/access-link composition of a channel's audience."""
+
+    name: str
+    categories: Dict[ISPCategory, CategoryMix]
+
+    def sample_viewer(self, catalog: ISPCatalog,
+                      rng: random.Random) -> Tuple[ISP, AccessProfile]:
+        """Draw one viewer's AS and access profile."""
+        category_list = list(self.categories)
+        weights = [self.categories[c].weight for c in category_list]
+        category = weighted_choice(rng, category_list, weights)
+        mix = self.categories[category]
+        isp_names = [name for name, _w in mix.isps]
+        isp_weights = [w for _name, w in mix.isps]
+        isp = catalog.by_name(weighted_choice(rng, isp_names, isp_weights))
+        profiles = [p for p, _w in mix.profiles]
+        profile_weights = [w for _p, w in mix.profiles]
+        profile = weighted_choice(rng, profiles, profile_weights)
+        return isp, profile
+
+    def category_share(self, category: ISPCategory) -> float:
+        """Normalised viewer share of one category."""
+        total = sum(m.weight for m in self.categories.values())
+        mix = self.categories.get(category)
+        return mix.weight / total if mix is not None and total else 0.0
+
+
+_CHINA_RESIDENTIAL = ((ADSL, 0.45), (CABLE, 0.55))
+_FOREIGN_PROFILE = ((ADSL, 0.25), (CABLE, 0.55), (CAMPUS, 0.20))
+
+
+def popular_channel_mix() -> PopulationMix:
+    """Audience of the paper's popular program: TELE-dominated, Chinese."""
+    return PopulationMix(
+        name="popular",
+        categories={
+            ISPCategory.TELE: CategoryMix(
+                0.52, (("ChinaTelecom", 1.0),), _CHINA_RESIDENTIAL),
+            ISPCategory.CNC: CategoryMix(
+                0.28, (("ChinaNetcom", 1.0),), _CHINA_RESIDENTIAL),
+            ISPCategory.CER: CategoryMix(
+                0.02, (("CERNET", 1.0),), ((CAMPUS, 1.0),)),
+            ISPCategory.OTHER_CN: CategoryMix(
+                0.09, (("ChinaUnicom", 0.5), ("ChinaRailcom", 0.25),
+                       ("ChinaMobile", 0.25)), _CHINA_RESIDENTIAL),
+            ISPCategory.FOREIGN: CategoryMix(
+                0.09, (("Comcast", 0.20), ("Verizon", 0.18),
+                       ("GMU-Campus", 0.07), ("DeutscheTelekom", 0.10),
+                       ("NTT-OCN", 0.15), ("KoreaTelecom", 0.15),
+                       ("HKBN", 0.15)), _FOREIGN_PROFILE),
+        })
+
+
+def unpopular_channel_mix() -> PopulationMix:
+    """Audience of the unpopular program: small, TELE ~ CNC, bigger tail."""
+    return PopulationMix(
+        name="unpopular",
+        categories={
+            ISPCategory.TELE: CategoryMix(
+                0.30, (("ChinaTelecom", 1.0),), _CHINA_RESIDENTIAL),
+            ISPCategory.CNC: CategoryMix(
+                0.34, (("ChinaNetcom", 1.0),), _CHINA_RESIDENTIAL),
+            ISPCategory.CER: CategoryMix(
+                0.03, (("CERNET", 1.0),), ((CAMPUS, 1.0),)),
+            ISPCategory.OTHER_CN: CategoryMix(
+                0.15, (("ChinaUnicom", 0.5), ("ChinaRailcom", 0.25),
+                       ("ChinaMobile", 0.25)), _CHINA_RESIDENTIAL),
+            ISPCategory.FOREIGN: CategoryMix(
+                0.18, (("Comcast", 0.22), ("Verizon", 0.20),
+                       ("GMU-Campus", 0.05), ("DeutscheTelekom", 0.10),
+                       ("NTT-OCN", 0.15), ("KoreaTelecom", 0.15),
+                       ("HKBN", 0.13)), _FOREIGN_PROFILE),
+        })
+
+
+def mix_for(popularity_name: str) -> PopulationMix:
+    """Preset lookup by name ("popular" / "unpopular")."""
+    presets = {
+        "popular": popular_channel_mix,
+        "unpopular": unpopular_channel_mix,
+    }
+    try:
+        return presets[popularity_name]()
+    except KeyError:
+        raise ValueError(f"unknown mix {popularity_name!r}; "
+                         f"expected one of {sorted(presets)}") from None

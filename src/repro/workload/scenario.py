@@ -1,0 +1,302 @@
+"""End-to-end measurement scenarios.
+
+A :class:`SessionScenario` reproduces one of the paper's experiment
+set-ups: a PPLive-style deployment (bootstrap server, five tracker
+groups in TELE/TELE/CNC/CNC/CER, a channel source in TELE), a churned
+viewer population drawn from a :class:`PopulationMix`, and one or more
+instrumented *probe* clients whose traffic is captured with a
+:class:`ProbeSniffer` — the analogue of the authors' Wireshark hosts.
+
+``run()`` executes: population ramp-up and warm-up, probe join, the
+measured viewing window, teardown — and returns a
+:class:`SessionResult` holding the traces and matched transactions per
+probe, plus the directory and infrastructure addresses the analysis
+layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..capture.matching import MatchReport, match_all
+from ..capture.sniffer import ProbeSniffer
+from ..capture.store import TraceStore
+from ..network.bandwidth import ADSL, CAMPUS, AccessProfile
+from ..network.builder import Internet, build_internet
+from ..protocol.bootstrap import BootstrapServer
+from ..protocol.config import ProtocolConfig
+from ..protocol.peer import PPLivePeer
+from ..protocol.policy import PeerSelectionPolicy, PPLiveReferralPolicy
+from ..protocol.source import SourceServer
+from ..protocol.tracker import TrackerServer
+from ..sim.engine import Simulator
+from ..streaming.chunks import ChunkGeometry
+from ..streaming.video import LiveChannel, Popularity
+from .churn import ChurnModel, PopulationManager
+from .popularity import PopulationMix, popular_channel_mix
+
+#: Tracker-group deployment, as reverse-engineered: all in the big
+#: Chinese carriers ("PPLive does not deploy tracker servers in other
+#: ISPs").
+TRACKER_GROUP_ISPS = ("ChinaTelecom", "ChinaTelecom", "ChinaNetcom",
+                      "ChinaNetcom", "CERNET")
+
+#: Policy factory: given the live deployment, build a policy instance.
+PolicyFactory = Callable[["Deployment"], PeerSelectionPolicy]
+
+
+def _default_policy_factory(deployment: "Deployment") -> PeerSelectionPolicy:
+    return PPLiveReferralPolicy()
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One instrumented client, like the paper's 8 deployed hosts."""
+
+    name: str
+    isp_name: str = "ChinaTelecom"
+    profile: AccessProfile = ADSL
+
+
+#: The paper's featured probes.
+TELE_PROBE = ProbeSpec("tele-probe", "ChinaTelecom", ADSL)
+CNC_PROBE = ProbeSpec("cnc-probe", "ChinaNetcom", ADSL)
+CER_PROBE = ProbeSpec("cer-probe", "CERNET", CAMPUS)
+MASON_PROBE = ProbeSpec("mason-probe", "GMU-Campus", CAMPUS)
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to run one measured viewing session."""
+
+    seed: int = 7
+    #: Target concurrent audience (excluding probes).
+    population: int = 120
+    mix: PopulationMix = field(default_factory=popular_channel_mix)
+    popularity: Popularity = Popularity.POPULAR
+    probes: Tuple[ProbeSpec, ...] = (TELE_PROBE,)
+    #: Seconds of swarm formation before the probes join.
+    warmup: float = 240.0
+    #: Probe viewing window (the paper's sessions are 2 h = 7200 s).
+    duration: float = 1800.0
+    churn: ChurnModel = field(default_factory=ChurnModel)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    geometry: ChunkGeometry = field(default_factory=ChunkGeometry)
+    policy_factory: PolicyFactory = _default_policy_factory
+    #: Probe-side policy; defaults to the population policy.
+    probe_policy_factory: Optional[PolicyFactory] = None
+    replace_departures: bool = True
+    #: Origin uplink provisioned as this share of aggregate stream demand
+    #: (population x bitrate) — real origins serve a small fraction of a
+    #: swarm, and this keeps that fraction stable across scenario sizes.
+    source_uplink_share: float = 0.35
+    #: Deploy ISP-aware trackers (the paper's reference [28] design)
+    #: instead of PPLive's plain random-sample trackers.
+    isp_aware_trackers: bool = False
+
+
+@dataclass
+class Deployment:
+    """The wired-up infrastructure of one scenario run."""
+
+    sim: Simulator
+    internet: Internet
+    channel: LiveChannel
+    bootstrap: BootstrapServer
+    trackers: List[TrackerServer]
+    source: SourceServer
+
+    @property
+    def infrastructure_addresses(self) -> frozenset:
+        addresses = {self.bootstrap.address, self.source.address}
+        addresses.update(t.address for t in self.trackers)
+        return frozenset(addresses)
+
+
+@dataclass
+class ProbeResult:
+    """Capture and matching output for one probe."""
+
+    spec: ProbeSpec
+    peer: PPLivePeer
+    trace: TraceStore
+    report: MatchReport
+
+    @property
+    def address(self) -> str:
+        return self.peer.address
+
+
+@dataclass
+class SessionResult:
+    """Everything a session produced, ready for analysis."""
+
+    config: ScenarioConfig
+    deployment: Deployment
+    probes: Dict[str, ProbeResult]
+    population: PopulationManager
+
+    @property
+    def directory(self):
+        return self.deployment.internet.directory
+
+    @property
+    def infrastructure(self) -> frozenset:
+        return self.deployment.infrastructure_addresses
+
+    def probe(self, name: Optional[str] = None) -> ProbeResult:
+        """The named probe's results (or the only probe's)."""
+        if name is None:
+            if len(self.probes) != 1:
+                raise ValueError(
+                    f"session has {len(self.probes)} probes; name one of "
+                    f"{sorted(self.probes)}")
+            return next(iter(self.probes.values()))
+        return self.probes[name]
+
+
+class SessionScenario:
+    """Builds and runs one measured viewing session."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config if config is not None else ScenarioConfig()
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def build_deployment(self, sim: Simulator) -> Deployment:
+        cfg = self.config
+        internet = build_internet(sim)
+        catalog = internet.catalog
+        allocator = internet.allocator
+
+        channel = LiveChannel(channel_id=1,
+                              name=f"{cfg.mix.name}-program",
+                              popularity=cfg.popularity,
+                              geometry=cfg.geometry,
+                              start_time=0.0)
+
+        tele = catalog.by_name("ChinaTelecom")
+        bootstrap = BootstrapServer(sim, internet.udp,
+                                    allocator.allocate(tele), tele)
+        bootstrap.go_online()
+
+        trackers: List[TrackerServer] = []
+        for group_id, isp_name in enumerate(TRACKER_GROUP_ISPS):
+            isp = catalog.by_name(isp_name)
+            if cfg.isp_aware_trackers:
+                from ..baselines.isp_tracker import IspAwareTrackerServer
+                tracker = IspAwareTrackerServer(
+                    sim, internet.udp, allocator.allocate(isp), isp,
+                    cfg.protocol, internet.directory, group_id=group_id)
+            else:
+                tracker = TrackerServer(sim, internet.udp,
+                                        allocator.allocate(isp), isp,
+                                        cfg.protocol, group_id=group_id)
+            tracker.go_online()
+            trackers.append(tracker)
+
+        demand_bps = cfg.population * cfg.geometry.bitrate_bps
+        source_bps = max(2.0 * cfg.geometry.bitrate_bps,
+                         cfg.source_uplink_share * demand_bps)
+        source_profile = AccessProfile("source", down_bps=source_bps,
+                                       up_bps=source_bps, max_backlog=2.0)
+        source = SourceServer(sim, internet.udp, allocator.allocate(tele),
+                              tele, channel, cfg.protocol,
+                              profile=source_profile)
+        source.go_online()
+        for tracker in trackers:
+            tracker.seed_peer(channel.channel_id, source.address)
+
+        bootstrap.publish_channel(channel, [[t.address] for t in trackers])
+        return Deployment(sim=sim, internet=internet, channel=channel,
+                          bootstrap=bootstrap, trackers=trackers,
+                          source=source)
+
+    # ------------------------------------------------------------------
+    # Viewers
+    # ------------------------------------------------------------------
+    def _make_viewer(self, deployment: Deployment,
+                     policy: PeerSelectionPolicy) -> PPLivePeer:
+        cfg = self.config
+        internet = deployment.internet
+        rng = deployment.sim.random.stream("viewer-sampling")
+        isp, profile = cfg.mix.sample_viewer(internet.catalog, rng)
+        address = internet.allocator.allocate(isp)
+        peer = PPLivePeer(
+            deployment.sim, internet.udp, address, isp, profile,
+            cfg.protocol, deployment.channel,
+            bootstrap_address=deployment.bootstrap.address,
+            policy=policy, source_address=deployment.source.address)
+        peer.join()
+        return peer
+
+    def _make_probe(self, deployment: Deployment,
+                    spec: ProbeSpec) -> PPLivePeer:
+        cfg = self.config
+        internet = deployment.internet
+        isp = internet.catalog.by_name(spec.isp_name)
+        address = internet.allocator.allocate(isp)
+        factory = cfg.probe_policy_factory or cfg.policy_factory
+        return PPLivePeer(
+            deployment.sim, internet.udp, address, isp, spec.profile,
+            cfg.protocol, deployment.channel,
+            bootstrap_address=deployment.bootstrap.address,
+            policy=factory(deployment),
+            source_address=deployment.source.address)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> SessionResult:
+        cfg = self.config
+        sim = Simulator(seed=cfg.seed)
+        deployment = self.build_deployment(sim)
+
+        population_policy = cfg.policy_factory(deployment)
+        manager = PopulationManager(
+            sim, cfg.population,
+            spawn_viewer=lambda: self._make_viewer(deployment,
+                                                   population_policy),
+            churn=cfg.churn,
+            replace_departures=cfg.replace_departures)
+        manager.start()
+
+        # Probes join after the warm-up, with sniffers already attached so
+        # the very first bootstrap packets are captured, as with Wireshark.
+        probe_peers: Dict[str, PPLivePeer] = {}
+        sniffers: Dict[str, ProbeSniffer] = {}
+
+        def launch_probe(spec: ProbeSpec) -> None:
+            peer = self._make_probe(deployment, spec)
+            sniffer = ProbeSniffer(deployment.internet.udp, peer.address)
+            sniffer.start()
+            probe_peers[spec.name] = peer
+            sniffers[spec.name] = sniffer
+            peer.join()
+
+        for spec in cfg.probes:
+            sim.call_after(cfg.warmup,
+                           lambda s=spec: launch_probe(s),
+                           label="probe-join")
+
+        end_time = cfg.warmup + cfg.duration
+        sim.run_until(end_time)
+
+        manager.stop()
+        probes: Dict[str, ProbeResult] = {}
+        for spec in cfg.probes:
+            peer = probe_peers[spec.name]
+            peer.leave()
+            trace = sniffers[spec.name].stop()
+            probes[spec.name] = ProbeResult(
+                spec=spec, peer=peer, trace=trace,
+                report=match_all(trace))
+        return SessionResult(config=cfg, deployment=deployment,
+                             probes=probes, population=manager)
+
+
+def run_session(config: Optional[ScenarioConfig] = None) -> SessionResult:
+    """Convenience one-call session runner."""
+    return SessionScenario(config).run()

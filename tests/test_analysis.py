@@ -1,0 +1,253 @@
+"""Tests for the trace-analysis layer (locality, response, contributions,
+RTT), using hand-built traces so expected numbers are exact."""
+
+import pytest
+
+from repro.analysis import (analyze_contributions, analyze_requests_vs_rtt,
+                            bytes_by_isp, data_response_series,
+                            fastest_group, locality_breakdown,
+                            peerlist_response_series, requests_per_peer,
+                            returned_by_source, returned_peer_counts,
+                            rtt_estimates, traffic_locality,
+                            transmissions_by_isp, unique_listed_peers)
+from repro.capture.matching import DataTransaction, PeerListTransaction
+from repro.capture.records import Direction, PacketRecord
+from repro.capture.store import TraceStore
+from repro.network.addressing import AddressAllocator
+from repro.network.asn import AsnDirectory
+from repro.network.isp import ISPCategory, ResponseGroup, \
+    default_isp_catalog
+from repro.protocol import messages as m
+from repro.protocol.wire import wire_size
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = default_isp_catalog()
+    allocator = AddressAllocator(catalog)
+    directory = AsnDirectory(catalog, allocator)
+    addresses = {
+        "tele1": allocator.allocate(catalog.by_name("ChinaTelecom")),
+        "tele2": allocator.allocate(catalog.by_name("ChinaTelecom")),
+        "probe": allocator.allocate(catalog.by_name("ChinaTelecom")),
+        "cnc1": allocator.allocate(catalog.by_name("ChinaNetcom")),
+        "cer1": allocator.allocate(catalog.by_name("CERNET")),
+        "us1": allocator.allocate(catalog.by_name("Comcast")),
+    }
+    return directory, addresses
+
+
+def txn(remote, chunk=0, t0=1.0, dt=0.5, nbytes=1000):
+    return DataTransaction(remote=remote, chunk=chunk, first=0, last=3,
+                           request_time=t0, reply_time=t0 + dt,
+                           payload_bytes=nbytes)
+
+
+class TestLocalityAccounting:
+    def test_transmissions_and_bytes_by_isp(self, world):
+        directory, a = world
+        txns = [txn(a["tele1"], nbytes=100), txn(a["tele1"], nbytes=200),
+                txn(a["cnc1"], nbytes=300), txn(a["us1"], nbytes=400)]
+        tx = transmissions_by_isp(txns, directory)
+        assert tx[ISPCategory.TELE] == 2
+        assert tx[ISPCategory.CNC] == 1
+        by = bytes_by_isp(txns, directory)
+        assert by[ISPCategory.TELE] == 300
+        assert by[ISPCategory.FOREIGN] == 400
+
+    def test_infrastructure_excluded(self, world):
+        directory, a = world
+        txns = [txn(a["tele1"], nbytes=100), txn(a["tele2"], nbytes=900)]
+        by = bytes_by_isp(txns, directory,
+                          infrastructure=frozenset([a["tele2"]]))
+        assert by[ISPCategory.TELE] == 100
+
+    def test_traffic_locality(self, world):
+        directory, a = world
+        txns = [txn(a["tele1"], nbytes=850), txn(a["cnc1"], nbytes=150)]
+        locality = traffic_locality(txns, directory, ISPCategory.TELE)
+        assert locality == pytest.approx(0.85)
+
+    def test_traffic_locality_empty(self, world):
+        directory, _a = world
+        assert traffic_locality([], directory, ISPCategory.TELE) == 0.0
+
+
+def make_trace(probe, records):
+    store = TraceStore(probe)
+    for r in records:
+        store.append(r)
+    return store
+
+
+def incoming(t, src, dst, payload):
+    return PacketRecord(time=t, direction=Direction.IN, src=src, dst=dst,
+                        msg_type=type(payload).__name__,
+                        wire_bytes=wire_size(payload), packet_id=0,
+                        payload=payload)
+
+
+class TestReturnedLists:
+    def test_counts_with_duplicates(self, world):
+        directory, a = world
+        trace = make_trace(a["probe"], [
+            incoming(1.0, a["tele1"], a["probe"],
+                     m.PeerListReply(peers=(a["tele2"], a["cnc1"],
+                                            a["tele2"]))),
+            incoming(2.0, a["cnc1"], a["probe"],
+                     m.TrackerReply(peers=(a["tele2"], a["us1"]))),
+        ])
+        counts = returned_peer_counts(trace, directory)
+        assert counts[ISPCategory.TELE] == 3  # duplicates count
+        assert counts[ISPCategory.CNC] == 1
+        assert counts[ISPCategory.FOREIGN] == 1
+        assert len(unique_listed_peers(trace)) == 3
+
+    def test_by_source_buckets(self, world):
+        directory, a = world
+        trace = make_trace(a["probe"], [
+            incoming(1.0, a["tele1"], a["probe"],
+                     m.PeerListReply(peers=(a["tele2"],))),
+            incoming(2.0, a["cnc1"], a["probe"],
+                     m.TrackerReply(peers=(a["cnc1"], a["tele1"]))),
+            incoming(3.0, a["us1"], a["probe"],
+                     m.PeerListReply(peers=(a["us1"],))),
+        ])
+        buckets = returned_by_source(trace, directory)
+        assert buckets["TELE_p"][ISPCategory.TELE] == 1
+        assert buckets["CNC_s"][ISPCategory.CNC] == 1
+        assert buckets["CNC_s"][ISPCategory.TELE] == 1
+        assert buckets["OTHER_p"][ISPCategory.FOREIGN] == 1
+        assert sum(buckets["TELE_s"].values()) == 0
+
+
+class TestResponseSeries:
+    def test_grouping_and_averages(self, world):
+        directory, a = world
+        txns = [
+            PeerListTransaction(remote=a["tele1"], request_time=1.0,
+                                reply_time=1.2, peers=()),
+            PeerListTransaction(remote=a["tele2"], request_time=2.0,
+                                reply_time=2.6, peers=()),
+            PeerListTransaction(remote=a["cnc1"], request_time=3.0,
+                                reply_time=4.0, peers=()),
+            PeerListTransaction(remote=a["us1"], request_time=4.0,
+                                reply_time=4.1, peers=()),
+            PeerListTransaction(remote=a["cer1"], request_time=5.0,
+                                reply_time=5.3, peers=()),
+        ]
+        series = peerlist_response_series(txns, directory)
+        assert series[ResponseGroup.TELE].average == pytest.approx(0.4)
+        assert series[ResponseGroup.CNC].average == pytest.approx(1.0)
+        # OTHER merges Foreign and CER.
+        assert series[ResponseGroup.OTHER].count == 2
+        assert series[ResponseGroup.OTHER].average == pytest.approx(0.2)
+        assert fastest_group(series) is ResponseGroup.OTHER
+
+    def test_clipping_for_display(self, world):
+        directory, a = world
+        txns = [
+            PeerListTransaction(remote=a["tele1"], request_time=0.0,
+                                reply_time=5.0, peers=()),
+            PeerListTransaction(remote=a["tele1"], request_time=1.0,
+                                reply_time=1.5, peers=()),
+        ]
+        series = peerlist_response_series(txns, directory)
+        tele = series[ResponseGroup.TELE]
+        # Average includes everything; the plotted view clips at 3 s.
+        assert tele.average == pytest.approx(2.75)
+        assert tele.clipped() == [0.5]
+
+    def test_data_series_same_grouping(self, world):
+        directory, a = world
+        txns = [txn(a["tele1"], dt=0.4), txn(a["us1"], dt=0.8)]
+        series = data_response_series(txns, directory)
+        assert series[ResponseGroup.TELE].average == pytest.approx(0.4)
+        assert series[ResponseGroup.OTHER].average == pytest.approx(0.8)
+
+    def test_empty_series_average_none(self, world):
+        directory, _a = world
+        series = data_response_series([], directory)
+        assert all(s.average is None for s in series.values())
+        assert fastest_group(series) is None
+
+
+class TestContributions:
+    def test_requests_and_unique_peers(self, world):
+        directory, a = world
+        txns = ([txn(a["tele1"])] * 5 + [txn(a["tele2"])] * 3
+                + [txn(a["cnc1"])] * 2)
+        counts = requests_per_peer(txns)
+        assert counts == {a["tele1"]: 5, a["tele2"]: 3, a["cnc1"]: 2}
+        analysis = analyze_contributions(txns, directory)
+        assert analysis.connected_unique == 3
+        assert analysis.connected_by_isp[ISPCategory.TELE] == 2
+
+    def test_top10_shares(self, world):
+        directory, a = world
+        # 10 peers; the top one does most of the work.
+        remotes = [a["tele1"]] * 60
+        others = [a["tele2"], a["cnc1"], a["cer1"], a["us1"]]
+        txns = [txn(r, nbytes=1000) for r in remotes]
+        for other in others:
+            txns.extend(txn(other, nbytes=1000) for _ in range(5))
+        analysis = analyze_contributions(txns, directory)
+        assert analysis.top10_byte_share == pytest.approx(
+            60.0 / (60 + 20), abs=1e-6)
+
+    def test_fits_present_when_enough_peers(self, world):
+        directory, a = world
+        txns = []
+        for index, remote in enumerate([a["tele1"], a["tele2"], a["cnc1"],
+                                        a["cer1"], a["us1"]]):
+            txns.extend(txn(remote) for _ in range(50 // (index + 1)))
+        analysis = analyze_contributions(txns, directory)
+        assert analysis.se_fit is not None
+        assert analysis.zipf_fit is not None
+        assert analysis.contribution_curve is not None
+
+
+class TestRtt:
+    def test_min_is_the_estimate(self, world):
+        directory, a = world
+        txns = [txn(a["tele1"], dt=0.9), txn(a["tele1"], dt=0.3),
+                txn(a["tele1"], dt=0.5)]
+        estimates = rtt_estimates(txns)
+        assert estimates[a["tele1"]] == pytest.approx(0.3)
+
+    def test_negative_correlation_when_busy_peers_are_near(self, world):
+        directory, a = world
+        txns = []
+        # tele1: many requests, small RTT; us1: few requests, large RTT.
+        txns.extend(txn(a["tele1"], dt=0.1) for _ in range(50))
+        txns.extend(txn(a["tele2"], dt=0.3) for _ in range(10))
+        txns.extend(txn(a["us1"], dt=0.9) for _ in range(2))
+        analysis = analyze_requests_vs_rtt(txns)
+        assert analysis.correlation is not None
+        assert analysis.correlation < -0.9
+        assert analysis.peers[0] == a["tele1"]
+
+    def test_trend_positive_slope(self, world):
+        directory, a = world
+        txns = []
+        txns.extend(txn(a["tele1"], dt=0.1) for _ in range(30))
+        txns.extend(txn(a["cnc1"], dt=0.5) for _ in range(10))
+        txns.extend(txn(a["us1"], dt=1.2) for _ in range(3))
+        analysis = analyze_requests_vs_rtt(txns)
+        # RTT grows with rank (rank 1 = most requested = nearest).
+        assert analysis.rtt_trend.slope > 0
+
+
+class TestBreakdown:
+    def test_locality_breakdown_end_to_end(self, world):
+        directory, a = world
+        trace = make_trace(a["probe"], [
+            incoming(1.0, a["tele1"], a["probe"],
+                     m.PeerListReply(peers=(a["tele2"], a["cnc1"]))),
+        ])
+        txns = [txn(a["tele1"], nbytes=900), txn(a["cnc1"], nbytes=100)]
+        breakdown = locality_breakdown(trace, txns, directory)
+        assert breakdown.probe_category is ISPCategory.TELE
+        assert breakdown.locality == pytest.approx(0.9)
+        assert breakdown.unique_listed == 2
+        assert breakdown.returned_total == 2

@@ -1,0 +1,219 @@
+"""Tests for the baseline peer-selection strategies and their oracles."""
+
+import random
+
+import pytest
+
+from repro.baselines import (BiasedNeighborPolicy, IspOracle, OnoPolicy,
+                             P4PPolicy, ProximityOracle,
+                             TrackerOnlyRandomPolicy)
+from repro.network.builder import build_internet
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.peerlist import ListSource
+from repro.sim import Simulator
+
+
+class FakePeer:
+    """Just enough of a PPLivePeer for policy decisions."""
+
+    def __init__(self, address, config=None, neighbor_count=0):
+        self.address = address
+        self.config = config if config is not None else ProtocolConfig()
+        self._neighbor_count = neighbor_count
+        self.pending_hello_count = 0
+        self.neighbors = [None] * neighbor_count
+        self.trackers = []
+        self.bootstrap_address = "0.0.0.1"
+
+    def can_attempt(self, address):
+        return address != self.address
+
+    def playback_satisfactory(self):
+        return False
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=6)
+    internet = build_internet(sim)
+    tele = internet.catalog.by_name("ChinaTelecom")
+    cnc = internet.catalog.by_name("ChinaNetcom")
+    comcast = internet.catalog.by_name("Comcast")
+    tele_addrs = [internet.allocator.allocate(tele) for _ in range(10)]
+    cnc_addrs = [internet.allocator.allocate(cnc) for _ in range(10)]
+    us_addrs = [internet.allocator.allocate(comcast) for _ in range(10)]
+    return sim, internet, tele_addrs, cnc_addrs, us_addrs
+
+
+class TestIspOracle:
+    def test_same_isp(self, world):
+        _sim, internet, tele, cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        assert oracle.same_isp(tele[0], tele[1])
+        assert not oracle.same_isp(tele[0], cnc[0])
+
+    def test_unknown_address(self, world):
+        _sim, internet, tele, _cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        assert oracle.asn_of("0.0.0.9") is None
+        assert not oracle.same_isp("0.0.0.9", tele[0])
+
+
+class TestProximityOracle:
+    def make_hosts(self, world):
+        from repro.network.bandwidth import CAMPUS
+        from repro.network.transport import Host
+
+        class Silent(Host):
+            def handle_datagram(self, datagram):
+                pass
+
+        sim, internet, tele, _cnc, us = world
+        catalog = internet.catalog
+        hosts = []
+        for address in (tele[0], tele[1], us[0]):
+            asn = internet.allocator.asn_of(address)
+            isp = catalog.by_asn(asn)
+            host = Silent(sim, internet.udp, address, isp, CAMPUS)
+            host.go_online()
+            hosts.append(host)
+        return hosts
+
+    def test_perfect_oracle_orders_by_distance(self, world):
+        sim, internet, tele, _cnc, us = world
+        self.make_hosts(world)
+        oracle = ProximityOracle(internet.latency, internet.udp,
+                                 random.Random(1), noise_sigma=0.0)
+        near = oracle.estimated_rtt(tele[0], tele[1])
+        far = oracle.estimated_rtt(tele[0], us[0])
+        assert near < far
+
+    def test_unknown_endpoint_pessimistic(self, world):
+        sim, internet, tele, _cnc, _us = world
+        oracle = ProximityOracle(internet.latency, internet.udp,
+                                 random.Random(1))
+        assert oracle.estimated_rtt(tele[0], "0.0.0.9") == 1.0
+
+    def test_noise_validated(self, world):
+        sim, internet, _t, _c, _u = world
+        with pytest.raises(ValueError):
+            ProximityOracle(internet.latency, internet.udp,
+                            random.Random(1), noise_sigma=-1.0)
+
+
+class TestTrackerOnly:
+    def test_ignores_non_tracker_sources(self, world):
+        _sim, _internet, tele, _cnc, _us = world
+        policy = TrackerOnlyRandomPolicy()
+        peer = FakePeer("9.9.9.9")
+        chosen = policy.select_candidates(peer, tele,
+                                          ListSource.NEIGHBOR,
+                                          random.Random(1))
+        assert chosen == []
+
+    def test_selects_random_from_tracker(self, world):
+        _sim, _internet, tele, _cnc, _us = world
+        policy = TrackerOnlyRandomPolicy()
+        peer = FakePeer("9.9.9.9")
+        chosen = policy.select_candidates(peer, tele, ListSource.TRACKER,
+                                          random.Random(1))
+        assert chosen
+        assert set(chosen) <= set(tele)
+
+    def test_constant_tracker_interval(self, world):
+        policy = TrackerOnlyRandomPolicy(reannounce_interval=45.0)
+        peer = FakePeer("9.9.9.9")
+        assert policy.tracker_interval(peer, peer.config) == 45.0
+
+    def test_no_referral(self):
+        assert TrackerOnlyRandomPolicy.uses_neighbor_referral is False
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            TrackerOnlyRandomPolicy(reannounce_interval=0.0)
+
+
+class TestBiased:
+    def test_internal_fraction_respected(self, world):
+        sim, internet, tele, cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        policy = BiasedNeighborPolicy(oracle, internal_fraction=0.75)
+        peer = FakePeer(tele[0])
+        # Plenty of internal supply so the fraction is achievable.
+        tele_isp = internet.catalog.by_name("ChinaTelecom")
+        extra = [internet.allocator.allocate(tele_isp) for _ in range(20)]
+        pool = tele[1:] + extra + cnc
+        chosen = policy.select_candidates(peer, pool, ListSource.TRACKER,
+                                          random.Random(3))
+        internal = sum(1 for a in chosen if oracle.same_isp(tele[0], a))
+        assert internal >= round(len(chosen) * 0.75) - 1
+
+    def test_tops_up_with_internal_when_no_external(self, world):
+        _sim, internet, tele, _cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        policy = BiasedNeighborPolicy(oracle, internal_fraction=0.5)
+        peer = FakePeer(tele[0])
+        chosen = policy.select_candidates(peer, tele[1:],
+                                          ListSource.TRACKER,
+                                          random.Random(3))
+        # Pool smaller than the batch: everything connectable is chosen.
+        assert sorted(chosen) == sorted(tele[1:])
+
+    def test_fraction_validated(self, world):
+        _sim, internet, _t, _c, _u = world
+        with pytest.raises(ValueError):
+            BiasedNeighborPolicy(IspOracle(internet.directory),
+                                 internal_fraction=1.5)
+
+
+class TestOno:
+    def test_prefers_nearest(self, world):
+        sim, internet, tele, _cnc, us = world
+        TestProximityOracle().make_hosts(world)
+        oracle = ProximityOracle(internet.latency, internet.udp,
+                                 random.Random(2), noise_sigma=0.0)
+        policy = OnoPolicy(oracle)
+        peer = FakePeer(tele[0])
+        peer.config.connect_batch = 1
+        peer.config.target_neighbors = 1
+        chosen = policy.select_candidates(peer, [us[0], tele[1]],
+                                          ListSource.NEIGHBOR,
+                                          random.Random(2))
+        assert chosen == [tele[1]]
+
+
+class TestP4P:
+    def test_internal_first(self, world):
+        _sim, internet, tele, cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        policy = P4PPolicy(oracle)
+        peer = FakePeer(tele[0])
+        peer.config.connect_batch = 4
+        peer.config.target_neighbors = 4
+        chosen = policy.select_candidates(peer, tele[1:6] + cnc[:5],
+                                          ListSource.NEIGHBOR,
+                                          random.Random(4))
+        assert all(oracle.same_isp(tele[0], a) for a in chosen)
+
+    def test_falls_back_to_external(self, world):
+        _sim, internet, tele, cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        policy = P4PPolicy(oracle)
+        peer = FakePeer(tele[0])
+        chosen = policy.select_candidates(peer, cnc[:5],
+                                          ListSource.NEIGHBOR,
+                                          random.Random(4))
+        assert chosen
+        assert set(chosen) <= set(cnc[:5])
+
+    def test_no_deficit_no_candidates(self, world):
+        _sim, internet, tele, cnc, _us = world
+        oracle = IspOracle(internet.directory)
+        policy = P4PPolicy(oracle)
+        config = ProtocolConfig()
+        peer = FakePeer(tele[0], config=config,
+                        neighbor_count=config.target_neighbors)
+        chosen = policy.select_candidates(peer, cnc,
+                                          ListSource.NEIGHBOR,
+                                          random.Random(4))
+        assert chosen == []

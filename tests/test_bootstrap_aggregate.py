@@ -1,0 +1,117 @@
+"""Tests for bootstrap CIs and cross-seed aggregation."""
+
+import random
+
+import pytest
+
+from repro.capture.matching import DataTransaction
+from repro.network.addressing import AddressAllocator
+from repro.network.asn import AsnDirectory
+from repro.network.isp import ISPCategory, default_isp_catalog
+from repro.stats.bootstrap import (bootstrap_ci, bootstrap_mean,
+                                   bootstrap_share,
+                                   transaction_locality_ci)
+
+
+class TestBootstrapCi:
+    def setup_method(self):
+        self.rng = random.Random(7)
+
+    def test_point_estimate_is_statistic_of_data(self):
+        estimate = bootstrap_mean([1.0, 2.0, 3.0], self.rng,
+                                  resamples=200)
+        assert estimate.value == pytest.approx(2.0)
+
+    def test_interval_contains_point_for_stable_data(self):
+        data = [5.0] * 50
+        estimate = bootstrap_mean(data, self.rng, resamples=100)
+        assert estimate.low == estimate.high == estimate.value == 5.0
+
+    def test_interval_widens_with_variance(self):
+        tight = bootstrap_mean([10.0 + 0.01 * i for i in range(50)],
+                               self.rng, resamples=300)
+        wide = bootstrap_mean([10.0 + 5.0 * (i % 2) for i in range(50)],
+                              self.rng, resamples=300)
+        assert wide.half_width > tight.half_width
+
+    def test_coverage_sanity(self):
+        # The 95% CI of the mean of N(0,1) over 100 points should usually
+        # contain 0; check on a handful of replications.
+        data_rng = random.Random(3)
+        contained = 0
+        for trial in range(10):
+            data = [data_rng.gauss(0.0, 1.0) for _ in range(100)]
+            est = bootstrap_mean(data, random.Random(trial),
+                                 resamples=300)
+            if est.low <= 0.0 <= est.high:
+                contained += 1
+        assert contained >= 8
+
+    def test_share(self):
+        flags = [True] * 30 + [False] * 10
+        estimate = bootstrap_share(flags, self.rng, resamples=200)
+        assert estimate.value == pytest.approx(0.75)
+        assert 0.5 < estimate.low <= estimate.high <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([], self.rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], self.rng, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], self.rng, resamples=2)
+
+    def test_str_format(self):
+        estimate = bootstrap_mean([1.0, 2.0], self.rng, resamples=100)
+        assert "95%" in str(estimate)
+
+
+class TestTransactionLocalityCi:
+    def test_ci_around_known_share(self):
+        catalog = default_isp_catalog()
+        allocator = AddressAllocator(catalog)
+        directory = AsnDirectory(catalog, allocator)
+        tele = allocator.allocate(catalog.by_name("ChinaTelecom"))
+        cnc = allocator.allocate(catalog.by_name("ChinaNetcom"))
+
+        def txn(remote, nbytes):
+            return DataTransaction(remote=remote, chunk=0, first=0,
+                                   last=0, request_time=0.0,
+                                   reply_time=0.1, payload_bytes=nbytes)
+
+        transactions = [txn(tele, 100)] * 80 + [txn(cnc, 100)] * 20
+        estimate = transaction_locality_ci(
+            transactions, directory, ISPCategory.TELE, random.Random(1))
+        assert estimate.value == pytest.approx(0.8)
+        assert estimate.low <= 0.8 <= estimate.high
+        assert estimate.high - estimate.low < 0.25
+
+    def test_empty_returns_none(self):
+        catalog = default_isp_catalog()
+        allocator = AddressAllocator(catalog)
+        directory = AsnDirectory(catalog, allocator)
+        assert transaction_locality_ci([], directory, ISPCategory.TELE,
+                                       random.Random(1)) is None
+
+
+class TestAggregateSessions:
+    def test_multi_seed_aggregate(self):
+        from repro.analysis.aggregate import aggregate_sessions
+        from repro.workload import ScenarioConfig
+
+        config = ScenarioConfig(population=12, duration=180.0,
+                                warmup=80.0)
+        result = aggregate_sessions(config, seeds=[1, 2, 3],
+                                    resamples=100)
+        assert len(result.per_seed) == 3
+        assert {m.seed for m in result.per_seed} == {1, 2, 3}
+        assert 0.0 <= result.locality_mean.value <= 1.0
+        text = result.render()
+        assert "locality mean" in text
+        assert "seed 2" in text
+
+    def test_empty_seed_list_rejected(self):
+        from repro.analysis.aggregate import aggregate_sessions
+        from repro.workload import ScenarioConfig
+        with pytest.raises(ValueError):
+            aggregate_sessions(ScenarioConfig(), seeds=[])

@@ -1,0 +1,84 @@
+"""Tests for the multi-day campaign machinery (Figure 6 plumbing).
+
+Uses a micro-campaign (2 days, tiny populations, short sessions) so the
+structure — per-day sessions, per-ISP averaging over probe pairs, panel
+rendering — is validated quickly; the benchmark suite runs the real
+28-day shape.
+"""
+
+import pytest
+
+from repro.experiments.fig06 import Figure6, figure6
+from repro.streaming.video import Popularity
+from repro.workload.campaign import (CampaignConfig, CampaignResult,
+                                     run_campaign)
+from repro.workload.diurnal import DiurnalPattern
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    config = CampaignConfig(
+        seed=19,
+        days=2,
+        popular_population=14,
+        unpopular_population=8,
+        session_duration=150.0,
+        warmup=90.0,
+    )
+    return run_campaign(config)
+
+
+class TestCampaignStructure:
+    def test_day_counts(self, campaign):
+        assert len(campaign.popular) == 2
+        assert len(campaign.unpopular) == 2
+
+    def test_each_day_has_all_isp_curves(self, campaign):
+        for day in campaign.popular + campaign.unpopular:
+            assert set(day.locality_by_isp) == {"CNC", "TELE", "Mason"}
+
+    def test_localities_are_percentages(self, campaign):
+        for day in campaign.popular + campaign.unpopular:
+            for value in day.locality_by_isp.values():
+                assert 0.0 <= value <= 100.0
+
+    def test_population_positive_and_varying_inputs(self, campaign):
+        for day in campaign.popular:
+            assert day.population >= 10
+
+    def test_series_accessor(self, campaign):
+        series = campaign.series(Popularity.POPULAR, "TELE")
+        assert len(series) == 2
+        missing = campaign.series(Popularity.POPULAR, "Nowhere")
+        assert missing == [0.0, 0.0]
+
+
+class TestFigure6Wrapper:
+    def test_render_contains_both_panels(self, campaign):
+        # figure6() runs its own campaign; wrap the existing result.
+        from repro.experiments.fig06 import Figure6
+        fig = Figure6(result=campaign)
+        text = fig.render()
+        assert "(a) popular" in text
+        assert "(b) unpopular" in text
+        assert "Mason" in text
+
+    def test_averages_and_swings(self, campaign):
+        from repro.experiments.fig06 import Figure6
+        fig = Figure6(result=campaign)
+        avg = fig.average_locality(Popularity.POPULAR, "TELE")
+        assert avg is None or 0.0 <= avg <= 100.0
+        swing = fig.variability(Popularity.POPULAR, "Mason")
+        assert swing >= 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_campaign(self):
+        config = CampaignConfig(seed=23, days=1, popular_population=8,
+                                unpopular_population=6,
+                                session_duration=120.0, warmup=60.0)
+        a = run_campaign(config)
+        b = run_campaign(config)
+        assert (a.popular[0].locality_by_isp
+                == b.popular[0].locality_by_isp)
+        assert a.popular[0].population == b.popular[0].population

@@ -1,0 +1,218 @@
+"""Tests for the sniffer, trace store and request/reply matching."""
+
+import pytest
+
+from repro.capture.matching import (match_data_transactions,
+                                    match_peerlist_transactions)
+from repro.capture.records import Direction, PacketRecord
+from repro.capture.sniffer import ProbeSniffer
+from repro.capture.store import TraceStore
+from repro.network.builder import build_internet
+from repro.network.transport import Host
+from repro.protocol import messages as m
+from repro.protocol.wire import wire_size
+from repro.sim import Simulator
+
+
+class Chatter(Host):
+    def handle_datagram(self, datagram):
+        pass
+
+
+def record(time, direction, src, dst, payload):
+    return PacketRecord(time=time, direction=direction, src=src, dst=dst,
+                        msg_type=type(payload).__name__,
+                        wire_bytes=wire_size(payload), packet_id=0,
+                        payload=payload)
+
+
+def probe_trace(events):
+    """Build a trace for probe P from (time, direction, remote, payload)."""
+    store = TraceStore("P")
+    for time, direction, remote, payload in events:
+        if direction is Direction.OUT:
+            store.append(record(time, direction, "P", remote, payload))
+        else:
+            store.append(record(time, direction, remote, "P", payload))
+    return store
+
+
+class TestSniffer:
+    def test_captures_both_directions(self):
+        sim = Simulator(seed=0)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        from repro.network.bandwidth import CAMPUS
+        a = Chatter(sim, internet.udp, internet.allocator.allocate(tele),
+                    tele, CAMPUS)
+        b = Chatter(sim, internet.udp, internet.allocator.allocate(tele),
+                    tele, CAMPUS)
+        a.go_online()
+        b.go_online()
+        sniffer = ProbeSniffer(internet.udp, a.address).start()
+        a.send(b.address, m.TrackerQuery(channel_id=1),
+               wire_size(m.TrackerQuery(channel_id=1)))
+        b.send(a.address, m.TrackerReply(channel_id=1),
+               wire_size(m.TrackerReply(channel_id=1)))
+        sim.run()
+        trace = sniffer.stop()
+        directions = [r.direction for r in trace]
+        assert Direction.OUT in directions
+        assert Direction.IN in directions
+
+    def test_ignores_third_party_traffic(self):
+        sim = Simulator(seed=0)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        from repro.network.bandwidth import CAMPUS
+        hosts = [Chatter(sim, internet.udp,
+                         internet.allocator.allocate(tele), tele, CAMPUS)
+                 for _ in range(3)]
+        for host in hosts:
+            host.go_online()
+        sniffer = ProbeSniffer(internet.udp, hosts[0].address).start()
+        hosts[1].send(hosts[2].address, m.Goodbye(), 10)
+        sim.run()
+        assert len(sniffer.stop()) == 0
+
+    def test_context_manager(self):
+        sim = Simulator(seed=0)
+        internet = build_internet(sim)
+        with ProbeSniffer(internet.udp, "1.2.3.4") as sniffer:
+            assert sniffer.store.probe_address == "1.2.3.4"
+
+
+class TestStore:
+    def test_slicing(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.DataRequest(seq=1)),
+            (2.0, Direction.IN, "A", m.DataReply(seq=1)),
+            (3.0, Direction.OUT, "B", m.PeerListRequest(request_id=1)),
+        ])
+        assert len(trace.of_type("DataRequest")) == 1
+        assert len(trace.incoming()) == 1
+        assert len(trace.outgoing("PeerListRequest")) == 1
+        assert trace.remotes() == ["A", "B"]
+        assert trace.span == pytest.approx(2.0)
+        assert len(trace.between(1.5, 2.5)) == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "1.0.0.1",
+             m.DataRequest(chunk=5, first=0, last=3, seq=9)),
+            (1.5, Direction.IN, "1.0.0.1",
+             m.DataReply(chunk=5, first=0, last=3, seq=9,
+                         payload_bytes=5520)),
+            (2.0, Direction.IN, "1.0.0.2",
+             m.PeerListReply(peers=("1.0.0.3", "1.0.0.4"), request_id=2)),
+        ])
+        path = tmp_path / "trace.jsonl"
+        count = trace.save_jsonl(path)
+        assert count == 3
+        loaded = TraceStore.load_jsonl(path)
+        assert loaded.probe_address == "P"
+        assert len(loaded) == 3
+        assert loaded[0].payload.seq == 9
+        assert loaded[2].payload.peers == ("1.0.0.3", "1.0.0.4")
+        # The reloaded trace is analysable: matching still works.
+        txns, _misses, _un = match_data_transactions(loaded)
+        assert len(txns) == 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            TraceStore.load_jsonl(path)
+
+
+class TestDataMatching:
+    def test_pairs_by_remote_and_seq(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A",
+             m.DataRequest(chunk=1, first=0, last=3, seq=1)),
+            (1.4, Direction.IN, "A",
+             m.DataReply(chunk=1, first=0, last=3, seq=1,
+                         payload_bytes=100)),
+        ])
+        txns, misses, unanswered = match_data_transactions(trace)
+        assert len(txns) == 1
+        assert txns[0].response_time == pytest.approx(0.4)
+        assert txns[0].payload_bytes == 100
+        assert misses == 0 and unanswered == 0
+
+    def test_same_seq_different_remotes(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.DataRequest(seq=7)),
+            (1.1, Direction.OUT, "B", m.DataRequest(seq=7)),
+            (1.5, Direction.IN, "B", m.DataReply(seq=7)),
+            (1.9, Direction.IN, "A", m.DataReply(seq=7)),
+        ])
+        txns, _misses, unanswered = match_data_transactions(trace)
+        assert len(txns) == 2
+        assert unanswered == 0
+        by_remote = {t.remote: t.response_time for t in txns}
+        assert by_remote["B"] == pytest.approx(0.4)
+        assert by_remote["A"] == pytest.approx(0.9)
+
+    def test_unmatched_reply_ignored(self):
+        trace = probe_trace([
+            (1.0, Direction.IN, "A", m.DataReply(seq=3)),
+        ])
+        txns, _m, unanswered = match_data_transactions(trace)
+        assert txns == [] and unanswered == 0
+
+    def test_miss_counted(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.DataRequest(seq=2)),
+            (1.3, Direction.IN, "A", m.DataMiss(seq=2)),
+        ])
+        txns, misses, unanswered = match_data_transactions(trace)
+        assert txns == [] and misses == 1 and unanswered == 0
+
+    def test_unanswered_counted(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.DataRequest(seq=2)),
+        ])
+        _t, _m, unanswered = match_data_transactions(trace)
+        assert unanswered == 1
+
+
+class TestPeerListMatching:
+    def test_latest_request_rule(self):
+        """The reply is matched to the *latest* request to the same IP —
+        the paper's rule, even when an id would disambiguate better."""
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.PeerListRequest(request_id=1)),
+            (5.0, Direction.OUT, "A", m.PeerListRequest(request_id=2)),
+            (5.4, Direction.IN, "A",
+             m.PeerListReply(request_id=1, peers=("X",))),
+        ])
+        txns, unanswered = match_peerlist_transactions(trace)
+        assert len(txns) == 1
+        assert txns[0].response_time == pytest.approx(0.4)
+        assert unanswered == 1  # one of the two requests stays unmatched
+
+    def test_reply_before_any_request_ignored(self):
+        trace = probe_trace([
+            (1.0, Direction.IN, "A", m.PeerListReply(request_id=1)),
+        ])
+        txns, unanswered = match_peerlist_transactions(trace)
+        assert txns == [] and unanswered == 0
+
+    def test_more_replies_than_requests_capped(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.PeerListRequest(request_id=1)),
+            (1.4, Direction.IN, "A", m.PeerListReply(request_id=1)),
+            (1.6, Direction.IN, "A", m.PeerListReply(request_id=1)),
+        ])
+        txns, unanswered = match_peerlist_transactions(trace)
+        assert len(txns) == 1 and unanswered == 0
+
+    def test_peers_carried_through(self):
+        trace = probe_trace([
+            (1.0, Direction.OUT, "A", m.PeerListRequest(request_id=1)),
+            (1.4, Direction.IN, "A",
+             m.PeerListReply(request_id=1, peers=("1.0.0.9",))),
+        ])
+        txns, _un = match_peerlist_transactions(trace)
+        assert txns[0].peers == ("1.0.0.9",)

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENT_IDS
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig02"])
+        assert args.experiment == "fig02"
+        assert args.scale == "small"
+        assert args.seed == 7
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig02", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(ALL_EXPERIMENT_IDS)
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_one_small_experiment(self, capsys):
+        # Smallest meaningful run: uses the SMALL scale TELE-popular
+        # session (tens of seconds).
+        assert main(["fig15", "--scale", "small", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out
+        assert "regenerated" in out

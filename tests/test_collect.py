@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md collector."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.collect import (DOCUMENT_ORDER, PAPER_TARGETS,
+                                       build_document, collect, main)
+
+
+class TestCollect:
+    def test_every_ordered_id_has_a_paper_target(self):
+        for experiment_id in DOCUMENT_ORDER:
+            assert experiment_id in PAPER_TARGETS
+
+    def test_missing_artifacts_flagged(self, tmp_path):
+        collected = collect(tmp_path)
+        assert all(e.measured is None for e in collected)
+        document = build_document(tmp_path)
+        assert "no artifact found" in document
+        assert f"0/{len(DOCUMENT_ORDER)}" in document
+
+    def test_artifacts_embedded(self, tmp_path):
+        (tmp_path / "fig02.txt").write_text("MEASURED CONTENT 42\n")
+        document = build_document(tmp_path)
+        assert "MEASURED CONTENT 42" in document
+        assert f"1/{len(DOCUMENT_ORDER)}" in document
+        # Paper target text accompanies the artifact.
+        assert "~70% of returned addresses" in document
+
+    def test_main_writes_output(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig02.txt").write_text("data\n")
+        output = tmp_path / "EXP.md"
+        assert main([str(results), str(output)]) == 0
+        assert output.exists()
+        assert "data" in output.read_text()
+
+    def test_main_missing_dir(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2

@@ -1,0 +1,144 @@
+"""Tests for the experiment drivers at SMALL scale.
+
+These validate that every figure driver runs end to end, renders, and
+produces internally consistent numbers; paper-shape assertions are kept
+loose because SMALL-scale sessions are short and noisy (the benchmark
+suite exercises the shapes at DEFAULT scale).
+"""
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENT_IDS, Scale, WorkloadBank,
+                               build_config, build_table1,
+                               contribution_figure, locality_figure,
+                               response_figure, rtt_figure, run_experiment)
+from repro.network.isp import ISPCategory, ResponseGroup
+from repro.streaming.video import Popularity
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return WorkloadBank()
+
+
+@pytest.fixture(scope="module")
+def tele_popular(bank):
+    return bank.tele_popular(scale=Scale.SMALL, seed=5)
+
+
+@pytest.fixture(scope="module")
+def mason_unpopular(bank):
+    return bank.mason_unpopular(scale=Scale.SMALL, seed=5)
+
+
+class TestWorkloadBank:
+    def test_sessions_memoised(self, bank, tele_popular):
+        again = bank.tele_popular(scale=Scale.SMALL, seed=5)
+        assert again is tele_popular
+
+    def test_build_config_scales(self):
+        from repro.experiments.base import WorkloadKey
+        small = build_config(WorkloadKey("tele", Popularity.POPULAR,
+                                         Scale.SMALL, 1))
+        full = build_config(WorkloadKey("tele", Popularity.POPULAR,
+                                        Scale.FULL, 1))
+        assert small.population < full.population
+        assert small.duration < full.duration
+
+    def test_unknown_probe_rejected(self):
+        from repro.experiments.base import WorkloadKey
+        with pytest.raises(ValueError):
+            build_config(WorkloadKey("nowhere", Popularity.POPULAR,
+                                     Scale.SMALL, 1))
+
+
+class TestLocalityFigure:
+    def test_fig02_shape(self, tele_popular):
+        fig = locality_figure(tele_popular, "fig02", "test")
+        assert fig.breakdown.probe_category is ISPCategory.TELE
+        assert fig.breakdown.returned_total > 0
+        assert 0.0 <= fig.breakdown.locality <= 1.0
+        text = fig.render()
+        assert "fig02" in text
+        assert "traffic locality" in text
+
+    def test_fig05_probe_is_foreign(self, mason_unpopular):
+        fig = locality_figure(mason_unpopular, "fig05", "test")
+        assert fig.breakdown.probe_category is ISPCategory.FOREIGN
+
+    def test_shares_sum_to_one(self, tele_popular):
+        fig = locality_figure(tele_popular, "fig02", "test")
+        bytes_total = fig.breakdown.bytes_total
+        if bytes_total:
+            assert (sum(fig.breakdown.bytes.values())
+                    == pytest.approx(bytes_total))
+
+
+class TestResponseFigure:
+    def test_fig07_renders_with_averages(self, tele_popular):
+        fig = response_figure(tele_popular, "fig07", "test")
+        counted = [g for g in ResponseGroup if fig.series[g].count > 0]
+        assert counted  # some peer-list replies matched
+        assert "avg resp" in fig.render()
+
+    def test_averages_count_everything_clip_only_display(self,
+                                                         tele_popular):
+        fig = response_figure(tele_popular, "fig07", "test")
+        for group in ResponseGroup:
+            series = fig.series[group]
+            assert len(series.clipped()) <= series.count
+
+
+class TestTable1:
+    def test_four_rows(self, bank):
+        table = build_table1(
+            bank.tele_popular(Scale.SMALL, 5),
+            bank.tele_unpopular(Scale.SMALL, 5),
+            bank.mason_popular(Scale.SMALL, 5),
+            bank.mason_unpopular(Scale.SMALL, 5))
+        assert set(table.rows) == {"TELE-Popular", "TELE-Unpopular",
+                                   "Mason-Popular", "Mason-Unpopular"}
+        text = table.render()
+        assert "TELE peers" in text
+
+
+class TestContributionFigure:
+    def test_fig11_panels(self, tele_popular):
+        fig = contribution_figure(tele_popular, "fig11", "test")
+        analysis = fig.analysis
+        assert analysis.connected_unique > 0
+        assert analysis.connected_unique <= fig.unique_listed
+        if analysis.top10_byte_share is not None:
+            assert 0.0 < analysis.top10_byte_share <= 1.0
+        assert "top 10%" in fig.render()
+
+    def test_request_ranks_descending(self, tele_popular):
+        fig = contribution_figure(tele_popular, "fig11", "test")
+        ranks = fig.analysis.request_ranks
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestRttFigure:
+    def test_fig15_consistency(self, tele_popular):
+        fig = rtt_figure(tele_popular, "fig15", "test")
+        analysis = fig.analysis
+        assert len(analysis.peers) == len(analysis.rtts)
+        assert all(rtt > 0 for rtt in analysis.rtts)
+        assert analysis.request_counts == sorted(analysis.request_counts,
+                                                 reverse=True)
+        assert "correlation" in fig.render() or not analysis.correlation
+
+
+class TestRegistry:
+    def test_all_ids_known(self):
+        assert "fig02" in ALL_EXPERIMENT_IDS
+        assert "table1" in ALL_EXPERIMENT_IDS
+        assert len(ALL_EXPERIMENT_IDS) == 18
+
+    def test_run_experiment_uses_bank(self, bank):
+        fig = run_experiment("fig11", bank=bank, scale=Scale.SMALL, seed=5)
+        assert fig.figure_id == "fig11"
+
+    def test_unknown_id_rejected(self, bank):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", bank=bank)

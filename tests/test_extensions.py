@@ -1,0 +1,188 @@
+"""Tests for the extension features: top-peer pinning and the ISP-aware
+tracker, plus the ablation plumbing around them."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.isp_tracker import IspAwareTrackerServer
+from repro.network.builder import build_internet
+from repro.network.isp import ISPCategory
+from repro.protocol import messages as m
+from repro.protocol.config import ProtocolConfig
+from repro.sim import Simulator
+from repro.workload import ScenarioConfig, run_session
+
+
+class TestPinningConfig:
+    def test_default_off(self):
+        assert ProtocolConfig().pin_top_responders == 0.0
+
+    def test_pinned_session_runs(self):
+        protocol = dataclasses.replace(ProtocolConfig(),
+                                       pin_top_responders=0.10)
+        result = run_session(ScenarioConfig(
+            seed=17, population=14, duration=180.0, warmup=80.0,
+            protocol=protocol))
+        probe = result.probe()
+        assert len(probe.report.data) > 0
+
+    def test_pinned_addresses_pick_fastest(self):
+        from repro.network.bandwidth import CABLE
+        from repro.protocol.peer import PPLivePeer
+        from repro.streaming import LiveChannel
+
+        sim = Simulator(seed=1)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        protocol = dataclasses.replace(ProtocolConfig(),
+                                       pin_top_responders=0.10)
+        peer = PPLivePeer(sim, internet.udp,
+                          internet.allocator.allocate(tele), tele, CABLE,
+                          protocol, LiveChannel(1, "x"),
+                          bootstrap_address="1.2.3.4")
+        fast = peer.neighbors.add("1.0.0.50", now=0.0)
+        slow = peer.neighbors.add("1.0.0.51", now=0.0)
+        fast.record_response(0.1, alpha=1.0)
+        slow.record_response(2.0, alpha=1.0)
+        pinned = peer._pinned_addresses()
+        assert "1.0.0.50" in pinned
+        assert "1.0.0.51" not in pinned
+
+    def test_no_history_no_pins(self):
+        from repro.network.bandwidth import CABLE
+        from repro.protocol.peer import PPLivePeer
+        from repro.streaming import LiveChannel
+
+        sim = Simulator(seed=1)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        protocol = dataclasses.replace(ProtocolConfig(),
+                                       pin_top_responders=0.10)
+        peer = PPLivePeer(sim, internet.udp,
+                          internet.allocator.allocate(tele), tele, CABLE,
+                          protocol, LiveChannel(1, "x"),
+                          bootstrap_address="1.2.3.4")
+        peer.neighbors.add("1.0.0.50", now=0.0)
+        assert peer._pinned_addresses() == frozenset()
+
+
+class TestIspAwareTracker:
+    @pytest.fixture
+    def setup(self):
+        sim = Simulator(seed=8)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        tracker = IspAwareTrackerServer(
+            sim, internet.udp, internet.allocator.allocate(tele), tele,
+            ProtocolConfig(), internet.directory)
+        tracker.go_online()
+        return sim, internet, tracker
+
+    def _register(self, sim, internet, tracker, isp_name, count):
+        from repro.network.bandwidth import CABLE
+        from repro.network.transport import Host
+
+        class Silent(Host):
+            def handle_datagram(self, datagram):
+                pass
+
+        isp = internet.catalog.by_name(isp_name)
+        hosts = []
+        for _ in range(count):
+            host = Silent(sim, internet.udp,
+                          internet.allocator.allocate(isp), isp, CABLE)
+            host.go_online()
+            host.send(tracker.address, m.TrackerQuery(channel_id=1), 20)
+            hosts.append(host)
+        sim.run()
+        return hosts
+
+    def test_same_isp_preferred(self, setup):
+        # More registered peers than the 60-entry reply limit, so the
+        # internal bias is visible in the sample.
+        sim, internet, tracker = setup
+        self._register(sim, internet, tracker, "ChinaTelecom", 80)
+        self._register(sim, internet, tracker, "ChinaNetcom", 80)
+
+        from repro.network.bandwidth import CABLE
+        from repro.network.transport import Host
+
+        class Collector(Host):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.inbox = []
+
+            def handle_datagram(self, datagram):
+                self.inbox.append(datagram.payload)
+
+        tele = internet.catalog.by_name("ChinaTelecom")
+        client = Collector(sim, internet.udp,
+                           internet.allocator.allocate(tele), tele, CABLE)
+        client.go_online()
+        client.send(tracker.address, m.TrackerQuery(channel_id=1), 20)
+        sim.run()
+        reply = [p for p in client.inbox
+                 if isinstance(p, m.TrackerReply)][0]
+        categories = [internet.directory.category_of(a)
+                      for a in reply.peers]
+        tele_share = categories.count(ISPCategory.TELE) / len(categories)
+        assert tele_share > 0.6
+
+    def test_pads_with_external_when_internal_scarce(self, setup):
+        sim, internet, tracker = setup
+        self._register(sim, internet, tracker, "ChinaNetcom", 20)
+
+        from repro.network.bandwidth import CABLE
+        from repro.network.transport import Host
+
+        class Collector(Host):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.inbox = []
+
+            def handle_datagram(self, datagram):
+                self.inbox.append(datagram.payload)
+
+        tele = internet.catalog.by_name("ChinaTelecom")
+        client = Collector(sim, internet.udp,
+                           internet.allocator.allocate(tele), tele, CABLE)
+        client.go_online()
+        client.send(tracker.address, m.TrackerQuery(channel_id=1), 20)
+        sim.run()
+        reply = [p for p in client.inbox
+                 if isinstance(p, m.TrackerReply)][0]
+        assert len(reply.peers) == 20  # all external, still served
+
+    def test_fraction_validated(self, setup):
+        sim, internet, _tracker = setup
+        tele = internet.catalog.by_name("ChinaTelecom")
+        with pytest.raises(ValueError):
+            IspAwareTrackerServer(
+                sim, internet.udp, internet.allocator.allocate(tele),
+                tele, ProtocolConfig(), internet.directory,
+                internal_fraction=1.5)
+
+    def test_scenario_flag_builds_aware_trackers(self):
+        from repro.workload.scenario import SessionScenario
+        scenario = SessionScenario(ScenarioConfig(
+            seed=3, population=5, isp_aware_trackers=True))
+        sim = Simulator(seed=3)
+        deployment = scenario.build_deployment(sim)
+        assert all(isinstance(t, IspAwareTrackerServer)
+                   for t in deployment.trackers)
+
+
+class TestNewAblations:
+    def test_top_peer_caching_runs(self):
+        from repro.experiments import top_peer_caching
+        result = top_peer_caching(seed=5, population=12, duration=150.0)
+        assert len(result.points) == 2
+        assert "A5" in result.render()
+
+    def test_isp_aware_tracker_runs(self):
+        from repro.experiments import isp_aware_tracker
+        result = isp_aware_tracker(seed=5, population=12, duration=150.0)
+        assert len(result.points) == 2
+        labels = [p.label for p in result.points]
+        assert any("isp-aware" in label for label in labels)

@@ -1,0 +1,85 @@
+"""Tests for the contribution-fairness analysis."""
+
+import pytest
+
+from repro.analysis.fairness import (FairnessReport, PeerFairness,
+                                     analyze_fairness, gini_coefficient,
+                                     session_fairness)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_total_inequality_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) == pytest.approx(0.99, abs=0.01)
+
+    def test_known_small_case(self):
+        # For [0, 1]: G = 0.5.
+        assert gini_coefficient([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1.0, 2.0, 3.0])
+        b = gini_coefficient([10.0, 20.0, 30.0])
+        assert a == pytest.approx(b)
+
+    def test_all_zero_is_equal(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([1.0, -1.0])
+
+
+class FakePeer:
+    def __init__(self, address, uploaded, downloaded):
+        self.address = address
+        self.bytes_uploaded = uploaded
+        self.buffer = type("B", (), {"bytes_received": downloaded})()
+
+
+class TestFairnessReport:
+    def test_free_rider_detection(self):
+        peers = [FakePeer("a", uploaded=1000, downloaded=1000),
+                 FakePeer("b", uploaded=10, downloaded=1000),
+                 FakePeer("c", uploaded=2000, downloaded=1000)]
+        report = analyze_fairness(peers)
+        assert report.free_rider_fraction == pytest.approx(1 / 3)
+
+    def test_share_ratio(self):
+        peer = PeerFairness("a", uploaded_bytes=500,
+                            downloaded_bytes=1000)
+        assert peer.share_ratio == pytest.approx(0.5)
+        idle = PeerFairness("b", uploaded_bytes=10, downloaded_bytes=0)
+        assert idle.share_ratio is None
+
+    def test_top10_share(self):
+        peers = [FakePeer(f"p{i}", uploaded=1, downloaded=1)
+                 for i in range(9)]
+        peers.append(FakePeer("big", uploaded=91, downloaded=1))
+        report = analyze_fairness(peers)
+        assert report.top10_upload_share == pytest.approx(0.91)
+
+    def test_render(self):
+        report = analyze_fairness([FakePeer("a", 10, 10)])
+        assert "Gini" in report.render()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_fairness([])
+
+
+class TestSessionFairness:
+    def test_real_session_has_plausible_inequality(self):
+        from repro.workload import ScenarioConfig, run_session
+        result = run_session(ScenarioConfig(seed=41, population=20,
+                                            duration=300.0, warmup=120.0))
+        report = session_fairness(result)
+        assert len(report.peers) >= 20
+        # Heterogeneous uplinks + latency weighting produce real but not
+        # degenerate inequality.
+        assert 0.05 < report.upload_gini < 0.95
+        assert 0.0 <= report.top10_upload_share <= 1.0

@@ -1,0 +1,81 @@
+"""Tests for the shared-infrastructure multi-channel scenario."""
+
+import pytest
+
+from repro.analysis import locality_breakdown
+from repro.workload.multichannel import (ChannelSpec, MultiChannelScenario,
+                                         paper_channel_pair)
+from repro.streaming.video import Popularity
+from repro.workload.popularity import popular_channel_mix
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenario = MultiChannelScenario(
+        paper_channel_pair(popular_population=16, unpopular_population=8),
+        seed=9, warmup=100.0, duration=200.0)
+    return scenario.run()
+
+
+class TestStructure:
+    def test_two_channels_one_bootstrap(self, world):
+        assert len(world.channels) == 2
+        bootstrap = world.deployment.bootstrap
+        assert len(bootstrap.channels()) == 2
+
+    def test_all_probes_active(self, world):
+        assert set(world.probe_names()) == {
+            "tele-popular", "mason-popular",
+            "tele-unpopular", "mason-unpopular"}
+        for name in world.probe_names():
+            probe = world.probe(name)
+            assert len(probe.report.data) > 0, name
+
+    def test_unknown_probe_rejected(self, world):
+        with pytest.raises(KeyError):
+            world.probe("nobody")
+
+    def test_channel_isolation(self, world):
+        """A probe on one channel never receives another channel's data."""
+        for name in world.probe_names():
+            probe = world.probe(name)
+            expected = probe.peer.channel.channel_id
+            for record in probe.trace.of_type("DataReply", "DataRequest"):
+                assert record.payload.channel_id == expected
+
+    def test_shared_trackers_know_both_channels(self, world):
+        tracker = world.deployment.trackers[0]
+        assert tracker.active_peers(1)
+        assert tracker.active_peers(2)
+
+    def test_each_channel_has_own_source(self, world):
+        sources = {c.source.address for c in world.channels.values()}
+        assert len(sources) == 2
+
+    def test_infrastructure_includes_all_sources(self, world):
+        infra = world.infrastructure
+        for channel in world.channels.values():
+            assert channel.source.address in infra
+
+    def test_locality_analysable_per_probe(self, world):
+        probe = world.probe("tele-popular")
+        breakdown = locality_breakdown(probe.trace, probe.report.data,
+                                       world.directory,
+                                       world.infrastructure)
+        assert 0.0 <= breakdown.locality <= 1.0
+        assert breakdown.returned_total > 0
+
+
+class TestValidation:
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ValueError):
+            MultiChannelScenario([])
+
+    def test_single_channel_works(self):
+        spec = ChannelSpec(name="solo", popularity=Popularity.POPULAR,
+                           mix=popular_channel_mix(), population=6)
+        scenario = MultiChannelScenario([spec], seed=2, warmup=60.0,
+                                        duration=90.0)
+        result = scenario.run()
+        assert len(result.channels) == 1
+        assert result.channels[1].population.active_count > 0

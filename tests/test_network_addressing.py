@@ -1,0 +1,131 @@
+"""Unit tests for address allocation and the IP->ASN directory."""
+
+import ipaddress
+
+import pytest
+
+from repro.network.addressing import (AddressAllocator,
+                                      AddressExhaustedError)
+from repro.network.asn import AsnDirectory
+from repro.network.isp import ISPCategory, default_isp_catalog
+
+
+@pytest.fixture
+def catalog():
+    return default_isp_catalog()
+
+
+@pytest.fixture
+def allocator(catalog):
+    return AddressAllocator(catalog, blocks_per_isp=2)
+
+
+class TestAllocation:
+    def test_addresses_unique(self, catalog, allocator):
+        tele = catalog.by_name("ChinaTelecom")
+        cnc = catalog.by_name("ChinaNetcom")
+        addresses = {allocator.allocate(tele) for _ in range(100)}
+        addresses |= {allocator.allocate(cnc) for _ in range(100)}
+        assert len(addresses) == 200
+
+    def test_address_within_isp_prefix(self, catalog, allocator):
+        tele = catalog.by_name("ChinaTelecom")
+        address = allocator.allocate(tele)
+        prefixes = allocator.prefixes_of(tele)
+        assert any(address in p for p in prefixes)
+
+    def test_prefixes_do_not_overlap(self, allocator):
+        networks = [p.network for p in allocator.all_prefixes()]
+        for i, a in enumerate(networks):
+            for b in networks[i + 1:]:
+                assert not a.overlaps(b), f"{a} overlaps {b}"
+
+    def test_allocation_record(self, catalog, allocator):
+        tele = catalog.by_name("ChinaTelecom")
+        address = allocator.allocate(tele)
+        assert allocator.asn_of(address) == tele.asn
+        assert address in allocator
+
+    def test_unknown_address_raises(self, allocator):
+        with pytest.raises(KeyError):
+            allocator.asn_of("9.9.9.9")
+
+    def test_exhaustion(self, catalog):
+        allocator = AddressAllocator(catalog, blocks_per_isp=1)
+        tele = catalog.by_name("ChinaTelecom")
+        capacity = allocator.capacity(tele)
+        # Drain the space (2^16 - 1 addresses) and expect failure after.
+        for _ in range(capacity):
+            allocator.allocate(tele)
+        with pytest.raises(AddressExhaustedError):
+            allocator.allocate(tele)
+
+    def test_blocks_per_isp_validated(self, catalog):
+        with pytest.raises(ValueError):
+            AddressAllocator(catalog, blocks_per_isp=0)
+
+    def test_network_address_never_assigned(self, catalog, allocator):
+        tele = catalog.by_name("ChinaTelecom")
+        first = allocator.allocate(tele)
+        network = allocator.prefixes_of(tele)[0].network
+        assert ipaddress.IPv4Address(first) != network.network_address
+
+
+class TestDirectory:
+    def test_lookup_matches_allocation(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        for isp in catalog:
+            address = allocator.allocate(isp)
+            record = directory.lookup(address)
+            assert record is not None
+            assert record.asn == isp.asn
+            assert record.category is isp.category
+
+    def test_unallocated_but_in_prefix_resolves(self, catalog, allocator):
+        # The directory does longest-prefix matching over CIDR blocks, so
+        # any address inside an owned block resolves, allocated or not.
+        directory = AsnDirectory(catalog, allocator)
+        tele = catalog.by_name("ChinaTelecom")
+        network = allocator.prefixes_of(tele)[0].network
+        inside = str(network.network_address + 12345)
+        record = directory.lookup(inside)
+        assert record is not None and record.asn == tele.asn
+
+    def test_outside_any_prefix_returns_none(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        assert directory.lookup("0.0.0.1") is None
+        assert directory.lookup("255.255.255.254") is None
+
+    def test_garbage_address_returns_none(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        assert directory.lookup("not-an-ip") is None
+
+    def test_category_shortcut(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        cer = catalog.by_name("CERNET")
+        address = allocator.allocate(cer)
+        assert directory.category_of(address) is ISPCategory.CER
+
+    def test_bulk_lookup(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        tele = catalog.by_name("ChinaTelecom")
+        addresses = [allocator.allocate(tele) for _ in range(5)]
+        records = directory.bulk_lookup(addresses)
+        assert all(r is not None and r.asn == tele.asn for r in records)
+
+    def test_caching_counts_lookups(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        tele = catalog.by_name("ChinaTelecom")
+        address = allocator.allocate(tele)
+        directory.lookup(address)
+        directory.lookup(address)
+        assert directory.lookups_served == 2
+
+    def test_whois_line_format(self, catalog, allocator):
+        directory = AsnDirectory(catalog, allocator)
+        tele = catalog.by_name("ChinaTelecom")
+        address = allocator.allocate(tele)
+        line = directory.lookup(address).as_whois_line()
+        assert str(tele.asn) in line
+        assert address in line
+        assert "CN" in line

@@ -1,0 +1,77 @@
+"""Tests for the Internet builder bundle and the datagram type."""
+
+import pytest
+
+from repro.network.builder import build_internet
+from repro.network.datagram import HEADER_BYTES, Datagram
+from repro.network.isp import ISPCategory
+from repro.network.latency import LatencyConfig, PairClass, RttBand
+from repro.sim import Simulator
+
+
+class TestBuilder:
+    def test_components_wired(self):
+        sim = Simulator(seed=2)
+        internet = build_internet(sim)
+        assert internet.sim is sim
+        assert internet.udp.latency is internet.latency
+        assert len(internet.catalog) > 0
+
+    def test_latency_seeded_from_sim(self):
+        a = build_internet(Simulator(seed=5))
+        b = build_internet(Simulator(seed=5))
+        tele = a.catalog.by_name("ChinaTelecom")
+        tele_b = b.catalog.by_name("ChinaTelecom")
+        assert (a.latency.base_rtt("1.0.0.1", tele, "1.0.0.2", tele)
+                == b.latency.base_rtt("1.0.0.1", tele_b, "1.0.0.2",
+                                      tele_b))
+
+    def test_different_seeds_different_latency(self):
+        a = build_internet(Simulator(seed=5))
+        b = build_internet(Simulator(seed=6))
+        tele_a = a.catalog.by_name("ChinaTelecom")
+        tele_b = b.catalog.by_name("ChinaTelecom")
+        assert (a.latency.base_rtt("1.0.0.1", tele_a, "1.0.0.2", tele_a)
+                != b.latency.base_rtt("1.0.0.1", tele_b, "1.0.0.2",
+                                      tele_b))
+
+    def test_custom_latency_config(self):
+        config = LatencyConfig()
+        config.bands[PairClass.INTRA_ISP] = RttBand(0.5, 0.01, 0.49, 0.51)
+        internet = build_internet(Simulator(seed=1),
+                                  latency_config=config)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        rtt = internet.latency.base_rtt("1.0.0.1", tele, "1.0.0.2", tele)
+        assert 0.49 <= rtt <= 0.51
+
+    def test_helpers(self):
+        internet = build_internet(Simulator(seed=1))
+        assert internet.isp_named("CERNET").category is ISPCategory.CER
+        foreign = internet.isps_in(ISPCategory.FOREIGN)
+        assert len(foreign) >= 3
+
+    def test_directory_covers_allocator(self):
+        internet = build_internet(Simulator(seed=1))
+        for isp in internet.catalog:
+            address = internet.allocator.allocate(isp)
+            assert internet.directory.category_of(address) is isp.category
+
+
+class TestDatagram:
+    def test_wire_bytes_includes_headers(self):
+        datagram = Datagram(src="1.0.0.1", dst="1.0.0.2", payload="x",
+                            payload_bytes=100, sent_at=0.0)
+        assert datagram.wire_bytes == 100 + HEADER_BYTES
+
+    def test_packet_ids_unique_and_increasing(self):
+        a = Datagram(src="a", dst="b", payload=None, payload_bytes=0,
+                     sent_at=0.0)
+        b = Datagram(src="a", dst="b", payload=None, payload_bytes=0,
+                     sent_at=0.0)
+        assert b.packet_id > a.packet_id
+
+    def test_frozen(self):
+        datagram = Datagram(src="a", dst="b", payload=None,
+                            payload_bytes=0, sent_at=0.0)
+        with pytest.raises(AttributeError):
+            datagram.src = "c"

@@ -1,0 +1,67 @@
+"""Unit tests for ISP modelling and the default catalog."""
+
+import pytest
+
+from repro.network.isp import (ISP, ISPCatalog, ISPCategory, ResponseGroup,
+                               default_isp_catalog, response_group)
+
+
+class TestISPCategory:
+    def test_chinese_flags(self):
+        assert ISPCategory.TELE.is_chinese
+        assert ISPCategory.CNC.is_chinese
+        assert ISPCategory.CER.is_chinese
+        assert ISPCategory.OTHER_CN.is_chinese
+        assert not ISPCategory.FOREIGN.is_chinese
+
+    def test_string_labels_match_paper(self):
+        assert str(ISPCategory.TELE) == "TELE"
+        assert str(ISPCategory.OTHER_CN) == "OtherCN"
+        assert str(ISPCategory.FOREIGN) == "Foreign"
+
+
+class TestResponseGroup:
+    def test_tele_and_cnc_map_to_themselves(self):
+        assert response_group(ISPCategory.TELE) is ResponseGroup.TELE
+        assert response_group(ISPCategory.CNC) is ResponseGroup.CNC
+
+    def test_rest_merge_into_other(self):
+        for category in (ISPCategory.CER, ISPCategory.OTHER_CN,
+                         ISPCategory.FOREIGN):
+            assert response_group(category) is ResponseGroup.OTHER
+
+
+class TestCatalog:
+    def test_default_catalog_covers_all_categories(self):
+        catalog = default_isp_catalog()
+        for category in ISPCategory:
+            assert catalog.in_category(category), str(category)
+
+    def test_default_catalog_real_asns(self):
+        catalog = default_isp_catalog()
+        assert catalog.by_asn(4134).name == "ChinaTelecom"
+        assert catalog.by_asn(4538).category is ISPCategory.CER
+
+    def test_lookup_by_name(self):
+        catalog = default_isp_catalog()
+        assert catalog.by_name("ChinaNetcom").asn == 4837
+
+    def test_duplicate_asn_rejected(self):
+        catalog = ISPCatalog([ISP("A", 1, ISPCategory.TELE, "CN")])
+        with pytest.raises(ValueError):
+            catalog.add(ISP("B", 1, ISPCategory.CNC, "CN"))
+
+    def test_duplicate_name_rejected(self):
+        catalog = ISPCatalog([ISP("A", 1, ISPCategory.TELE, "CN")])
+        with pytest.raises(ValueError):
+            catalog.add(ISP("A", 2, ISPCategory.CNC, "CN"))
+
+    def test_contains_and_len(self):
+        catalog = default_isp_catalog()
+        assert 4134 in catalog
+        assert 99999 not in catalog
+        assert len(catalog) == len(list(catalog))
+
+    def test_as_name_format(self):
+        isp = ISP("ChinaTelecom", 4134, ISPCategory.TELE, "CN")
+        assert isp.as_name == "CHINATELECOM, CN"

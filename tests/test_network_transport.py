@@ -1,0 +1,155 @@
+"""Unit tests for the uplink queue and UDP transport."""
+
+import pytest
+
+from repro.network.bandwidth import (ADSL, SERVER, AccessProfile,
+                                     UplinkQueue)
+from repro.network.builder import build_internet
+from repro.network.transport import Host
+from repro.sim import Simulator
+
+
+class Echo(Host):
+    """Test host that records everything it receives."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def handle_datagram(self, datagram):
+        self.received.append(datagram)
+
+
+def make_pair(seed=0, profile=SERVER):
+    sim = Simulator(seed=seed)
+    internet = build_internet(sim)
+    tele = internet.catalog.by_name("ChinaTelecom")
+    a = Echo(sim, internet.udp, internet.allocator.allocate(tele), tele,
+             profile)
+    b = Echo(sim, internet.udp, internet.allocator.allocate(tele), tele,
+             profile)
+    a.go_online()
+    b.go_online()
+    return sim, internet, a, b
+
+
+class TestUplinkQueue:
+    def test_serialisation_delay(self):
+        queue = UplinkQueue(AccessProfile("t", 1e6, 1e6))
+        delay = queue.enqueue(125_000, now=0.0)  # 1 second at 1 Mbit/s
+        assert delay == pytest.approx(1.0)
+
+    def test_fifo_backlog_accumulates(self):
+        queue = UplinkQueue(AccessProfile("t", 1e6, 1e6, max_backlog=10.0))
+        first = queue.enqueue(125_000, now=0.0)
+        second = queue.enqueue(125_000, now=0.0)
+        assert second == pytest.approx(first + 1.0)
+
+    def test_backlog_drains_over_time(self):
+        queue = UplinkQueue(AccessProfile("t", 1e6, 1e6))
+        queue.enqueue(125_000, now=0.0)
+        assert queue.backlog(0.5) == pytest.approx(0.5)
+        assert queue.backlog(2.0) == 0.0
+
+    def test_tail_drop_when_over_backlog(self):
+        queue = UplinkQueue(AccessProfile("t", 1e6, 1e6, max_backlog=1.5))
+        queue.enqueue(125_000, now=0.0)
+        queue.enqueue(125_000, now=0.0)
+        # Backlog is now 2.0 s > 1.5 s: next datagram is dropped.
+        assert queue.enqueue(1000, now=0.0) is None
+        assert queue.datagrams_dropped == 1
+
+    def test_negative_size_rejected(self):
+        queue = UplinkQueue(ADSL)
+        with pytest.raises(ValueError):
+            queue.enqueue(-1, now=0.0)
+
+    def test_utilization_hint_bounded(self):
+        queue = UplinkQueue(AccessProfile("t", 1e6, 1e6, max_backlog=1.0))
+        queue.enqueue(250_000, now=0.0)
+        assert queue.utilization_hint(0.0) == 1.0
+
+    def test_reset_clears_backlog(self):
+        queue = UplinkQueue(ADSL)
+        queue.enqueue(100_000, now=0.0)
+        queue.reset(now=0.0)
+        assert queue.backlog(0.0) == 0.0
+
+
+class TestTransport:
+    def test_delivery(self):
+        sim, internet, a, b = make_pair()
+        a.send(b.address, "hello", payload_bytes=100)
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0].payload == "hello"
+        assert b.received[0].src == a.address
+
+    def test_delivery_takes_time(self):
+        sim, internet, a, b = make_pair()
+        a.send(b.address, "x", payload_bytes=100)
+        sim.run()
+        assert sim.now > 0.0
+
+    def test_offline_destination_drops(self):
+        sim, internet, a, b = make_pair()
+        b.go_offline()
+        a.send(b.address, "x", payload_bytes=100)
+        sim.run()
+        assert b.received == []
+        assert internet.udp.datagrams_dropped_offline == 1
+
+    def test_departure_mid_flight_drops(self):
+        sim, internet, a, b = make_pair()
+        a.send(b.address, "x", payload_bytes=100)
+        b.go_offline()  # packet already in flight
+        sim.run()
+        assert b.received == []
+
+    def test_duplicate_address_registration_rejected(self):
+        sim, internet, a, b = make_pair()
+        tele = internet.catalog.by_name("ChinaTelecom")
+        clone = Echo(sim, internet.udp, a.address, tele, SERVER)
+        with pytest.raises(ValueError):
+            clone.go_online()
+
+    def test_uplink_drop_returns_false(self):
+        profile = AccessProfile("tiny", 1e6, 1000.0, max_backlog=0.001)
+        sim, internet, a, b = make_pair(profile=profile)
+        assert a.send(b.address, "1", payload_bytes=10_000) is True
+        # The first send saturated the uplink way past the backlog cap.
+        assert a.send(b.address, "2", payload_bytes=10_000) is False
+
+    def test_taps_observe_send_and_recv(self):
+        sim, internet, a, b = make_pair()
+        events = []
+        internet.udp.add_tap(lambda e, d, t: events.append((e, d.src, t)))
+        a.send(b.address, "x", payload_bytes=10)
+        sim.run()
+        kinds = [e for e, _src, _t in events]
+        assert kinds == ["send", "recv"]
+
+    def test_tap_removal(self):
+        sim, internet, a, b = make_pair()
+        events = []
+        tap = lambda e, d, t: events.append(e)
+        internet.udp.add_tap(tap)
+        internet.udp.remove_tap(tap)
+        a.send(b.address, "x", payload_bytes=10)
+        sim.run()
+        assert events == []
+
+    def test_counters(self):
+        sim, internet, a, b = make_pair()
+        for _ in range(5):
+            a.send(b.address, "x", payload_bytes=10)
+        sim.run()
+        udp = internet.udp
+        assert udp.datagrams_sent == 5
+        assert udp.datagrams_delivered + udp.datagrams_lost == 5
+
+    def test_online_count(self):
+        sim, internet, a, b = make_pair()
+        base = internet.udp.online_count
+        b.go_offline()
+        assert internet.udp.online_count == base - 1

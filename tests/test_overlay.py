@@ -1,0 +1,135 @@
+"""Tests for the overlay-graph structure analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.overlay import (OverlayAnalysis, analyze_overlay,
+                                    analyze_session_overlay,
+                                    expected_intra_fraction,
+                                    intra_isp_edge_fraction,
+                                    isp_assortativity, isp_modularity,
+                                    overlay_graph)
+from repro.network.addressing import AddressAllocator
+from repro.network.asn import AsnDirectory
+from repro.network.isp import default_isp_catalog
+from repro.protocol.neighbors import NeighborTable
+
+
+class FakePeer:
+    def __init__(self, address, neighbor_addresses=()):
+        self.address = address
+        self.neighbors = NeighborTable(capacity=64)
+        for neighbor in neighbor_addresses:
+            self.neighbors.add(neighbor, now=0.0)
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = default_isp_catalog()
+    allocator = AddressAllocator(catalog)
+    directory = AsnDirectory(catalog, allocator)
+    tele = [allocator.allocate(catalog.by_name("ChinaTelecom"))
+            for _ in range(4)]
+    cnc = [allocator.allocate(catalog.by_name("ChinaNetcom"))
+           for _ in range(4)]
+    return directory, tele, cnc
+
+
+class TestGraphConstruction:
+    def test_nodes_and_edges(self, world):
+        directory, tele, cnc = world
+        peers = [FakePeer(tele[0], [tele[1]]),
+                 FakePeer(tele[1]),
+                 FakePeer(cnc[0], [tele[0]])]
+        graph = overlay_graph(peers, directory)
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge(tele[0], tele[1])
+        assert graph.has_edge(cnc[0], tele[0])
+
+    def test_edges_to_unknown_peers_ignored(self, world):
+        directory, tele, cnc = world
+        peers = [FakePeer(tele[0], ["9.9.9.9", tele[1]]),
+                 FakePeer(tele[1])]
+        graph = overlay_graph(peers, directory)
+        assert graph.number_of_edges() == 1
+
+    def test_infrastructure_excluded(self, world):
+        directory, tele, cnc = world
+        peers = [FakePeer(tele[0], [tele[1]]), FakePeer(tele[1])]
+        graph = overlay_graph(peers, directory,
+                              infrastructure=frozenset([tele[1]]))
+        assert tele[1] not in graph.nodes
+
+
+class TestMetrics:
+    def make_clustered(self, world):
+        """Two ISP cliques joined by one bridge edge."""
+        directory, tele, cnc = world
+        peers = []
+        for i, address in enumerate(tele):
+            peers.append(FakePeer(address,
+                                  [a for a in tele if a != address]))
+        for i, address in enumerate(cnc):
+            peers.append(FakePeer(address,
+                                  [a for a in cnc if a != address]))
+        peers[0].neighbors.add(cnc[0], now=0.0)  # the bridge
+        return analyze_overlay(peers, directory)
+
+    def make_bipartite(self, world):
+        """Every edge crosses the ISP boundary."""
+        directory, tele, cnc = world
+        peers = [FakePeer(t, cnc) for t in tele]
+        peers += [FakePeer(c) for c in cnc]
+        return analyze_overlay(peers, directory)
+
+    def test_clustered_overlay_scores_high(self, world):
+        analysis = self.make_clustered(world)
+        assert analysis.intra_isp_fraction > 0.9
+        assert analysis.locality_lift > 1.5
+        assert analysis.clustering_coefficient > 0.8
+        assert analysis.assortativity > 0.8
+        assert analysis.modularity > 0.3
+
+    def test_bipartite_overlay_scores_low(self, world):
+        analysis = self.make_bipartite(world)
+        assert analysis.intra_isp_fraction == 0.0
+        assert analysis.assortativity < 0.0
+        assert analysis.modularity < 0.0
+
+    def test_null_model_matches_random_expectation(self, world):
+        directory, tele, cnc = world
+        # Balanced two-category graph: null expectation is 0.5.
+        peers = [FakePeer(tele[0], [tele[1], cnc[0]]),
+                 FakePeer(tele[1], [cnc[1]]),
+                 FakePeer(cnc[0], [cnc[1]]),
+                 FakePeer(cnc[1])]
+        graph = overlay_graph(peers, directory)
+        assert expected_intra_fraction(graph) == pytest.approx(0.5)
+
+    def test_empty_graph_returns_none(self, world):
+        directory, _tele, _cnc = world
+        analysis = analyze_overlay([], directory)
+        assert analysis.nodes == 0
+        assert analysis.intra_isp_fraction is None
+        assert analysis.locality_lift is None
+        assert "n/a" in analysis.render()
+
+    def test_render_mentions_lift(self, world):
+        analysis = self.make_clustered(world)
+        assert "lift" in analysis.render()
+
+
+class TestSessionIntegration:
+    def test_session_overlay_is_isp_clustered(self):
+        from repro.workload import ScenarioConfig, run_session
+        result = run_session(ScenarioConfig(seed=5, population=30,
+                                            duration=420.0, warmup=150.0))
+        analysis = analyze_session_overlay(result)
+        assert analysis.nodes >= 25
+        assert analysis.edges > analysis.nodes  # well connected
+        # Clustering needs session time to develop; at this tiny scale we
+        # only require the overlay not to be *anti*-local.  The benchmark
+        # suite asserts lift > 1 on the default-scale sessions.
+        assert analysis.locality_lift is not None
+        assert analysis.locality_lift > 0.8
+        assert analysis.clustering_coefficient is not None

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.bandwidth import AccessProfile, UplinkQueue
+from repro.sim import Simulator
+from repro.streaming import ChunkBuffer, ChunkGeometry, SUBPIECE_LARGE
+
+
+# ----------------------------------------------------------------------
+# Event queue ordering
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_events_always_execute_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    executed = []
+    for t in times:
+        sim.call_at(t, lambda t=t: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(times)
+
+
+@given(st.lists(st.tuples(st.floats(0.0, 100.0), st.booleans()),
+                min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    events = []
+    for index, (t, cancel) in enumerate(entries):
+        events.append((sim.call_at(t, lambda i=index: fired.append(i)),
+                       cancel))
+    for event, cancel in events:
+        if cancel:
+            sim.cancel(event)
+    sim.run()
+    cancelled = {i for i, (e, c) in enumerate(events) if c}
+    assert cancelled.isdisjoint(fired)
+    assert len(fired) == len(entries) - len(cancelled)
+
+
+# ----------------------------------------------------------------------
+# Chunk buffer invariants
+# ----------------------------------------------------------------------
+geometry = ChunkGeometry(bitrate_bps=SUBPIECE_LARGE * 8 * 2,
+                         chunk_seconds=2.0)  # 4 sub-pieces per chunk
+
+subpiece_events = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 3)),
+    min_size=1, max_size=200)
+
+
+@given(subpiece_events)
+@settings(max_examples=80, deadline=None)
+def test_buffer_frontier_is_contiguous(events):
+    buf = ChunkBuffer(geometry, first_chunk=0)
+    for chunk, sp in events:
+        buf.add_subpiece(chunk, sp)
+    # Every chunk up to the frontier is complete.
+    for chunk in range(buf.first_chunk, buf.have_until + 1):
+        assert buf.has_chunk(chunk)
+        assert buf.missing_subpieces(chunk) == []
+    # The chunk just past the frontier is incomplete (else the frontier
+    # would have advanced).
+    assert not buf.has_chunk(buf.have_until + 1)
+
+
+@given(subpiece_events)
+@settings(max_examples=80, deadline=None)
+def test_buffer_bytes_conservation(events):
+    buf = ChunkBuffer(geometry, first_chunk=0)
+    distinct = set()
+    for chunk, sp in events:
+        buf.add_subpiece(chunk, sp)
+        if chunk >= 0:
+            distinct.add((chunk, sp))
+    expected = sum(geometry.subpiece_size(sp) for _c, sp in distinct)
+    assert buf.bytes_received == expected
+
+
+@given(subpiece_events)
+@settings(max_examples=80, deadline=None)
+def test_buffer_duplicates_plus_new_equals_total(events):
+    buf = ChunkBuffer(geometry, first_chunk=0)
+    accepted = sum(1 for chunk, sp in events
+                   if buf.add_subpiece(chunk, sp))
+    assert accepted + buf.duplicate_subpieces == len(events)
+
+
+@given(subpiece_events, st.integers(0, 20))
+@settings(max_examples=60, deadline=None)
+def test_buffer_eviction_never_moves_frontier_backwards(events, playout):
+    buf = ChunkBuffer(geometry, first_chunk=0, keep_behind=4)
+    for chunk, sp in events:
+        buf.add_subpiece(chunk, sp)
+    frontier_before = buf.have_until
+    buf.evict_before(playout)
+    assert buf.have_until >= frontier_before
+
+
+# ----------------------------------------------------------------------
+# Uplink queue invariants
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.floats(0.0, 10.0), st.integers(1, 50_000)),
+                min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_uplink_delays_keep_fifo_order(sends):
+    """Departure times are non-decreasing when arrivals are ordered."""
+    queue = UplinkQueue(AccessProfile("t", 1e6, 1e6, max_backlog=1e9))
+    now = 0.0
+    last_departure = 0.0
+    for gap, size in sends:
+        now += gap
+        delay = queue.enqueue(size, now)
+        assert delay is not None
+        departure = now + delay
+        assert departure >= last_departure - 1e-9
+        # Serialisation alone lower-bounds the delay.
+        assert delay >= size * 8.0 / 1e6 - 1e-9
+        last_departure = departure
+
+
+@given(st.lists(st.integers(1, 100_000), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_uplink_accounting_consistent(sizes):
+    queue = UplinkQueue(AccessProfile("t", 1e6, 64_000, max_backlog=3.0))
+    sent_bytes = 0
+    for size in sizes:
+        delay = queue.enqueue(size, now=0.0)
+        if delay is not None:
+            sent_bytes += size
+    assert queue.bytes_sent == sent_bytes
+    assert queue.datagrams_sent + queue.datagrams_dropped == len(sizes)
+
+
+# ----------------------------------------------------------------------
+# Deterministic replay of a small end-to-end world
+# ----------------------------------------------------------------------
+@given(st.integers(0, 2 ** 16))
+@settings(max_examples=5, deadline=None)
+def test_simulation_is_deterministic_in_seed(seed):
+    from repro.workload import ScenarioConfig, run_session
+
+    config = ScenarioConfig(seed=seed, population=6, duration=90.0,
+                            warmup=45.0)
+    a = run_session(config)
+    b = run_session(config)
+    assert a.deployment.sim.events_executed == b.deployment.sim.events_executed
+    assert len(a.probe().trace) == len(b.probe().trace)
+    times_a = [r.time for r in a.probe().trace]
+    times_b = [r.time for r in b.probe().trace]
+    assert times_a == times_b

@@ -1,0 +1,88 @@
+"""Property-based tests on the statistics and pool invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import gini_coefficient
+from repro.protocol.peerlist import CandidatePool, ListSource
+from repro.stats import (fit_stretched_exponential, fit_zipf,
+                         top_fraction_share)
+
+positive_floats = st.floats(0.01, 1e6, allow_nan=False,
+                            allow_infinity=False)
+
+
+class TestStatProperties:
+    @given(st.lists(positive_floats, min_size=2, max_size=100),
+           st.floats(1.1, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_gini_scale_invariant(self, values, factor):
+        base = gini_coefficient(values)
+        scaled = gini_coefficient([v * factor for v in values])
+        assert math.isclose(base, scaled, abs_tol=1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_gini_bounds(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g < 1.0
+
+    @given(st.floats(0.2, 2.5), st.integers(20, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_zipf_alpha_recovered(self, alpha, n):
+        values = [100000.0 * r ** -alpha for r in range(1, n + 1)]
+        assume(min(values) > 0)
+        fit = fit_zipf(values)
+        assert math.isclose(fit.alpha, alpha, rel_tol=0.05, abs_tol=0.02)
+        assert fit.r_squared > 0.999
+
+    @given(st.lists(positive_floats, min_size=3, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_top_share_monotone_in_fraction(self, values):
+        small = top_fraction_share(values, 0.10)
+        large = top_fraction_share(values, 0.50)
+        assert large >= small - 1e-9
+        assert top_fraction_share(values, 1.0) == pytest.approx(1.0)
+
+    @given(st.lists(positive_floats, min_size=5, max_size=150),
+           st.floats(1.1, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_se_fit_c_scale_invariant_in_shape(self, values, factor):
+        """Scaling the data does not change which c the grid picks
+        dramatically (the transform is monotone)."""
+        try:
+            base = fit_stretched_exponential(values)
+            scaled = fit_stretched_exponential([v * factor
+                                                for v in values])
+        except ValueError:
+            return
+        # R^2 quality is preserved under scaling within tolerance.
+        assert abs(base.r_squared - scaled.r_squared) < 0.2
+
+
+class TestCandidatePoolProperties:
+    @given(st.lists(st.tuples(st.integers(1, 40), st.floats(0, 1000)),
+                    min_size=1, max_size=300),
+           st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, sightings, capacity):
+        pool = CandidatePool("9.9.9.9", capacity=capacity)
+        for host_id, now in sightings:
+            pool.add(f"1.0.0.{host_id}", now, ListSource.TRACKER)
+        assert len(pool) <= capacity
+
+    @given(st.lists(st.integers(1, 60), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_peer_list_no_duplicates_and_within_limit(self, host_ids):
+        pool = CandidatePool("9.9.9.9", capacity=500)
+        for index, host_id in enumerate(host_ids):
+            pool.add(f"1.0.0.{host_id}", float(index),
+                     ListSource.NEIGHBOR)
+        neighbors = [f"2.0.0.{i}" for i in range(1, 6)]
+        out = pool.build_peer_list(neighbors, limit=60, now=1e6)
+        assert len(out) == len(set(out))
+        assert len(out) <= 60
+        assert out[:5] == neighbors

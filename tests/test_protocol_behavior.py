@@ -1,0 +1,112 @@
+"""Behavioural tests pinning the paper's protocol observations.
+
+Each test corresponds to a sentence in the paper's Section 2: the gossip
+cadence, the 60-entry list cap, the tracker back-off, and the enclosed
+own-list in peer-list requests.
+"""
+
+import pytest
+
+from repro.capture import (PEER_LIST_REPLY, PEER_LIST_REQUEST,
+                           TRACKER_QUERY, Direction, ProbeSniffer)
+from repro.protocol import messages as m
+from repro.sim import Simulator
+from repro.workload.scenario import ScenarioConfig, SessionScenario
+
+
+@pytest.fixture(scope="module")
+def session():
+    """A small session with a sniffed probe, shared by the assertions."""
+    config = ScenarioConfig(seed=29, population=20, duration=360.0,
+                            warmup=120.0)
+    return SessionScenario(config).run()
+
+
+class TestGossipCadence:
+    def test_requests_roughly_every_20_seconds(self, session):
+        """"a peer periodically queries its neighbors ... once every 20
+        seconds" — per gossip round the probe sends `gossip_fanout`
+        requests, so the per-round spacing of outgoing bursts is ~20s."""
+        trace = session.probe().trace
+        request_times = sorted(r.time for r in
+                               trace.outgoing(PEER_LIST_REQUEST))
+        assert len(request_times) >= 6
+        # Collapse each burst (fanout requests share a round).
+        rounds = [request_times[0]]
+        for t in request_times[1:]:
+            if t - rounds[-1] > 5.0:
+                rounds.append(t)
+        gaps = [b - a for a, b in zip(rounds, rounds[1:])]
+        average_gap = sum(gaps) / len(gaps)
+        config = session.config.protocol
+        assert (config.gossip_interval * 0.5
+                <= average_gap
+                <= config.gossip_interval * 2.0)
+
+    def test_requests_enclose_own_list(self, session):
+        """"by sending the peer list maintained by itself"."""
+        trace = session.probe().trace
+        outgoing = trace.outgoing(PEER_LIST_REQUEST)
+        # After warm-up the probe has neighbors to enclose.
+        late = [r for r in outgoing if r.time > outgoing[0].time + 60.0]
+        assert any(len(r.payload.enclosed) > 0 for r in late)
+
+
+class TestListCap:
+    def test_no_list_exceeds_60_entries(self, session):
+        trace = session.probe().trace
+        for record in trace.incoming(PEER_LIST_REPLY):
+            assert len(record.payload.peers) <= 60
+        for record in trace.incoming("TrackerReply"):
+            assert len(record.payload.peers) <= 60
+
+
+class TestTrackerBackoff:
+    def test_query_rate_drops_after_startup(self, session):
+        """"a peer significantly reduces the frequency of querying
+        tracker servers" once playback is satisfactory."""
+        trace = session.probe().trace
+        queries = [r.time for r in trace.outgoing(TRACKER_QUERY)]
+        assert queries, "no tracker queries captured"
+        session_start = queries[0]
+        duration = session.config.duration
+        early = [t for t in queries
+                 if t - session_start < duration * 0.3]
+        late = [t for t in queries
+                if t - session_start >= duration * 0.7]
+        # The initial burst queries all five groups; the steady state
+        # should be much quieter per unit time.
+        early_rate = len(early) / (duration * 0.3)
+        late_rate = len(late) / (duration * 0.3)
+        assert early_rate > late_rate
+
+    def test_peer_mainly_relies_on_neighbors(self, session):
+        """"it mainly connects to new peers referred by its neighbors":
+        most received list entries come from peers, not trackers."""
+        from repro.analysis.locality import returned_by_source
+        buckets = returned_by_source(session.probe().trace,
+                                     session.directory,
+                                     session.infrastructure)
+        from_peers = sum(sum(c.values()) for bucket, c in buckets.items()
+                         if bucket.endswith("_p"))
+        from_trackers = sum(sum(c.values())
+                            for bucket, c in buckets.items()
+                            if bucket.endswith("_s"))
+        assert from_peers > from_trackers
+
+
+class TestConnectOnArrival:
+    def test_hello_follows_list_quickly(self, session):
+        """"always tries to connect to the listed peers as soon as the
+        list is received": some Hello leaves within a second of a list
+        arriving."""
+        trace = session.probe().trace
+        replies = [r.time for r in trace.incoming(PEER_LIST_REPLY,
+                                                  "TrackerReply")]
+        hellos = [r.time for r in trace.outgoing("Hello")]
+        assert hellos, "probe never attempted connections"
+        quick = 0
+        for hello_time in hellos:
+            if any(0.0 <= hello_time - t <= 1.0 for t in replies):
+                quick += 1
+        assert quick >= 1

@@ -1,0 +1,200 @@
+"""Integration tests for the PPLive client against real infrastructure.
+
+These exercise the paper's Figure 1 flow end to end on a small simulated
+deployment: bootstrap (steps 1-4), tracker query/announce (5-6), gossip
+(7-8), handshake races, data exchange, and departure handling.
+"""
+
+import pytest
+
+from repro.protocol import messages as m
+from repro.protocol.peer import PeerPhase, PPLivePeer
+from repro.sim import Simulator
+from repro.workload.scenario import (ScenarioConfig, SessionScenario,
+                                     TELE_PROBE)
+
+
+@pytest.fixture
+def deployment():
+    scenario = SessionScenario(ScenarioConfig(seed=2, population=10))
+    sim = Simulator(seed=2)
+    dep = scenario.build_deployment(sim)
+    return scenario, sim, dep
+
+
+def make_peer(scenario, dep, isp_name="ChinaTelecom"):
+    from repro.network.bandwidth import CABLE
+    internet = dep.internet
+    isp = internet.catalog.by_name(isp_name)
+    address = internet.allocator.allocate(isp)
+    cfg = scenario.config
+    return PPLivePeer(dep.sim, internet.udp, address, isp, CABLE,
+                      cfg.protocol, dep.channel,
+                      bootstrap_address=dep.bootstrap.address,
+                      source_address=dep.source.address)
+
+
+class TestJoinFlow:
+    def test_bootstrap_to_active(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        assert peer.phase is PeerPhase.BOOTSTRAPPING
+        sim.run_until(10.0)
+        assert peer.phase is PeerPhase.ACTIVE
+        # Playlink handed over one tracker per group (five groups).
+        assert len(peer.trackers) == 5
+
+    def test_double_join_rejected(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        with pytest.raises(RuntimeError):
+            peer.join()
+
+    def test_tracker_announce_registers_peer(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(10.0)
+        registered = [t for t in dep.trackers
+                      if peer.address in t.active_peers(1)]
+        assert registered  # at least one tracker knows us
+
+    def test_two_peers_become_neighbors(self, deployment):
+        scenario, sim, dep = deployment
+        a = make_peer(scenario, dep)
+        b = make_peer(scenario, dep)
+        a.join()
+        sim.run_until(5.0)
+        b.join()
+        sim.run_until(60.0)
+        # b learned about a from a tracker and connected (or vice versa).
+        assert b.address in a.neighbors or a.address in b.neighbors
+
+    def test_buffer_initialised_near_live_edge(self, deployment):
+        scenario, sim, dep = deployment
+        sim.run_until(100.0)
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(110.0)
+        live = dep.channel.live_chunk(sim.now)
+        cfg = scenario.config.protocol
+        assert (live - cfg.startup_lag_max
+                <= peer.buffer.first_chunk <= live)
+
+
+class TestDataExchange:
+    def test_peer_downloads_video(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(120.0)
+        assert peer.buffer is not None
+        assert peer.buffer.bytes_received > 0
+
+    def test_playback_starts(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(180.0)
+        assert peer.player is not None
+        assert peer.player.startup_delay is not None
+
+    def test_two_peers_exchange_data(self, deployment):
+        scenario, sim, dep = deployment
+        a = make_peer(scenario, dep)
+        a.join()
+        sim.run_until(60.0)
+        b = make_peer(scenario, dep)
+        b.join()
+        sim.run_until(240.0)
+        # Someone served someone: at least one direction of peer upload.
+        assert a.bytes_uploaded + b.bytes_uploaded > 0
+
+
+class TestGossip:
+    def test_gossip_spreads_membership(self, deployment):
+        scenario, sim, dep = deployment
+        peers = [make_peer(scenario, dep) for _ in range(4)]
+        for peer in peers:
+            peer.join()
+        sim.run_until(120.0)
+        # Every peer should know more addresses than the infrastructure
+        # alone would provide.
+        for peer in peers:
+            assert len(peer.pool) >= 2
+
+    def test_peer_list_reply_contains_neighbors(self, deployment):
+        scenario, sim, dep = deployment
+        a = make_peer(scenario, dep)
+        b = make_peer(scenario, dep)
+        a.join()
+        b.join()
+        sim.run_until(90.0)
+        assert a.peer_lists_sent + b.peer_lists_sent > 0
+
+
+class TestDeparture:
+    def test_leave_sends_goodbyes(self, deployment):
+        scenario, sim, dep = deployment
+        a = make_peer(scenario, dep)
+        b = make_peer(scenario, dep)
+        a.join()
+        b.join()
+        sim.run_until(60.0)
+        if b.address in a.neighbors:
+            a.leave()
+            sim.run_until(sim.now + 5.0)
+            assert a.address not in b.neighbors
+        assert a.phase is PeerPhase.DEPARTED or a.leave() is None
+
+    def test_leave_is_idempotent(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(30.0)
+        peer.leave()
+        peer.leave()
+        assert peer.phase is PeerPhase.DEPARTED
+
+    def test_crash_leaves_silently(self, deployment):
+        scenario, sim, dep = deployment
+        a = make_peer(scenario, dep)
+        b = make_peer(scenario, dep)
+        a.join()
+        b.join()
+        sim.run_until(60.0)
+        had_neighbor = a.address in b.neighbors
+        a.crash()
+        sim.run_until(sim.now + 2.0)
+        if had_neighbor:
+            # No goodbye: b still believes in a until the silence sweep.
+            assert a.address in b.neighbors
+
+    def test_departed_peer_ignores_traffic(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(30.0)
+        peer.leave()
+        # Nothing should blow up when late datagrams arrive.
+        sim.run_until(sim.now + 10.0)
+        assert peer.phase is PeerPhase.DEPARTED
+
+
+class TestResync:
+    def test_resync_jumps_forward(self, deployment):
+        scenario, sim, dep = deployment
+        peer = make_peer(scenario, dep)
+        peer.join()
+        sim.run_until(20.0)
+        assert peer.phase is PeerPhase.ACTIVE
+        # Strand the peer far behind the live edge; the next maintenance
+        # sweep must re-sync it near the edge.
+        peer.buffer.have_until = -1000
+        sim.run_until(sim.now + 10.0)
+        assert peer.resyncs >= 1
+        live = dep.channel.live_chunk(sim.now)
+        assert live - peer.buffer.first_chunk <= \
+            scenario.config.protocol.startup_lag_max

@@ -1,0 +1,120 @@
+"""Unit tests for the native PPLive peer-selection policy."""
+
+import random
+
+import pytest
+
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.peerlist import ListSource
+from repro.protocol.policy import PeerSelectionPolicy, PPLiveReferralPolicy
+
+
+class FakePeer:
+    def __init__(self, neighbor_count=0, pending=0, config=None,
+                 blocked=()):
+        self.config = config if config is not None else ProtocolConfig()
+        self.address = "9.9.9.9"
+        self.neighbors = [None] * neighbor_count
+        self.pending_hello_count = pending
+        self._blocked = set(blocked)
+        self._satisfied = False
+
+    def can_attempt(self, address):
+        return address != self.address and address not in self._blocked
+
+    def playback_satisfactory(self):
+        return self._satisfied
+
+
+@pytest.fixture
+def policy():
+    return PPLiveReferralPolicy()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+ADDRESSES = [f"1.0.0.{i}" for i in range(1, 31)]
+
+
+class TestSelectCandidates:
+    def test_no_deficit_no_candidates(self, policy, rng):
+        config = ProtocolConfig()
+        peer = FakePeer(neighbor_count=config.target_neighbors,
+                        config=config)
+        assert policy.select_candidates(peer, ADDRESSES,
+                                        ListSource.NEIGHBOR, rng) == []
+
+    def test_pending_hellos_count_toward_engagement(self, policy, rng):
+        config = ProtocolConfig()
+        peer = FakePeer(neighbor_count=config.target_neighbors - 2,
+                        pending=2, config=config)
+        assert policy.select_candidates(peer, ADDRESSES,
+                                        ListSource.NEIGHBOR, rng) == []
+
+    def test_oversubscribes_small_deficit(self, policy, rng):
+        config = ProtocolConfig()
+        peer = FakePeer(neighbor_count=config.target_neighbors - 1,
+                        config=config)
+        chosen = policy.select_candidates(peer, ADDRESSES,
+                                          ListSource.NEIGHBOR, rng)
+        # Deficit is 1 but a whole batch of Hellos races for the slot.
+        assert len(chosen) == config.connect_batch
+
+    def test_large_deficit_expands_batch(self, policy, rng):
+        config = ProtocolConfig()
+        peer = FakePeer(neighbor_count=0, config=config)
+        chosen = policy.select_candidates(peer, ADDRESSES,
+                                          ListSource.NEIGHBOR, rng)
+        assert len(chosen) == config.target_neighbors
+
+    def test_filters_unattemptable(self, policy, rng):
+        config = ProtocolConfig()
+        peer = FakePeer(config=config, blocked=ADDRESSES[:-2])
+        chosen = policy.select_candidates(peer, ADDRESSES,
+                                          ListSource.NEIGHBOR, rng)
+        assert set(chosen) == set(ADDRESSES[-2:])
+
+    def test_deduplicates_input(self, policy, rng):
+        config = ProtocolConfig()
+        peer = FakePeer(config=config)
+        chosen = policy.select_candidates(peer, ["1.0.0.1"] * 50,
+                                          ListSource.NEIGHBOR, rng)
+        assert chosen == ["1.0.0.1"]
+
+    def test_random_subset_varies(self, policy):
+        config = ProtocolConfig()
+        peer = FakePeer(neighbor_count=config.target_neighbors - 1,
+                        config=config)
+        a = policy.select_candidates(peer, ADDRESSES,
+                                     ListSource.NEIGHBOR,
+                                     random.Random(1))
+        b = policy.select_candidates(peer, ADDRESSES,
+                                     ListSource.NEIGHBOR,
+                                     random.Random(2))
+        assert set(a) != set(b)
+
+
+class TestTrackerInterval:
+    def test_initial_interval_while_unsatisfied(self, policy):
+        config = ProtocolConfig()
+        peer = FakePeer(config=config)
+        assert (policy.tracker_interval(peer, config)
+                == config.tracker_interval_initial)
+
+    def test_backoff_when_satisfied(self, policy):
+        config = ProtocolConfig()
+        peer = FakePeer(config=config)
+        peer._satisfied = True
+        assert (policy.tracker_interval(peer, config)
+                == config.tracker_interval_backoff)
+
+
+class TestAbstractBase:
+    def test_select_candidates_not_implemented(self, rng):
+        policy = PeerSelectionPolicy()
+        with pytest.raises(NotImplementedError):
+            policy.select_candidates(FakePeer(), ADDRESSES,
+                                     ListSource.NEIGHBOR, rng)

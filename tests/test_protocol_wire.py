@@ -1,0 +1,138 @@
+"""Wire-codec tests: round-trips, size guarantees, malformed input.
+
+The protocol hot path never encodes; it relies on ``wire_size`` matching
+``len(encode(msg))`` exactly.  The property-based round-trip tests here
+are what make that shortcut safe.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import messages as m
+from repro.protocol.wire import WireError, decode, encode, wire_size
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+addresses = st.builds(
+    lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
+    st.integers(1, 255), st.integers(0, 255),
+    st.integers(0, 255), st.integers(1, 254))
+
+address_lists = st.lists(addresses, max_size=60).map(tuple)
+channel_ids = st.integers(0, 2 ** 32 - 1)
+chunks = st.integers(-1, 2 ** 40)
+have = st.integers(-1, 2 ** 40)
+seqs = st.integers(0, 2 ** 32 - 1)
+subpiece_index = st.integers(0, 200)
+names = st.text(min_size=1, max_size=40).filter(
+    lambda s: len(s.encode("utf-8")) <= 255)
+
+
+def message_strategy():
+    return st.one_of(
+        st.just(m.ChannelListRequest()),
+        st.builds(m.ChannelListReply,
+                  channels=st.lists(
+                      st.tuples(channel_ids, names), max_size=10
+                  ).map(tuple)),
+        st.builds(m.PlaylinkRequest, channel_id=channel_ids),
+        st.builds(m.PlaylinkReply, channel_id=channel_ids,
+                  playlink=names, trackers=address_lists),
+        st.builds(m.TrackerQuery, channel_id=channel_ids),
+        st.builds(m.TrackerReply, channel_id=channel_ids,
+                  peers=address_lists),
+        st.builds(m.Hello, channel_id=channel_ids, have_until=have,
+                  have_from=have),
+        st.builds(m.HelloAck, channel_id=channel_ids, have_until=have,
+                  have_from=have),
+        st.builds(m.HelloReject, channel_id=channel_ids),
+        st.builds(m.Goodbye, channel_id=channel_ids),
+        st.builds(m.PeerListRequest, channel_id=channel_ids,
+                  enclosed=address_lists, have_until=have,
+                  have_from=have, request_id=seqs),
+        st.builds(m.PeerListReply, channel_id=channel_ids,
+                  peers=address_lists, have_until=have, have_from=have,
+                  request_id=seqs),
+        st.builds(m.DataRequest, channel_id=channel_ids,
+                  chunk=st.integers(0, 2 ** 40), first=subpiece_index,
+                  last=subpiece_index, seq=seqs),
+        st.builds(m.DataReply, channel_id=channel_ids,
+                  chunk=st.integers(0, 2 ** 40), first=subpiece_index,
+                  last=subpiece_index, seq=seqs, have_until=have,
+                  have_from=have,
+                  payload_bytes=st.integers(0, 30_000)),
+        st.builds(m.DataMiss, channel_id=channel_ids,
+                  chunk=st.integers(0, 2 ** 40), seq=seqs,
+                  have_until=have, have_from=have),
+        st.builds(m.BufferMapAnnounce, channel_id=channel_ids,
+                  have_until=have, have_from=have),
+    )
+
+
+class TestRoundTrip:
+    @given(message_strategy())
+    @settings(max_examples=300)
+    def test_decode_inverts_encode(self, msg):
+        assert decode(encode(msg)) == msg
+
+    @given(message_strategy())
+    @settings(max_examples=300)
+    def test_wire_size_matches_encoding(self, msg):
+        assert wire_size(msg) == len(encode(msg))
+
+
+class TestTypeTags:
+    def test_all_types_unique(self):
+        tags = [cls.TYPE for cls in m.ALL_MESSAGE_TYPES]
+        assert len(tags) == len(set(tags))
+
+    def test_all_types_encodable(self):
+        for cls in m.ALL_MESSAGE_TYPES:
+            msg = cls()
+            assert decode(encode(msg)) == msg
+
+
+class TestMalformedInput:
+    def test_short_header(self):
+        with pytest.raises(WireError):
+            decode(b"PP")
+
+    def test_bad_magic(self):
+        with pytest.raises(WireError):
+            decode(b"XX\x01\x01" + b"\x00" * 10)
+
+    def test_bad_version(self):
+        with pytest.raises(WireError):
+            decode(b"PP\x63\x01" + b"\x00" * 10)
+
+    def test_unknown_type(self):
+        with pytest.raises(WireError):
+            decode(b"PP\x01\xff" + b"\x00" * 10)
+
+    def test_bad_address_rejected_on_encode(self):
+        msg = m.TrackerReply(peers=("999.999.999.999",))
+        with pytest.raises(WireError):
+            encode(msg)
+
+    def test_oversized_string_rejected(self):
+        msg = m.PlaylinkReply(playlink="x" * 300)
+        with pytest.raises(WireError):
+            encode(msg)
+
+
+class TestPayloadSizes:
+    def test_data_reply_carries_payload_bytes(self):
+        small = m.DataReply(payload_bytes=0)
+        large = m.DataReply(payload_bytes=13_800)
+        assert wire_size(large) - wire_size(small) == 13_800
+
+    def test_peer_list_scales_with_entries(self):
+        empty = m.PeerListReply(peers=())
+        full = m.PeerListReply(peers=tuple(f"1.0.0.{i}"
+                                           for i in range(1, 61)))
+        assert wire_size(full) - wire_size(empty) == 60 * 6
+
+    def test_buffermap_is_tiny(self):
+        assert wire_size(m.BufferMapAnnounce()) <= 32

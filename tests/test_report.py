@@ -1,0 +1,67 @@
+"""Tests for the text rendering helpers."""
+
+from collections import Counter
+
+from repro.analysis.report import (bullet_list, counter_rows,
+                                   format_category_counter,
+                                   format_seconds, format_table,
+                                   percentage)
+from repro.network.isp import ISPCategory
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["name", "value"],
+                            [["short", 1], ["a-much-longer-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        header, rule = lines[0], lines[1]
+        assert header.startswith("name")
+        assert set(rule) <= {"-", " "}
+        # Both data rows place the second column at the same offset.
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+
+    def test_handles_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_stringifies_values(self):
+        text = format_table(["x"], [[None], [3.5]])
+        assert "None" in text and "3.5" in text
+
+
+class TestCounterFormatting:
+    def test_all_categories_in_order(self):
+        counts = Counter({ISPCategory.CNC: 5, ISPCategory.TELE: 10})
+        text = format_category_counter(counts)
+        assert text.index("TELE") < text.index("CNC") < text.index("CER")
+        assert "TELE=10" in text
+        assert "Foreign=0" in text
+
+    def test_percent_mode(self):
+        counts = Counter({ISPCategory.TELE: 3, ISPCategory.CNC: 1})
+        text = format_category_counter(counts, as_percent=True)
+        assert "TELE=75.0%" in text
+
+    def test_counter_rows_shares(self):
+        counts = Counter({ISPCategory.TELE: 1, ISPCategory.FOREIGN: 3})
+        rows = counter_rows(counts)
+        assert len(rows) == len(ISPCategory)
+        tele_row = [r for r in rows if r[0] == "TELE"][0]
+        assert tele_row[1] == 1
+        assert tele_row[2] == "25.0%"
+
+
+class TestScalars:
+    def test_percentage_guard(self):
+        assert percentage(1, 0) == "n/a"
+        assert percentage(1, 4) == "25.0%"
+
+    def test_format_seconds(self):
+        assert format_seconds(None) == "n/a"
+        assert format_seconds(1.23456) == "1.2346"
+
+    def test_bullet_list(self):
+        text = bullet_list(["one", "two"])
+        assert text.splitlines() == ["  - one", "  - two"]

@@ -1,0 +1,130 @@
+"""Robustness fuzzing: malformed input must never crash the stack."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.datagram import Datagram
+from repro.protocol import messages as m
+from repro.protocol.peer import PeerPhase
+from repro.protocol.wire import WireError, decode
+from repro.sim import Simulator
+from repro.workload.scenario import ScenarioConfig, SessionScenario
+
+
+# ----------------------------------------------------------------------
+# Wire decoding
+# ----------------------------------------------------------------------
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_decode_never_crashes_on_garbage(data):
+    try:
+        decode(data)
+    except WireError:
+        pass  # the only acceptable failure mode
+
+
+@given(st.binary(min_size=4, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_decode_with_valid_header_prefix(data):
+    framed = b"PP\x01" + data[:1] + data[1:]
+    try:
+        decode(framed)
+    except WireError:
+        pass
+    except struct_errors():
+        pass
+
+
+def struct_errors():
+    import struct
+    return struct.error
+
+
+# ----------------------------------------------------------------------
+# Peer message handling
+# ----------------------------------------------------------------------
+def build_peer():
+    scenario = SessionScenario(ScenarioConfig(seed=77, population=4))
+    sim = Simulator(seed=77)
+    deployment = scenario.build_deployment(sim)
+    from repro.network.bandwidth import CABLE
+    from repro.protocol.peer import PPLivePeer
+    internet = deployment.internet
+    tele = internet.catalog.by_name("ChinaTelecom")
+    peer = PPLivePeer(sim, internet.udp,
+                      internet.allocator.allocate(tele), tele, CABLE,
+                      scenario.config.protocol, deployment.channel,
+                      bootstrap_address=deployment.bootstrap.address,
+                      source_address=deployment.source.address)
+    peer.join()
+    sim.run_until(30.0)
+    return sim, peer
+
+
+def hostile_messages():
+    big = 2 ** 40
+    return st.one_of(
+        st.builds(m.DataReply, channel_id=st.integers(0, 5),
+                  chunk=st.integers(-big, big),
+                  first=st.integers(0, 500), last=st.integers(0, 500),
+                  seq=st.integers(0, 2 ** 32 - 1),
+                  have_until=st.integers(-big, big),
+                  have_from=st.integers(-big, big),
+                  payload_bytes=st.integers(0, 10_000)),
+        st.builds(m.DataRequest, channel_id=st.integers(0, 5),
+                  chunk=st.integers(-big, big),
+                  first=st.integers(0, 500), last=st.integers(0, 500),
+                  seq=st.integers(0, 2 ** 32 - 1)),
+        st.builds(m.DataMiss, channel_id=st.integers(0, 5),
+                  chunk=st.integers(-big, big),
+                  seq=st.integers(0, 2 ** 32 - 1),
+                  have_until=st.integers(-big, big)),
+        st.builds(m.Hello, channel_id=st.integers(0, 5),
+                  have_until=st.integers(-big, big),
+                  have_from=st.integers(-big, big)),
+        st.builds(m.HelloAck, channel_id=st.integers(0, 5),
+                  have_until=st.integers(-big, big)),
+        st.builds(m.PeerListReply, channel_id=st.integers(0, 5),
+                  peers=st.lists(st.sampled_from(
+                      ["1.0.0.1", "255.255.255.1", "0.0.0.0"]),
+                      max_size=5).map(tuple),
+                  have_until=st.integers(-big, big),
+                  request_id=st.integers(0, 2 ** 32 - 1)),
+        st.builds(m.BufferMapAnnounce, channel_id=st.integers(0, 5),
+                  have_until=st.integers(-big, big),
+                  have_from=st.integers(-big, big)),
+        st.just(m.Goodbye(channel_id=1)),
+        st.just(m.HelloReject(channel_id=1)),
+    )
+
+
+class TestHostileTraffic:
+    """An active peer fed arbitrary protocol messages must not crash.
+
+    A single peer instance is reused across examples (building one is
+    expensive); hypothesis only drives the payload stream.
+    """
+
+    sim = None
+    peer = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.sim, cls.peer = build_peer()
+
+    @given(st.lists(hostile_messages(), min_size=1, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_messages_do_not_crash(self, payloads):
+        peer = type(self).peer
+        sim = type(self).sim
+        if peer.phase is not PeerPhase.ACTIVE:
+            return
+        for payload in payloads:
+            datagram = Datagram(src="1.99.0.1", dst=peer.address,
+                                payload=payload, payload_bytes=64,
+                                sent_at=sim.now)
+            peer.handle_datagram(datagram)
+        # The peer survived; its core invariants still hold.
+        assert len(peer.neighbors) <= peer.config.max_neighbors
+        if peer.buffer is not None:
+            assert peer.buffer.have_until >= peer.buffer.first_chunk - 1

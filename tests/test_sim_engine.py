@@ -1,0 +1,321 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (EngineStoppedError, SchedulingError, Simulator,
+                       Sleep, spawn)
+
+
+class TestClockAndScheduling:
+    def test_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+
+    def test_call_at_executes_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_call_after_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.call_after(-1.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(0.0, lambda: seen.append(True))
+        sim.run()
+        assert seen == [True]
+
+    def test_fifo_order_at_same_timestamp(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.call_at(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_execution_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sim.call_at(t, lambda t=t: seen.append(t))
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_events_scheduled_during_execution(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.call_after(1.0, lambda: seen.append("second"))
+
+        sim.call_at(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_end_time(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.call_at(t, lambda t=t: seen.append(t))
+        executed = sim.run_until(2.0)
+        assert executed == 2
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_clock_advances_to_end_even_when_idle(self):
+        sim = Simulator()
+        sim.run_until(50.0)
+        assert sim.now == 50.0
+
+    def test_consecutive_windows(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 5.0, 9.0):
+            sim.call_at(t, lambda t=t: seen.append(t))
+        sim.run_until(4.0)
+        assert seen == [1.0]
+        sim.run_until(10.0)
+        assert seen == [1.0, 5.0, 9.0]
+
+    def test_end_before_now_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SchedulingError):
+            sim.run_until(5.0)
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.call_at(float(t + 1), lambda: None)
+        executed = sim.run_until(100.0, max_events=3)
+        assert executed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.call_at(1.0, lambda: seen.append(True))
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_double_cancel_is_safe(self):
+        sim = Simulator()
+        event = sim.call_at(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert len(sim.queue) == 0
+
+    def test_live_count_tracks_cancellations(self):
+        sim = Simulator()
+        events = [sim.call_at(float(i + 1), lambda: None)
+                  for i in range(5)]
+        assert len(sim.queue) == 5
+        sim.cancel(events[2])
+        assert len(sim.queue) == 4
+
+
+class TestStop:
+    def test_stopped_engine_rejects_scheduling(self):
+        sim = Simulator()
+        sim.stop()
+        with pytest.raises(EngineStoppedError):
+            sim.call_after(1.0, lambda: None)
+
+    def test_stop_clears_queue(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.stop()
+        assert len(sim.queue) == 0
+
+
+class TestTimers:
+    def test_timer_repeats(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.every(1.0, lambda: seen.append(sim.now))
+        sim.run_until(5.5)
+        timer.stop()
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_timer_stop_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.every(1.0, lambda: (seen.append(sim.now),
+                                        timer.stop() if len(seen) >= 3
+                                        else None))
+        sim.run_until(10.0)
+        assert len(seen) == 3
+
+    def test_timer_jitter_applied(self):
+        sim = Simulator()
+        seen = []
+        sim.every(10.0, lambda: seen.append(sim.now),
+                  jitter_fn=lambda: -2.0)
+        sim.run_until(17.0)
+        assert seen == [8.0, 16.0]
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.every(0.0, lambda: None)
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        seen = []
+
+        def script():
+            seen.append(("start", sim.now))
+            yield Sleep(5.0)
+            seen.append(("middle", sim.now))
+            yield 3.0  # bare numbers are sleeps too
+            seen.append(("end", sim.now))
+
+        process = spawn(sim, script)
+        sim.run()
+        assert seen == [("start", 0.0), ("middle", 5.0), ("end", 8.0)]
+        assert process.finished
+
+    def test_spawn_with_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def script():
+            seen.append(sim.now)
+            yield Sleep(1.0)
+
+        spawn(sim, script, delay=4.0)
+        sim.run()
+        assert seen == [4.0]
+
+    def test_cancel_process(self):
+        sim = Simulator()
+        seen = []
+
+        def script():
+            seen.append("a")
+            yield Sleep(5.0)
+            seen.append("b")
+
+        process = spawn(sim, script)
+        sim.run_until(1.0)
+        process.cancel()
+        sim.run()
+        assert seen == ["a"]
+        assert process.cancelled
+        assert not process.alive
+
+    def test_process_error_propagates(self):
+        sim = Simulator()
+
+        def script():
+            yield Sleep(1.0)
+            raise RuntimeError("boom")
+
+        process = spawn(sim, script)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert process.error is not None
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = Simulator(seed=42).random.stream("x")
+        b = Simulator(seed=42).random.stream("x")
+        assert [a.random() for _ in range(10)] == \
+               [b.random() for _ in range(10)]
+
+    def test_different_names_independent(self):
+        sim = Simulator(seed=42)
+        a = sim.random.stream("a")
+        b = sim.random.stream("b")
+        assert [a.random() for _ in range(5)] != \
+               [b.random() for _ in range(5)]
+
+    def test_fork_differs_from_parent(self):
+        sim = Simulator(seed=42)
+        parent = sim.random.stream("x")
+        child = sim.random.fork("node").stream("x")
+        assert parent.random() != child.random()
+
+
+class TestEventQueueInternals:
+    def test_peek_time(self):
+        from repro.sim import EventQueue
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(5.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_skips_cancelled(self):
+        from repro.sim import EventQueue
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+    def test_bool_reflects_live_events(self):
+        from repro.sim import EventQueue
+        queue = EventQueue()
+        assert not queue
+        event = queue.schedule(1.0, lambda: None)
+        assert queue
+        queue.cancel(event)
+        assert not queue
+
+
+class TestProcessValidation:
+    def test_bad_yield_raises_process_error(self):
+        from repro.sim import ProcessError, Simulator, spawn
+
+        def script():
+            yield "not-a-command"
+
+        sim = Simulator()
+        spawn(sim, script)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_negative_sleep_rejected(self):
+        from repro.sim import ProcessError, Sleep
+        with pytest.raises(ProcessError):
+            Sleep(-1.0)
+
+    def test_timer_stopped_property(self):
+        sim = Simulator()
+        timer = sim.every(1.0, lambda: None)
+        assert not timer.stopped
+        timer.stop()
+        assert timer.stopped

@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic RNG substreams and variate helpers."""
+
+import random
+
+import pytest
+
+from repro.sim.random import (RandomRouter, bounded_normal, derive_seed,
+                              exponential, lognormal_from_median, pareto,
+                              sample_without_replacement, shuffled,
+                              weighted_choice)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        value = derive_seed(123456, "stream-name")
+        assert 0 <= value < 2 ** 64
+
+
+class TestRouter:
+    def test_stream_cached(self):
+        router = RandomRouter(0)
+        assert router.stream("x") is router.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        router_a = RandomRouter(7)
+        sequence_before = [router_a.stream("x").random() for _ in range(5)]
+
+        router_b = RandomRouter(7)
+        router_b.stream("y").random()  # extra draw on another stream
+        sequence_after = [router_b.stream("x").random() for _ in range(5)]
+        assert sequence_before == sequence_after
+
+    def test_fork_is_deterministic(self):
+        a = RandomRouter(3).fork("node").stream("s").random()
+        b = RandomRouter(3).fork("node").stream("s").random()
+        assert a == b
+
+
+class TestVariates:
+    def setup_method(self):
+        self.rng = random.Random(99)
+
+    def test_exponential_positive(self):
+        values = [exponential(self.rng, 2.0) for _ in range(200)]
+        assert all(v > 0 for v in values)
+        mean = sum(values) / len(values)
+        assert 1.4 < mean < 2.8  # loose CLT bound
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            exponential(self.rng, 0.0)
+
+    def test_bounded_normal_clamped(self):
+        values = [bounded_normal(self.rng, 0.0, 10.0, -1.0, 1.0)
+                  for _ in range(100)]
+        assert all(-1.0 <= v <= 1.0 for v in values)
+
+    def test_bounded_normal_empty_interval(self):
+        with pytest.raises(ValueError):
+            bounded_normal(self.rng, 0.0, 1.0, 2.0, 1.0)
+
+    def test_pareto_minimum(self):
+        values = [pareto(self.rng, 2.0, 5.0) for _ in range(100)]
+        assert all(v >= 5.0 for v in values)
+
+    def test_pareto_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            pareto(self.rng, 0.0, 1.0)
+
+    def test_lognormal_median(self):
+        values = sorted(lognormal_from_median(self.rng, 10.0, 0.5)
+                        for _ in range(999))
+        median = values[len(values) // 2]
+        assert 8.0 < median < 12.5
+
+    def test_lognormal_rejects_bad_median(self):
+        with pytest.raises(ValueError):
+            lognormal_from_median(self.rng, -1.0, 0.5)
+
+
+class TestChoices:
+    def setup_method(self):
+        self.rng = random.Random(5)
+
+    def test_weighted_choice_respects_zero_weight(self):
+        for _ in range(100):
+            choice = weighted_choice(self.rng, ["a", "b"], [1.0, 0.0])
+            assert choice == "a"
+
+    def test_weighted_choice_distribution(self):
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(self.rng, ["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.2 < ratio < 4.2
+
+    def test_weighted_choice_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_choice(self.rng, ["a"], [1.0, 2.0])
+
+    def test_weighted_choice_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            weighted_choice(self.rng, ["a", "b"], [0.0, 0.0])
+
+    def test_weighted_choice_rejects_negative(self):
+        with pytest.raises(ValueError):
+            weighted_choice(self.rng, ["a", "b"], [2.0, -1.0])
+
+    def test_sample_without_replacement_distinct(self):
+        sample = sample_without_replacement(self.rng, list(range(20)), 10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_sample_caps_at_population(self):
+        sample = sample_without_replacement(self.rng, [1, 2, 3], 10)
+        assert sorted(sample) == [1, 2, 3]
+
+    def test_sample_zero(self):
+        assert sample_without_replacement(self.rng, [1, 2], 0) == []
+
+    def test_shuffled_preserves_input(self):
+        items = [1, 2, 3, 4]
+        result = sorted(shuffled(self.rng, items))
+        assert result == items
+        assert items == [1, 2, 3, 4]

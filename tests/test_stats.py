@@ -1,0 +1,198 @@
+"""Tests for the statistics toolkit, including property-based checks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (contribution_cdf, empirical_ccdf, empirical_cdf,
+                         fit_stretched_exponential, fit_zipf,
+                         least_squares_line, log_linear_fit,
+                         log_log_correlation, pearson, r_squared,
+                         rank_values, top_fraction_share, weibull_ccdf)
+
+
+class TestLeastSquares:
+    def test_exact_line_recovered(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [2.0 * v + 1.0 for v in x]
+        fit = least_squares_line(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            least_squares_line([1.0], [2.0])
+        with pytest.raises(ValueError):
+            least_squares_line([1.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            least_squares_line([1.0, 2.0], [1.0])
+
+    def test_r_squared_perfect_and_mean(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+        # Predicting the mean gives exactly zero.
+        assert r_squared([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_rank_values(self):
+        ranks, ordered = rank_values([3.0, 1.0, 2.0])
+        assert list(ranks) == [1.0, 2.0, 3.0]
+        assert list(ordered) == [3.0, 2.0, 1.0]
+
+
+class TestZipf:
+    def test_recovers_known_alpha(self):
+        values = [1000.0 * r ** -0.8 for r in range(1, 101)]
+        fit = fit_zipf(values)
+        assert fit.alpha == pytest.approx(0.8, abs=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_rejects_too_few_positive(self):
+        with pytest.raises(ValueError):
+            fit_zipf([5.0, 0.0])
+
+    def test_predict_shape(self):
+        fit = fit_zipf([100.0, 50.0, 30.0, 20.0, 10.0])
+        predicted = fit.predict([1, 2])
+        assert predicted[0] > predicted[1]
+
+
+class TestStretchedExponential:
+    @staticmethod
+    def se_values(c, a, n):
+        """Generate an exact SE rank distribution (paper Eq. 1-2)."""
+        b = 1.0 + a * math.log(n)
+        return [(max(b - a * math.log(i), 0.0)) ** (1.0 / c)
+                for i in range(1, n + 1)]
+
+    def test_recovers_known_c(self):
+        values = self.se_values(c=0.35, a=5.0, n=300)
+        fit = fit_stretched_exponential(values)
+        assert fit.c == pytest.approx(0.35, abs=0.051)
+        assert fit.r_squared > 0.999
+
+    def test_fits_se_better_than_zipf_fits_it(self):
+        values = self.se_values(c=0.3, a=6.0, n=200)
+        se = fit_stretched_exponential(values)
+        zipf = fit_zipf(values)
+        assert se.r_squared > zipf.r_squared
+
+    def test_constrained_intercept_close(self):
+        # With y_n = 1 the paper's Eq. 2 gives b = 1 + a log n; the free
+        # fit should land near it on exact SE data.
+        values = self.se_values(c=0.4, a=8.0, n=150)
+        fit = fit_stretched_exponential(values, c_grid=[0.4])
+        assert fit.b == pytest.approx(1.0 + fit.a * math.log(150),
+                                      rel=0.05)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            fit_stretched_exponential([1.0, 2.0])
+
+    def test_predict_monotone(self):
+        values = self.se_values(c=0.3, a=5.0, n=100)
+        fit = fit_stretched_exponential(values)
+        predicted = fit.predict(np.arange(1, 101, dtype=float))
+        assert all(predicted[i] >= predicted[i + 1] - 1e-9
+                   for i in range(99))
+
+    def test_weibull_ccdf_bounds(self):
+        values = weibull_ccdf(np.array([0.0, 1.0, 10.0]), x0=2.0, c=0.5)
+        assert values[0] == pytest.approx(1.0)
+        assert 0.0 < values[2] < values[1] < 1.0
+
+    def test_weibull_ccdf_validates(self):
+        with pytest.raises(ValueError):
+            weibull_ccdf(np.array([1.0]), x0=0.0, c=0.5)
+
+    @given(st.floats(0.15, 0.9), st.floats(1.0, 20.0),
+           st.integers(30, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_property_high_r2_on_exact_se_data(self, c, a, n):
+        values = self.se_values(c, a, n)
+        if min(values) <= 0:
+            return
+        fit = fit_stretched_exponential(values)
+        assert fit.r_squared > 0.98
+
+
+class TestCdfs:
+    def test_empirical_cdf_endpoints(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_ccdf_complements(self):
+        xs, ccdf = empirical_ccdf([1.0, 2.0, 3.0, 4.0])
+        assert ccdf[0] == pytest.approx(1.0)
+        assert ccdf[-1] == pytest.approx(0.25)
+
+    def test_contribution_cdf_reaches_one(self):
+        ranks, shares = contribution_cdf([10.0, 30.0, 60.0])
+        assert shares[-1] == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.6)  # biggest first
+
+    def test_contribution_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            contribution_cdf([])
+        with pytest.raises(ValueError):
+            contribution_cdf([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            contribution_cdf([0.0, 0.0])
+
+    def test_top_fraction_share(self):
+        values = [70.0] + [1.0] * 9  # top 10% (1 of 10) has 70/79
+        share = top_fraction_share(values, 0.10)
+        assert share == pytest.approx(70.0 / 79.0)
+
+    def test_top_fraction_rounds_up(self):
+        values = [50.0, 30.0, 20.0]  # 10% of 3 -> 1 item
+        assert top_fraction_share(values, 0.10) == pytest.approx(0.5)
+
+    def test_top_fraction_validates(self):
+        with pytest.raises(ValueError):
+            top_fraction_share([1.0], 0.0)
+        with pytest.raises(ValueError):
+            top_fraction_share([], 0.1)
+
+    @given(st.lists(st.floats(0.001, 1000.0), min_size=2, max_size=200),
+           st.floats(0.05, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_share_bounds(self, values, fraction):
+        share = top_fraction_share(values, fraction)
+        k = math.ceil(fraction * len(values))
+        assert k / len(values) - 1e-9 <= 1.0
+        # The top-k share is at least k/n (top items >= average).
+        assert share >= k / len(values) - 1e-9
+        assert share <= 1.0 + 1e-9
+
+
+class TestCorrelation:
+    def test_pearson_perfect(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_pearson_validates(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+        with pytest.raises(ValueError):
+            pearson([1, 1], [2, 3])
+
+    def test_log_log_correlation_drops_nonpositive(self):
+        # The (0, y) pair is discarded; remaining pairs correlate exactly.
+        value = log_log_correlation([1.0, 2.0, 4.0, 0.0],
+                                    [1.0, 4.0, 16.0, 5.0])
+        assert value == pytest.approx(1.0)
+
+    def test_log_log_needs_two_positive_pairs(self):
+        with pytest.raises(ValueError):
+            log_log_correlation([0.0, 1.0], [1.0, 0.0])
+
+    def test_log_linear_fit_slope_sign(self):
+        # RTT decaying with rank gives a negative slope in log space.
+        ranks = list(range(1, 50))
+        rtts = [math.exp(-0.05 * r) for r in ranks]
+        fit = log_linear_fit(ranks, rtts)
+        assert fit.slope == pytest.approx(-0.05, abs=1e-6)

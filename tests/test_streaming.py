@@ -1,0 +1,249 @@
+"""Unit tests for the streaming substrate: chunks, buffer, playback."""
+
+import pytest
+
+from repro.streaming import (ChunkBuffer, ChunkGeometry, LiveChannel,
+                             PlaybackMonitor, PlayerState, Popularity,
+                             SUBPIECE_LARGE, SUBPIECE_SMALL)
+
+
+class TestGeometry:
+    def test_defaults(self):
+        g = ChunkGeometry()
+        assert g.chunk_bytes == int(g.bitrate_bps * g.chunk_seconds / 8)
+        assert g.subpieces_per_chunk >= 1
+
+    def test_subpiece_sizes_sum_to_chunk(self):
+        g = ChunkGeometry(bitrate_bps=384_000, chunk_seconds=4.0)
+        total = sum(g.subpiece_size(i) for i in range(g.subpieces_per_chunk))
+        assert total == g.chunk_bytes
+
+    def test_last_subpiece_may_be_short(self):
+        g = ChunkGeometry(bitrate_bps=384_000, chunk_seconds=4.0)
+        last = g.subpiece_size(g.subpieces_per_chunk - 1)
+        assert 0 < last <= g.subpiece_bytes
+
+    def test_small_subpiece_variant(self):
+        g = ChunkGeometry(subpiece_bytes=SUBPIECE_SMALL)
+        assert g.subpiece_size(0) == SUBPIECE_SMALL
+
+    def test_invalid_subpiece_size_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkGeometry(subpiece_bytes=1000)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkGeometry(bitrate_bps=0)
+
+    def test_range_bytes(self):
+        g = ChunkGeometry()
+        assert g.range_bytes(0, 0) == g.subpiece_size(0)
+        assert (g.range_bytes(0, 2)
+                == sum(g.subpiece_size(i) for i in range(3)))
+
+    def test_range_bytes_empty_rejected(self):
+        g = ChunkGeometry()
+        with pytest.raises(ValueError):
+            g.range_bytes(3, 2)
+
+    def test_subpiece_index_bounds(self):
+        g = ChunkGeometry()
+        with pytest.raises(IndexError):
+            g.subpiece_size(g.subpieces_per_chunk)
+
+    def test_live_chunk_progression(self):
+        g = ChunkGeometry(chunk_seconds=4.0)
+        assert g.live_chunk(0.0) == -1
+        assert g.live_chunk(3.9) == -1
+        assert g.live_chunk(4.0) == 0
+        assert g.live_chunk(8.5) == 1
+        assert g.live_chunk(104.0, channel_start=100.0) == 0
+
+
+class TestChannel:
+    def test_live_chunk_uses_start_time(self):
+        channel = LiveChannel(1, "test", start_time=50.0,
+                              geometry=ChunkGeometry(chunk_seconds=5.0))
+        assert channel.live_chunk(50.0) == -1
+        assert channel.live_chunk(60.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveChannel(-1, "x")
+        with pytest.raises(ValueError):
+            LiveChannel(1, "")
+
+    def test_str(self):
+        channel = LiveChannel(7, "cctv", popularity=Popularity.UNPOPULAR)
+        assert "cctv" in str(channel)
+        assert "unpopular" in str(channel)
+
+
+@pytest.fixture
+def geometry():
+    # Tiny chunks make tests readable: 4 sub-pieces per chunk.
+    return ChunkGeometry(bitrate_bps=SUBPIECE_LARGE * 8, chunk_seconds=4.0)
+
+
+class TestBuffer:
+    def test_geometry_gives_four_subpieces(self, geometry):
+        assert geometry.subpieces_per_chunk == 4
+
+    def test_empty_buffer(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=10)
+        assert buf.have_until == 9
+        assert not buf.has_chunk(10)
+        assert buf.missing_subpieces(10) == [0, 1, 2, 3]
+
+    def test_chunk_completion_advances_frontier(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        for sp in range(4):
+            buf.add_subpiece(0, sp)
+        assert buf.have_until == 0
+        assert buf.has_chunk(0)
+
+    def test_out_of_order_completion(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        buf.add_range(1, 0, 3)  # chunk 1 complete but chunk 0 missing
+        assert buf.have_until == -1
+        assert buf.has_chunk(1)
+        buf.add_range(0, 0, 3)
+        assert buf.have_until == 1  # frontier jumps over both
+
+    def test_duplicates_counted_not_stored(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        assert buf.add_subpiece(0, 0) is True
+        assert buf.add_subpiece(0, 0) is False
+        assert buf.duplicate_subpieces == 1
+
+    def test_below_first_chunk_ignored(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=5)
+        assert buf.add_subpiece(3, 0) is False
+
+    def test_subpiece_bounds_checked(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        with pytest.raises(IndexError):
+            buf.add_subpiece(0, 4)
+
+    def test_completion_fraction(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        buf.add_range(0, 0, 1)
+        assert buf.completion(0) == pytest.approx(0.5)
+        buf.add_range(0, 2, 3)
+        assert buf.completion(0) == 1.0
+
+    def test_bytes_received_accounting(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        buf.add_range(0, 0, 3)
+        assert buf.bytes_received == geometry.chunk_bytes
+
+    def test_eviction_drops_stale_partials(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0, keep_behind=4)
+        buf.add_subpiece(0, 0)  # partial, will go stale
+        buf.evict_before(playout_chunk=10)
+        assert list(buf.partial_chunks()) == []
+
+    def test_eviction_advances_abandoned_frontier(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0, keep_behind=2)
+        buf.add_range(5, 0, 3)
+        buf.evict_before(playout_chunk=5)
+        # Frontier gave up on chunks < 3 and swallowed complete chunk 5.
+        assert buf.have_until >= 3
+
+
+class TestPlayback:
+    def make(self, geometry, first_chunk=0, join=0.0):
+        buf = ChunkBuffer(geometry, first_chunk=first_chunk)
+        player = PlaybackMonitor(geometry, buf, join_time=join,
+                                 startup_chunks=2)
+        return buf, player
+
+    def test_startup_waits_for_buffer(self, geometry):
+        buf, player = self.make(geometry)
+        player.tick(1.0)
+        assert player.state is PlayerState.STARTUP
+        buf.add_range(0, 0, 3)
+        player.tick(2.0)
+        assert player.state is PlayerState.STARTUP  # needs 2 chunks
+        buf.add_range(1, 0, 3)
+        player.tick(3.0)
+        assert player.state is PlayerState.PLAYING
+        assert player.startup_delay == pytest.approx(3.0)
+
+    def test_playout_advances_with_deadlines(self, geometry):
+        buf, player = self.make(geometry)
+        for chunk in range(6):
+            buf.add_range(chunk, 0, 3)
+        player.tick(0.0)
+        assert player.state is PlayerState.PLAYING
+        player.tick(8.1)  # two chunk durations later
+        assert player.playout_chunk >= 1
+
+    def test_stall_on_missing_chunk(self, geometry):
+        buf, player = self.make(geometry)
+        buf.add_range(0, 0, 3)
+        buf.add_range(1, 0, 3)
+        player.tick(0.0)
+        # Nothing else arrives; play past the available chunks.
+        player.tick(30.0)
+        assert player.state is PlayerState.STALLED
+        assert player.stall_count == 1
+        assert player.deadlines_missed >= 1
+
+    def test_stall_recovery(self, geometry):
+        buf, player = self.make(geometry)
+        buf.add_range(0, 0, 3)
+        buf.add_range(1, 0, 3)
+        player.tick(0.0)
+        player.tick(30.0)
+        assert player.state is PlayerState.STALLED
+        # Everything up to well past the frozen deadline clock arrives:
+        # the player resumes and stays playing.
+        for chunk in range(2, 12):
+            buf.add_range(chunk, 0, 3)
+        player.tick(31.0)
+        assert player.state is PlayerState.PLAYING
+        assert player.stall_seconds > 0
+        assert player.playout_chunk > 1
+
+    def test_continuity_index(self, geometry):
+        buf, player = self.make(geometry)
+        assert player.continuity_index == 1.0
+        for chunk in range(3):
+            buf.add_range(chunk, 0, 3)
+        player.tick(0.0)
+        player.tick(8.5)
+        assert 0.0 < player.continuity_index <= 1.0
+
+    def test_satisfactory_requires_playing(self, geometry):
+        buf, player = self.make(geometry)
+        assert not player.is_satisfactory()
+        buf.add_range(0, 0, 3)
+        buf.add_range(1, 0, 3)
+        player.tick(0.0)
+        assert player.is_satisfactory()
+
+    def test_stop_freezes_state(self, geometry):
+        buf, player = self.make(geometry)
+        buf.add_range(0, 0, 3)
+        buf.add_range(1, 0, 3)
+        player.tick(0.0)
+        player.stop(5.0)
+        assert player.state is PlayerState.STOPPED
+        player.tick(100.0)  # no effect
+        assert player.state is PlayerState.STOPPED
+
+    def test_stop_while_stalled_accumulates_stall_time(self, geometry):
+        buf, player = self.make(geometry)
+        buf.add_range(0, 0, 3)
+        buf.add_range(1, 0, 3)
+        player.tick(0.0)
+        player.tick(30.0)
+        assert player.state is PlayerState.STALLED
+        player.stop(40.0)
+        assert player.stall_seconds > 0
+
+    def test_invalid_startup_chunks(self, geometry):
+        buf = ChunkBuffer(geometry, first_chunk=0)
+        with pytest.raises(ValueError):
+            PlaybackMonitor(geometry, buf, join_time=0.0, startup_chunks=0)

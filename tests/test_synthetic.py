@@ -1,0 +1,142 @@
+"""Tests for the synthetic workload generator.
+
+The generated sessions must preserve the statistical properties the
+paper's characterization reports: stretched-exponential request ranks,
+top-10% concentration, and the negative requests-vs-RTT correlation.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.contributions import requests_per_peer
+from repro.analysis.rtt import analyze_requests_vs_rtt
+from repro.capture.matching import DataTransaction
+from repro.network.addressing import AddressAllocator
+from repro.network.asn import AsnDirectory
+from repro.network.isp import ISPCategory, default_isp_catalog
+from repro.stats import (fit_stretched_exponential, fit_zipf,
+                         top_fraction_share)
+from repro.workload.synthetic import (SyntheticWorkloadModel,
+                                      synthetic_category_of)
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    """A model fitted to a hand-made SE-shaped set of transactions."""
+    catalog = default_isp_catalog()
+    allocator = AddressAllocator(catalog)
+    directory = AsnDirectory(catalog, allocator)
+    rng = random.Random(12)
+
+    transactions = []
+    n = 60
+    c, a = 0.35, 5.0
+    b = 1.0 + a * math.log(n)
+    for rank in range(1, n + 1):
+        count = max(1, int((b - a * math.log(rank)) ** (1.0 / c)))
+        isp_name = "ChinaTelecom" if rank % 3 else "ChinaNetcom"
+        address = allocator.allocate(catalog.by_name(isp_name))
+        # RTT grows with rank plus noise (the paper's structure).
+        rtt = 0.05 * math.exp(0.02 * rank) * rng.lognormvariate(0.0, 0.1)
+        for i in range(count):
+            start = rng.uniform(0.0, 1800.0)
+            transactions.append(DataTransaction(
+                remote=address, chunk=i, first=0, last=9,
+                request_time=start, reply_time=start + rtt,
+                payload_bytes=13_800))
+    model = SyntheticWorkloadModel.from_transactions(
+        transactions, directory)
+    return model
+
+
+class TestFitting:
+    def test_model_parameters_sane(self, fitted_model):
+        model = fitted_model
+        assert 0.1 <= model.se_fit.c <= 1.0
+        assert model.n_peers == 60
+        assert model.bytes_per_transaction == pytest.approx(13_800)
+        assert model.rtt_trend.slope > 0  # RTT grows with rank
+        total_share = sum(model.isp_shares.values())
+        assert total_share == pytest.approx(1.0)
+
+    def test_too_few_peers_rejected(self):
+        catalog = default_isp_catalog()
+        allocator = AddressAllocator(catalog)
+        directory = AsnDirectory(catalog, allocator)
+        address = allocator.allocate(catalog.by_name("ChinaTelecom"))
+        transactions = [DataTransaction(
+            remote=address, chunk=0, first=0, last=0,
+            request_time=0.0, reply_time=0.1, payload_bytes=10)]
+        with pytest.raises(ValueError):
+            SyntheticWorkloadModel.from_transactions(transactions,
+                                                     directory)
+
+
+class TestGeneration:
+    def test_counts_follow_se_not_zipf(self, fitted_model):
+        rng = random.Random(3)
+        transactions = fitted_model.generate(rng, n_peers=80)
+        counts = sorted(requests_per_peer(transactions).values(),
+                        reverse=True)
+        se = fit_stretched_exponential(counts)
+        zipf = fit_zipf(counts)
+        assert se.r_squared > 0.97
+        assert se.r_squared >= zipf.r_squared
+
+    def test_concentration_preserved(self, fitted_model):
+        rng = random.Random(4)
+        transactions = fitted_model.generate(rng, n_peers=80)
+        counts = list(requests_per_peer(transactions).values())
+        assert top_fraction_share(counts, 0.10) > 0.3
+
+    def test_rtt_anticorrelation(self, fitted_model):
+        rng = random.Random(5)
+        transactions = fitted_model.generate(rng, n_peers=80)
+        analysis = analyze_requests_vs_rtt(transactions)
+        assert analysis.correlation is not None
+        assert analysis.correlation < -0.3
+
+    def test_addresses_carry_category(self, fitted_model):
+        rng = random.Random(6)
+        transactions = fitted_model.generate(rng, n_peers=20)
+        categories = {synthetic_category_of(t.remote)
+                      for t in transactions}
+        assert None not in categories
+        assert categories <= set(ISPCategory)
+
+    def test_duration_respected(self, fitted_model):
+        rng = random.Random(7)
+        transactions = fitted_model.generate(rng, duration=100.0)
+        assert all(0.0 <= t.request_time <= 100.0 for t in transactions)
+        # Sorted by request time for stream-like consumption.
+        times = [t.request_time for t in transactions]
+        assert times == sorted(times)
+
+    def test_bad_population_rejected(self, fitted_model):
+        with pytest.raises(ValueError):
+            fitted_model.generate(random.Random(1), n_peers=0)
+
+
+class TestCategoryLabels:
+    def test_round_trip(self):
+        assert synthetic_category_of("se-TELE-1") is ISPCategory.TELE
+        assert synthetic_category_of("se-Foreign-9") is ISPCategory.FOREIGN
+
+    def test_garbage_is_none(self):
+        assert synthetic_category_of("1.2.3.4") is None
+        assert synthetic_category_of("se-???-1") is None
+
+
+class TestEndToEnd:
+    def test_fit_from_simulated_session(self):
+        from repro.workload import ScenarioConfig, run_session
+        result = run_session(ScenarioConfig(seed=31, population=25,
+                                            duration=360.0, warmup=140.0))
+        model = SyntheticWorkloadModel.from_session(result)
+        rng = random.Random(8)
+        synthetic = model.generate(rng)
+        assert len(synthetic) > 0
+        counts = requests_per_peer(synthetic)
+        assert len(counts) == model.n_peers

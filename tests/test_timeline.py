@@ -1,0 +1,114 @@
+"""Tests for the sliding-window locality timeline and trace display."""
+
+import pytest
+
+from repro.analysis.timeline import (TimelinePoint, locality_timeline,
+                                     timeline_summary)
+from repro.capture.matching import DataTransaction
+from repro.network.addressing import AddressAllocator
+from repro.network.asn import AsnDirectory
+from repro.network.isp import ISPCategory, default_isp_catalog
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = default_isp_catalog()
+    allocator = AddressAllocator(catalog)
+    directory = AsnDirectory(catalog, allocator)
+    tele = allocator.allocate(catalog.by_name("ChinaTelecom"))
+    cnc = allocator.allocate(catalog.by_name("ChinaNetcom"))
+    return directory, tele, cnc
+
+
+def txn(remote, t, nbytes=1000):
+    return DataTransaction(remote=remote, chunk=0, first=0, last=0,
+                           request_time=t, reply_time=t + 0.2,
+                           payload_bytes=nbytes)
+
+
+class TestTimeline:
+    def test_phase_change_visible(self, world):
+        directory, tele, cnc = world
+        # First 100 s all-TELE, second 100 s all-CNC.
+        transactions = [txn(tele, t) for t in range(0, 100, 2)]
+        transactions += [txn(cnc, float(t)) for t in range(100, 200, 2)]
+        points = locality_timeline(transactions, directory,
+                                   ISPCategory.TELE, window=50.0,
+                                   step=25.0)
+        assert points[0].locality == pytest.approx(1.0)
+        assert points[-1].locality == pytest.approx(0.0)
+
+    def test_window_bytes_counted(self, world):
+        directory, tele, _cnc = world
+        transactions = [txn(tele, 0.0, nbytes=500),
+                        txn(tele, 10.0, nbytes=500)]
+        points = locality_timeline(transactions, directory,
+                                   ISPCategory.TELE, window=60.0)
+        assert points[0].bytes == 1000
+        assert points[0].transactions == 2
+
+    def test_infrastructure_excluded(self, world):
+        directory, tele, cnc = world
+        transactions = [txn(tele, 1.0), txn(cnc, 2.0)]
+        points = locality_timeline(transactions, directory,
+                                   ISPCategory.TELE, window=30.0,
+                                   infrastructure=frozenset([tele]))
+        assert all(p.locality == 0.0 for p in points)
+
+    def test_empty_input(self, world):
+        directory, _tele, _cnc = world
+        assert locality_timeline([], directory, ISPCategory.TELE) == []
+        assert timeline_summary([]) == {}
+
+    def test_validation(self, world):
+        directory, tele, _cnc = world
+        with pytest.raises(ValueError):
+            locality_timeline([txn(tele, 1.0)], directory,
+                              ISPCategory.TELE, window=0.0)
+        with pytest.raises(ValueError):
+            locality_timeline([txn(tele, 1.0)], directory,
+                              ISPCategory.TELE, window=10.0, step=0.0)
+
+    def test_summary(self, world):
+        directory, tele, cnc = world
+        transactions = [txn(tele, float(t)) for t in range(0, 60, 5)]
+        transactions += [txn(cnc, float(t)) for t in range(60, 120, 5)]
+        points = locality_timeline(transactions, directory,
+                                   ISPCategory.TELE, window=40.0,
+                                   step=20.0)
+        summary = timeline_summary(points)
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+        assert summary["samples"] == len(points)
+
+
+class TestTraceDisplay:
+    def test_format_packets(self):
+        from repro.capture.records import Direction, PacketRecord
+        from repro.capture.store import TraceStore
+        from repro.protocol import messages as m
+        from repro.protocol.wire import wire_size
+
+        store = TraceStore("9.9.9.9")
+        request = m.DataRequest(chunk=5, seq=3)
+        store.append(PacketRecord(
+            time=1.5, direction=Direction.OUT, src="9.9.9.9",
+            dst="1.0.0.1", msg_type="DataRequest",
+            wire_bytes=wire_size(request), packet_id=1, payload=request))
+        text = store.format_packets()
+        assert "9.9.9.9 -> 1.0.0.1" in text
+        assert "chunk=5" in text and "seq=3" in text
+
+    def test_format_packets_pagination(self):
+        from repro.capture.records import Direction, PacketRecord
+        from repro.capture.store import TraceStore
+        from repro.protocol import messages as m
+
+        store = TraceStore("9.9.9.9")
+        for i in range(30):
+            payload = m.Goodbye()
+            store.append(PacketRecord(
+                time=float(i), direction=Direction.IN, src="1.0.0.1",
+                dst="9.9.9.9", msg_type="Goodbye", wire_bytes=32,
+                packet_id=i, payload=payload))
+        text = store.format_packets(limit=10)
+        assert "... 20 more packets" in text

@@ -1,0 +1,56 @@
+"""Golden byte-level encodings.
+
+These pin the wire format: any change to the layout breaks these tests
+loudly, which is the point — captured JSONL traces and any future
+cross-version tooling depend on the byte layout staying put (or the
+``VERSION`` byte being bumped).
+"""
+
+import pytest
+
+from repro.protocol import messages as m
+from repro.protocol.wire import decode, encode
+
+
+GOLDENS = [
+    (m.ChannelListRequest(),
+     "50500101"),
+    (m.PlaylinkRequest(channel_id=7),
+     "5050010300000007"),
+    (m.TrackerQuery(channel_id=1),
+     "5050010500000001"),
+    (m.TrackerReply(channel_id=1, peers=("1.0.0.9",)),
+     "505001060000000100010100000900 00".replace(" ", "")),
+    (m.Hello(channel_id=1, have_until=5, have_from=2),
+     "5050010700000001"
+     "0000000000000005" "0000000000000002"),
+    (m.Goodbye(channel_id=3),
+     "5050010a00000003"),
+    (m.DataRequest(channel_id=1, chunk=9, first=2, last=4, seq=77),
+     "5050010d00000001"
+     "0000000000000009" "0002" "0004" "0000004d"),
+    (m.DataMiss(channel_id=1, chunk=9, seq=8, have_until=4,
+                have_from=1),
+     "5050010f00000001" "0000000000000009" "00000008"
+     "0000000000000004" "0000000000000001"),
+    (m.BufferMapAnnounce(channel_id=2, have_until=10, have_from=3),
+     "5050011000000002"
+     "000000000000000a" "0000000000000003"),
+]
+
+
+@pytest.mark.parametrize("msg,expected_hex", GOLDENS,
+                         ids=[type(g[0]).__name__ for g in GOLDENS])
+def test_golden_encoding(msg, expected_hex):
+    assert encode(msg).hex() == expected_hex.replace(" ", "")
+
+
+@pytest.mark.parametrize("msg,expected_hex", GOLDENS,
+                         ids=[type(g[0]).__name__ for g in GOLDENS])
+def test_golden_decoding(msg, expected_hex):
+    assert decode(bytes.fromhex(expected_hex.replace(" ", ""))) == msg
+
+
+def test_version_byte_is_one():
+    # Bump wire.VERSION (and these goldens) together, deliberately.
+    assert encode(m.Goodbye())[2] == 1

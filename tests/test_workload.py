@@ -1,0 +1,198 @@
+"""Tests for population mixes, churn, diurnal patterns and scenarios."""
+
+import random
+
+import pytest
+
+from repro.network.isp import ISPCategory, default_isp_catalog
+from repro.sim import Simulator
+from repro.streaming.video import Popularity
+from repro.workload import (ChurnModel, DiurnalPattern, PopulationManager,
+                            ScenarioConfig, SessionScenario, mix_for,
+                            popular_channel_mix, run_session,
+                            session_start_seconds, unpopular_channel_mix)
+
+
+class TestMixes:
+    def test_popular_mix_is_tele_dominated(self):
+        mix = popular_channel_mix()
+        assert (mix.category_share(ISPCategory.TELE)
+                > 2 * mix.category_share(ISPCategory.FOREIGN))
+        assert (mix.category_share(ISPCategory.TELE)
+                > mix.category_share(ISPCategory.CNC))
+
+    def test_unpopular_mix_cnc_comparable_to_tele(self):
+        mix = unpopular_channel_mix()
+        tele = mix.category_share(ISPCategory.TELE)
+        cnc = mix.category_share(ISPCategory.CNC)
+        assert cnc >= tele  # paper: "the number from CNC is even a bit larger"
+        assert abs(tele - cnc) < 0.1
+
+    def test_sampling_matches_weights(self):
+        mix = popular_channel_mix()
+        catalog = default_isp_catalog()
+        rng = random.Random(7)
+        draws = [mix.sample_viewer(catalog, rng)[0].category
+                 for _ in range(3000)]
+        tele_share = draws.count(ISPCategory.TELE) / len(draws)
+        assert abs(tele_share - mix.category_share(ISPCategory.TELE)) < 0.05
+
+    def test_mix_for_lookup(self):
+        assert mix_for("popular").name == "popular"
+        assert mix_for("unpopular").name == "unpopular"
+        with pytest.raises(ValueError):
+            mix_for("nope")
+
+
+class TestChurn:
+    def test_session_durations_bounded_below(self):
+        model = ChurnModel(min_session=60.0)
+        rng = random.Random(1)
+        assert all(model.sample_session(rng) >= 60.0 for _ in range(200))
+
+    def test_median_roughly_respected(self):
+        model = ChurnModel(median_session=1000.0, session_sigma=0.5,
+                           min_session=1.0)
+        rng = random.Random(2)
+        values = sorted(model.sample_session(rng) for _ in range(999))
+        assert 800 < values[len(values) // 2] < 1250
+
+    def test_population_manager_reaches_target(self):
+        sim = Simulator(seed=3)
+        spawned = []
+
+        class FakeViewer:
+            def leave(self):
+                pass
+
+            def crash(self):
+                pass
+
+        manager = PopulationManager(
+            sim, target_size=20,
+            spawn_viewer=lambda: spawned.append(FakeViewer()) or spawned[-1],
+            ramp_seconds=50.0)
+        manager.start()
+        sim.run_until(60.0)
+        assert manager.active_count == 20
+
+    def test_departures_replaced(self):
+        sim = Simulator(seed=4)
+
+        class FakeViewer:
+            def leave(self):
+                pass
+
+            def crash(self):
+                pass
+
+        churn = ChurnModel(median_session=30.0, session_sigma=0.3,
+                           min_session=10.0)
+        manager = PopulationManager(sim, target_size=10,
+                                    spawn_viewer=FakeViewer,
+                                    churn=churn, ramp_seconds=10.0)
+        manager.start()
+        sim.run_until(300.0)
+        assert manager.total_departed > 0
+        # Replacements keep the audience near the target.
+        assert 5 <= manager.active_count <= 12
+
+    def test_stop_ends_replacement(self):
+        sim = Simulator(seed=5)
+
+        class FakeViewer:
+            def leave(self):
+                pass
+
+            def crash(self):
+                pass
+
+        churn = ChurnModel(median_session=20.0, session_sigma=0.2,
+                           min_session=10.0)
+        manager = PopulationManager(sim, target_size=5,
+                                    spawn_viewer=FakeViewer,
+                                    churn=churn, ramp_seconds=5.0)
+        manager.start()
+        sim.run_until(50.0)
+        manager.stop()
+        sim.run_until(500.0)
+        assert manager.active_count == 0
+
+
+class TestDiurnal:
+    def test_peak_at_evening(self):
+        pattern = DiurnalPattern()
+        peak = pattern.factor(session_start_seconds(2, 20.5))
+        trough = pattern.factor(session_start_seconds(2, 5.0))
+        assert peak > trough
+        assert trough >= pattern.trough_level * 0.9
+
+    def test_weekend_boost(self):
+        pattern = DiurnalPattern(weekend_boost=1.5)
+        # Day 0 is a Saturday, day 2 a Monday.
+        weekend = pattern.factor(session_start_seconds(0, 20.5))
+        weekday = pattern.factor(session_start_seconds(2, 20.5))
+        assert weekend > weekday
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(trough_level=0.0)
+        with pytest.raises(ValueError):
+            DiurnalPattern(weekend_boost=0.5)
+        with pytest.raises(ValueError):
+            session_start_seconds(-1)
+        with pytest.raises(ValueError):
+            session_start_seconds(0, 25.0)
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return run_session(ScenarioConfig(
+            seed=9, population=18, duration=240.0, warmup=100.0))
+
+    def test_probe_trace_nonempty(self, session):
+        probe = session.probe()
+        assert len(probe.trace) > 50
+
+    def test_probe_downloads_data(self, session):
+        probe = session.probe()
+        assert len(probe.report.data) > 0
+        assert sum(t.payload_bytes for t in probe.report.data) > 0
+
+    def test_infrastructure_addresses_known(self, session):
+        infra = session.infrastructure
+        assert len(infra) == 7  # bootstrap + 5 trackers + source
+
+    def test_probe_is_tele_by_default(self, session):
+        category = session.directory.category_of(session.probe().address)
+        assert category is ISPCategory.TELE
+
+    def test_deterministic_for_seed(self):
+        config = ScenarioConfig(seed=13, population=8, duration=120.0,
+                                warmup=60.0)
+        a = run_session(config)
+        b = run_session(config)
+        assert len(a.probe().trace) == len(b.probe().trace)
+        assert a.probe().address == b.probe().address
+        assert (len(a.probe().report.data)
+                == len(b.probe().report.data))
+
+    def test_multi_probe(self):
+        from repro.workload.scenario import MASON_PROBE, TELE_PROBE
+        result = run_session(ScenarioConfig(
+            seed=5, population=10, duration=120.0, warmup=60.0,
+            probes=(TELE_PROBE, MASON_PROBE)))
+        assert set(result.probes) == {"tele-probe", "mason-probe"}
+        mason = result.probe("mason-probe")
+        assert (result.directory.category_of(mason.address)
+                is ISPCategory.FOREIGN)
+        with pytest.raises(ValueError):
+            result.probe()  # ambiguous
+
+    def test_unpopular_popularity_flag(self):
+        result = run_session(ScenarioConfig(
+            seed=5, population=8, duration=120.0, warmup=60.0,
+            mix=unpopular_channel_mix(),
+            popularity=Popularity.UNPOPULAR))
+        assert result.deployment.channel.popularity is Popularity.UNPOPULAR
