@@ -1,0 +1,84 @@
+"""Benchmark: observability overhead on the simulation hot path.
+
+Two claims are checked on a small canonical session:
+
+* **Disabled is free.**  With no ``Instrumentation`` the instrumented
+  call sites reduce to shared no-op instruments and one boolean check,
+  so a run without obs flags must cost no more than an enabled run
+  (within timing noise) — i.e. the instrumentation points themselves do
+  not slow the default path.
+* **Enabled is cheap.**  Full metrics + profiler + ring tracing must
+  stay within a small multiple of the uninstrumented run.
+
+Timings use min-of-N (min is the low-noise estimator for repeated
+identical work).  The structural zero-overhead properties (shared null
+singletons, no registry allocated by default) are asserted exactly.
+"""
+
+import time
+
+from repro.obs import (NULL_INSTRUMENTATION, NULL_REGISTRY, NULL_SINK,
+                      EngineProfiler, Instrumentation, RingSink, resolve)
+from repro.streaming import Popularity
+from repro.workload.popularity import popular_channel_mix
+from repro.workload.scenario import (TELE_PROBE, ScenarioConfig,
+                                     SessionScenario)
+
+ROUNDS = 3
+
+
+def _config(obs=None) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=5,
+        population=20,
+        mix=popular_channel_mix(),
+        popularity=Popularity.POPULAR,
+        probes=(TELE_PROBE,),
+        warmup=60.0,
+        duration=180.0,
+        instrumentation=obs,
+    )
+
+
+def _min_wall(make_obs) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        SessionScenario(_config(make_obs())).run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_disabled_path_is_noop(benchmark, save_result):
+    disabled = benchmark.pedantic(lambda: _min_wall(lambda: None),
+                                  rounds=1, iterations=1)
+    enabled = _min_wall(lambda: Instrumentation(
+        trace=RingSink(capacity=10_000), profiler=EngineProfiler()))
+
+    overhead = enabled / disabled - 1.0
+    save_result("obs_overhead",
+                f"obs overhead (small session, min of {ROUNDS}):\n"
+                f"  disabled: {disabled * 1000:.1f} ms\n"
+                f"  enabled:  {enabled * 1000:.1f} ms\n"
+                f"  enabled/disabled - 1 = {overhead:+.1%}")
+
+    # Disabled must not be slower than enabled beyond timing noise: the
+    # no-op path does strictly less work, so a large gap the wrong way
+    # would mean the default path regressed.
+    assert disabled <= enabled * 1.25 + 0.05
+    # Enabled instrumentation should stay cheap (well under 3x).
+    assert enabled <= disabled * 3.0 + 0.05
+
+
+def test_structural_zero_overhead():
+    # The disabled bundle is one shared object handing out shared no-ops.
+    assert resolve(None) is NULL_INSTRUMENTATION
+    assert NULL_INSTRUMENTATION.metrics is NULL_REGISTRY
+    assert NULL_INSTRUMENTATION.trace is NULL_SINK
+    a = NULL_REGISTRY.counter("x", tags={"k": "1"})
+    b = NULL_REGISTRY.counter("y")
+    assert a is b
+    # A default config allocates no registry and schedules no heartbeat.
+    config = _config()
+    assert config.instrumentation is None
+    assert not NULL_INSTRUMENTATION.wants_heartbeat

@@ -35,6 +35,10 @@ from .baselines import (BiasedNeighborPolicy, IspOracle, OnoPolicy,
 from .capture import ProbeSniffer, TraceStore, match_all
 from .network import (ISPCategory, Internet, build_internet,
                       default_isp_catalog)
+from .obs import (EngineProfiler, Instrumentation, JsonlSink, LoggingSink,
+                  MetricsRegistry, NullSink, RingSink, TraceSink,
+                  read_metrics_jsonl, read_trace_jsonl, strip_wall_metrics,
+                  write_metrics_csv, write_metrics_jsonl)
 from .protocol import (PPLivePeer, PPLiveReferralPolicy, ProtocolConfig,
                        TrackerServer)
 from .sim import Simulator
@@ -68,6 +72,11 @@ __all__ = [
     "analyze_session_overlay", "locality_timeline", "aggregate_sessions",
     # stats
     "fit_stretched_exponential", "fit_zipf", "top_fraction_share",
+    # observability
+    "Instrumentation", "MetricsRegistry", "EngineProfiler",
+    "TraceSink", "NullSink", "JsonlSink", "RingSink", "LoggingSink",
+    "write_metrics_jsonl", "write_metrics_csv", "read_metrics_jsonl",
+    "read_trace_jsonl", "strip_wall_metrics",
     # workload
     "ScenarioConfig", "SessionScenario", "SessionResult", "run_session",
     "PopulationMix", "popular_channel_mix", "unpopular_channel_mix",

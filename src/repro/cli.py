@@ -4,23 +4,43 @@ Usage::
 
     python -m repro list
     python -m repro fig02 [--scale small|default|full] [--seed N]
+    python -m repro fig02 --metrics m.jsonl --trace t.jsonl --progress
     python -m repro table1
     python -m repro all --scale small
 
 ``all`` runs every single-session figure and Table 1 (the four canonical
 sessions are simulated once and shared); ``fig06`` runs the campaign and
 is therefore much slower.
+
+Observability flags (see ``docs/OBSERVABILITY.md``):
+
+* ``--metrics PATH``  — dump the metrics registry after the run
+  (JSONL, or CSV when PATH ends in ``.csv``),
+* ``--trace PATH``    — stream structured trace records to a JSONL file,
+* ``--log-level L``   — bridge trace records into stdlib logging on
+  stderr at level ``L`` (debug|info|warning|error),
+* ``--progress``      — print heartbeat progress lines to stderr.
+
+Without any of these flags the simulator runs completely
+uninstrumented and its output is byte-identical to earlier releases.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from typing import List, Optional
 
-from .experiments import (ALL_EXPERIMENT_IDS, Scale, WorkloadBank,
-                          run_experiment)
+from . import __version__
+from .experiments import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
+                          Scale, WorkloadBank, run_experiment)
+from .obs import (EngineProfiler, Instrumentation, JsonlSink, LoggingSink,
+                  TeeSink, level_from_name, write_metrics_csv,
+                  write_metrics_jsonl)
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce tables/figures from 'A Case Study of "
                     "Traffic Locality in Internet P2P Live Streaming "
                     "Systems' (ICDCS 2009).")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument(
         "experiment",
         help="experiment id (fig02..fig18, table1), 'all' for every "
@@ -39,14 +61,59 @@ def build_parser() -> argparse.ArgumentParser:
              "2-hour sessions)")
     parser.add_argument("--seed", type=int, default=7,
                         help="master seed (default: 7)")
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the metrics registry to PATH after the run "
+             "(JSONL; CSV when PATH ends in .csv)")
+    obs_group.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream structured trace records to PATH as JSONL")
+    obs_group.add_argument(
+        "--log-level", choices=_LOG_LEVELS, default=None,
+        help="also log trace records to stderr via stdlib logging at "
+             "this severity")
+    obs_group.add_argument(
+        "--progress", action="store_true",
+        help="print periodic heartbeat progress lines to stderr")
     return parser
 
 
+def build_instrumentation(args) -> Optional[Instrumentation]:
+    """An enabled bundle when any obs flag was given, else ``None``."""
+    if not (args.metrics or args.trace or args.log_level or args.progress):
+        return None
+    trace_level = level_from_name(args.log_level or "info")
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlSink(args.trace, level=trace_level))
+    if args.log_level:
+        logging.basicConfig(stream=sys.stderr, level=trace_level,
+                            format="%(levelname)s %(name)s %(message)s")
+        sinks.append(LoggingSink(logging.getLogger("repro"),
+                                 level=trace_level))
+    if len(sinks) > 1:
+        sink = TeeSink(sinks)
+    elif sinks:
+        sink = sinks[0]
+    else:
+        sink = None
+    return Instrumentation(trace=sink, profiler=EngineProfiler(),
+                           progress=args.progress)
+
+
+def _write_metrics(obs: Instrumentation, path: str) -> int:
+    if path.endswith(".csv"):
+        return write_metrics_csv(obs.metrics, path)
+    return write_metrics_jsonl(obs.metrics, path)
+
+
 def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
-             seed: int) -> None:
+             seed: int,
+             instrumentation: Optional[Instrumentation] = None) -> None:
     started = time.time()
     result = run_experiment(experiment_id, bank=bank, scale=scale,
-                            seed=seed)
+                            seed=seed, instrumentation=instrumentation)
     elapsed = time.time() - started
     print(result.render())
     print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
@@ -56,27 +123,43 @@ def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
+        width = max(len(eid) for eid in ALL_EXPERIMENT_IDS) + 2
         for experiment_id in ALL_EXPERIMENT_IDS:
-            print(experiment_id)
+            description = EXPERIMENT_DESCRIPTIONS.get(experiment_id, "")
+            print(f"{experiment_id:<{width}}{description}".rstrip())
         return 0
 
+    obs = build_instrumentation(args)
     scale = Scale(args.scale)
-    bank = WorkloadBank()
-    if args.experiment == "all":
-        for experiment_id in ALL_EXPERIMENT_IDS:
-            if experiment_id == "fig06":
-                continue  # campaign: run explicitly, it is much slower
-            _run_one(experiment_id, bank, scale, args.seed)
-        print("(fig06 skipped by 'all'; run 'python -m repro fig06' "
-              "explicitly)")
-        return 0
+    bank = WorkloadBank(instrumentation=obs)
+    try:
+        if args.experiment == "all":
+            for experiment_id in ALL_EXPERIMENT_IDS:
+                if experiment_id == "fig06":
+                    continue  # campaign: run explicitly, it is much slower
+                _run_one(experiment_id, bank, scale, args.seed,
+                         instrumentation=obs)
+            print("(fig06 skipped by 'all'; run 'python -m repro fig06' "
+                  "explicitly)")
+            return 0
 
-    if args.experiment not in ALL_EXPERIMENT_IDS:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"try 'list'", file=sys.stderr)
-        return 2
-    _run_one(args.experiment, bank, scale, args.seed)
-    return 0
+        if args.experiment not in ALL_EXPERIMENT_IDS:
+            print(f"unknown experiment {args.experiment!r}; "
+                  f"try 'list'", file=sys.stderr)
+            return 2
+        _run_one(args.experiment, bank, scale, args.seed,
+                 instrumentation=obs)
+        return 0
+    finally:
+        if obs is not None:
+            obs.finalize()
+            if args.metrics:
+                count = _write_metrics(obs, args.metrics)
+                print(f"[metrics: {count} series -> {args.metrics}]",
+                      file=sys.stderr)
+            if args.trace:
+                print(f"[trace -> {args.trace}]", file=sys.stderr)
+            obs.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

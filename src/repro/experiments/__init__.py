@@ -8,7 +8,8 @@ from .base import (DEFAULT_BANK, SCALE_PARAMS, Scale, ScaleParams,
 from .contribution_figs import ContributionFigure, contribution_figure
 from .fig06 import Figure6, figure6
 from .locality_figs import LocalityFigure, locality_figure
-from .registry import ALL_EXPERIMENT_IDS, run_experiment
+from .registry import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
+                       run_experiment)
 from .response_figs import (ResponseFigure, Table1, build_table1,
                             response_figure, table1_row)
 from .rtt_figs import RttFigure, rtt_figure
@@ -22,7 +23,7 @@ __all__ = [
     "ContributionFigure", "contribution_figure",
     "RttFigure", "rtt_figure",
     "Figure6", "figure6",
-    "run_experiment", "ALL_EXPERIMENT_IDS",
+    "run_experiment", "ALL_EXPERIMENT_IDS", "EXPERIMENT_DESCRIPTIONS",
     "AblationResult", "AblationPoint", "policy_comparison",
     "latency_pressure", "popularity_sweep", "top_peer_caching",
     "isp_aware_tracker",

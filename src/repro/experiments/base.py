@@ -105,10 +105,17 @@ def build_config(key: WorkloadKey) -> ScenarioConfig:
 
 
 class WorkloadBank:
-    """Runs and memoises the four canonical sessions."""
+    """Runs and memoises the four canonical sessions.
 
-    def __init__(self) -> None:
+    An optional :class:`repro.obs.Instrumentation` bundle is threaded
+    into every session the bank simulates; because sessions are
+    memoised, each one contributes to the bundle exactly once no matter
+    how many figures it feeds.
+    """
+
+    def __init__(self, instrumentation=None) -> None:
         self._cache: Dict[WorkloadKey, SessionResult] = {}
+        self.instrumentation = instrumentation
 
     def session(self, probe_name: str, popularity: Popularity,
                 scale: Scale = Scale.DEFAULT, seed: int = 7) -> SessionResult:
@@ -116,7 +123,9 @@ class WorkloadBank:
                           scale=scale, seed=seed)
         result = self._cache.get(key)
         if result is None:
-            result = SessionScenario(build_config(key)).run()
+            config = build_config(key)
+            config.instrumentation = self.instrumentation
+            result = SessionScenario(config).run()
             self._cache[key] = result
         return result
 

@@ -67,6 +67,16 @@ class Figure6:
         return "\n".join(lines)
 
 
-def figure6(config: Optional[CampaignConfig] = None) -> Figure6:
-    """Run the campaign and wrap it as Figure 6."""
+def figure6(config: Optional[CampaignConfig] = None,
+            instrumentation=None) -> Figure6:
+    """Run the campaign and wrap it as Figure 6.
+
+    ``instrumentation`` (a :class:`repro.obs.Instrumentation`) is
+    threaded into the campaign when the caller did not already set one
+    on ``config``.
+    """
+    if instrumentation is not None:
+        config = config if config is not None else CampaignConfig()
+        if config.instrumentation is None:
+            config.instrumentation = instrumentation
     return Figure6(result=run_campaign(config))

@@ -55,6 +55,28 @@ _RTT_FIGS = {
 }
 
 
+def _build_descriptions() -> dict:
+    families = (
+        (_LOCALITY_FIGS, "ISP-level traffic-locality panels"),
+        (_RESPONSE_FIGS, "peer-list response-time series"),
+        (_CONTRIBUTION_FIGS, "per-neighbor connection/contribution ranks"),
+        (_RTT_FIGS, "data requests vs neighbor RTT"),
+    )
+    descriptions = {}
+    for figs, what in families:
+        for fig_id, session_key in figs.items():
+            descriptions[fig_id] = f"{what} — {_SESSIONS[session_key][2]}"
+    descriptions["table1"] = ("top-10/top-30% request-concentration "
+                              "summary over the four featured sessions")
+    descriptions["fig06"] = ("traffic locality per day over the 28-day "
+                             "campaign (slow: runs every daily session)")
+    return descriptions
+
+
+#: experiment id -> one-line description (shown by ``repro list``).
+EXPERIMENT_DESCRIPTIONS = _build_descriptions()
+
+
 def _session_for(bank: WorkloadBank, session_key: str, scale: Scale,
                  seed: int):
     probe, popularity, _caption = _SESSIONS[session_key]
@@ -64,14 +86,19 @@ def _session_for(bank: WorkloadBank, session_key: str, scale: Scale,
 def run_experiment(experiment_id: str,
                    bank: Optional[WorkloadBank] = None,
                    scale: Scale = Scale.DEFAULT,
-                   seed: int = 7):
+                   seed: int = 7,
+                   instrumentation=None):
     """Reproduce one table/figure; returns its result object.
 
     ``experiment_id`` is "fig02".."fig18" or "table1" ("fig06" runs the
     campaign and takes noticeably longer than the single-session
-    figures).
+    figures).  ``instrumentation`` threads an observability bundle into
+    the simulated sessions; when a ``bank`` is supplied its own bundle
+    wins for the session figures.
     """
-    bank = bank if bank is not None else DEFAULT_BANK
+    if bank is None:
+        bank = WorkloadBank(instrumentation=instrumentation) \
+            if instrumentation is not None else DEFAULT_BANK
     if experiment_id in _LOCALITY_FIGS:
         key = _LOCALITY_FIGS[experiment_id]
         session = _session_for(bank, key, scale, seed)
@@ -102,7 +129,7 @@ def run_experiment(experiment_id: str,
             _session_for(bank, "mason-unpopular", scale, seed))
     if experiment_id == "fig06":
         from .fig06 import figure6
-        return figure6()
+        return figure6(instrumentation=instrumentation)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 

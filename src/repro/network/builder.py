@@ -39,11 +39,14 @@ class Internet:
 def build_internet(sim: Simulator,
                    catalog: ISPCatalog = None,
                    latency_config: LatencyConfig = None,
-                   blocks_per_isp: int = 4) -> Internet:
+                   blocks_per_isp: int = 4,
+                   obs=None) -> Internet:
     """Construct the default simulated Internet on ``sim``.
 
     The latency model is seeded from the simulator's master seed so that
-    the whole run is reproducible from one number.
+    the whole run is reproducible from one number.  ``obs`` is an
+    optional :class:`repro.obs.Instrumentation` threaded into the
+    transport layer.
     """
     if catalog is None:
         catalog = default_isp_catalog()
@@ -52,6 +55,6 @@ def build_internet(sim: Simulator,
     allocator = AddressAllocator(catalog, blocks_per_isp=blocks_per_isp)
     directory = AsnDirectory(catalog, allocator)
     latency = LatencyModel(latency_config, master_seed=sim.seed)
-    udp = UdpNetwork(sim, latency)
+    udp = UdpNetwork(sim, latency, obs=obs)
     return Internet(sim=sim, catalog=catalog, allocator=allocator,
                     directory=directory, latency=latency, udp=udp)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import DEBUG, WARNING, Instrumentation
+from ..obs import resolve as resolve_obs
 from ..sim.engine import Simulator
 from .bandwidth import AccessProfile, UplinkQueue
 from .datagram import Datagram
@@ -85,7 +87,8 @@ class Host:
 class UdpNetwork:
     """The simulated Internet's datagram plane."""
 
-    def __init__(self, sim: Simulator, latency: LatencyModel) -> None:
+    def __init__(self, sim: Simulator, latency: LatencyModel,
+                 obs: Optional[Instrumentation] = None) -> None:
         self.sim = sim
         self.latency = latency
         self._hosts: Dict[str, Host] = {}
@@ -96,6 +99,25 @@ class UdpNetwork:
         self.datagrams_dropped_uplink = 0
         self.datagrams_dropped_offline = 0
         self.bytes_delivered = 0
+        # Observability: instruments are bound once here; with the
+        # default null bundle every update below is a no-op call.
+        obs = resolve_obs(obs)
+        self._obs = obs
+        self._obs_enabled = obs.enabled
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_sent = metrics.counter("net.datagrams_sent")
+        self._m_delivered = metrics.counter("net.datagrams_delivered")
+        self._m_lost = metrics.counter("net.datagrams_lost")
+        self._m_dropped_uplink = metrics.counter(
+            "net.datagrams_dropped_uplink")
+        self._m_dropped_offline = metrics.counter(
+            "net.datagrams_dropped_offline")
+        self._m_bytes_delivered = metrics.counter("net.bytes_delivered")
+        self._m_bytes_queued = metrics.counter("net.bytes_queued_uplink")
+        self._h_backlog = metrics.histogram(
+            "net.uplink_backlog_seconds",
+            bounds=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 5.0))
 
     # ------------------------------------------------------------------
     # Registry
@@ -140,18 +162,36 @@ class UdpNetwork:
         datagram = Datagram(src=src_host.address, dst=dst, payload=payload,
                             payload_bytes=payload_bytes, sent_at=now)
         self.datagrams_sent += 1
+        self._m_sent.inc()
+        if self._obs_enabled:
+            self._obs.metrics.counter(
+                "net.messages_sent",
+                tags={"type": type(payload).__name__}).inc()
+            self._h_backlog.observe(src_host.uplink.backlog(now))
 
         uplink_delay = src_host.uplink.enqueue(datagram.wire_bytes, now)
         if uplink_delay is None:
             self.datagrams_dropped_uplink += 1
+            self._m_dropped_uplink.inc()
+            if self._trace.enabled_for(WARNING):
+                self._trace.emit(now, WARNING, "uplink_tail_drop",
+                                 src=datagram.src, dst=dst,
+                                 wire_bytes=datagram.wire_bytes,
+                                 msg=type(payload).__name__)
             self._notify("drop_uplink", datagram, now)
             return False
+        self._m_bytes_queued.inc(datagram.wire_bytes)
         self._notify("send", datagram, now)
 
         dst_host = self._hosts.get(dst)
         dst_isp = dst_host.isp if dst_host is not None else None
         if dst_isp is not None and self.latency.is_lost(src_host.isp, dst_isp):
             self.datagrams_lost += 1
+            self._m_lost.inc()
+            if self._trace.enabled_for(DEBUG):
+                self._trace.emit(now, DEBUG, "path_loss",
+                                 src=datagram.src, dst=dst,
+                                 msg=type(payload).__name__)
             self._notify("drop_loss", datagram, now)
             return True  # the sender cannot tell loss from silence
 
@@ -175,8 +215,11 @@ class UdpNetwork:
         host = self._hosts.get(datagram.dst)
         if host is None:
             self.datagrams_dropped_offline += 1
+            self._m_dropped_offline.inc()
             return
         self.datagrams_delivered += 1
         self.bytes_delivered += datagram.wire_bytes
+        self._m_delivered.inc()
+        self._m_bytes_delivered.inc(datagram.wire_bytes)
         self._notify("recv", datagram, self.sim.now)
         host.handle_datagram(datagram)

@@ -1,0 +1,39 @@
+"""Observability (S-obs): metrics, structured tracing, engine profiling.
+
+The paper is a measurement study; this package is the simulator's own
+measurement substrate.  Three facets, bundled by
+:class:`Instrumentation` and disabled (no-op, zero-overhead) by default:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms, taggable,
+  deterministic export (:mod:`repro.obs.export` does JSONL/CSV),
+* :mod:`repro.obs.trace` — structured, levelled trace records streamed
+  to JSONL / ring buffer / stdlib logging,
+* :mod:`repro.obs.profiler` — per-event-label wall-clock accounting in
+  the engine plus the periodic heartbeat sampler for long campaigns.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and trace schema.
+"""
+
+from .export import (metrics_to_records, read_metrics_csv,
+                     read_metrics_jsonl, strip_wall_metrics,
+                     write_metrics_csv, write_metrics_jsonl)
+from .instrument import NULL_INSTRUMENTATION, Instrumentation, resolve
+from .metrics import (DEFAULT_BUCKETS, NULL_REGISTRY, Counter, Gauge,
+                      Histogram, MetricsRegistry, NullRegistry)
+from .profiler import EngineProfiler, EngineSample, HeartbeatSampler
+from .trace import (DEBUG, ERROR, INFO, NULL_SINK, WARNING, JsonlSink,
+                    LoggingSink, NullSink, RingSink, TeeSink, TraceSink,
+                    level_from_name, read_trace_jsonl)
+
+__all__ = [
+    "Instrumentation", "NULL_INSTRUMENTATION", "resolve",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "TraceSink", "NullSink", "NULL_SINK", "JsonlSink", "RingSink",
+    "LoggingSink", "TeeSink", "level_from_name", "read_trace_jsonl",
+    "DEBUG", "INFO", "WARNING", "ERROR",
+    "EngineProfiler", "EngineSample", "HeartbeatSampler",
+    "metrics_to_records", "strip_wall_metrics",
+    "write_metrics_jsonl", "read_metrics_jsonl",
+    "write_metrics_csv", "read_metrics_csv",
+]

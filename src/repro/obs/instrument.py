@@ -1,0 +1,102 @@
+"""The :class:`Instrumentation` bundle threaded through the stack.
+
+One object carries the three observability facets — metrics registry,
+trace sink, engine profiler — plus the progress/heartbeat settings, so
+components take a single optional ``obs`` argument instead of three.
+
+:func:`resolve` maps ``None`` to the shared :data:`NULL_INSTRUMENTATION`
+whose registry hands out no-op instruments and whose sink drops
+everything; with it, the instrumented hot paths cost one no-op method
+call and the simulator's behaviour (event stream, RNG draws, rendered
+output) is bit-for-bit what it was before instrumentation existed —
+heartbeat timers and trace emission only happen on enabled bundles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .profiler import EngineProfiler
+from .trace import NULL_SINK, TraceSink
+
+
+class Instrumentation:
+    """Metrics + tracing + profiling for one run (or campaign)."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 trace: Optional[TraceSink] = None,
+                 profiler: Optional[EngineProfiler] = None,
+                 progress: bool = False,
+                 progress_stream: Optional[TextIO] = None,
+                 heartbeat_interval: float = 30.0) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else NULL_SINK
+        self.profiler = profiler
+        self.progress = progress
+        self.progress_stream = progress_stream
+        self.heartbeat_interval = heartbeat_interval
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def null(cls) -> "Instrumentation":
+        """The shared disabled bundle (no-op everything)."""
+        return NULL_INSTRUMENTATION
+
+    @classmethod
+    def full(cls, trace: Optional[TraceSink] = None,
+             progress: bool = False) -> "Instrumentation":
+        """Everything on: real registry, profiler, optional sink."""
+        return cls(metrics=MetricsRegistry(), trace=trace,
+                   profiler=EngineProfiler(), progress=progress)
+
+    # ------------------------------------------------------------------
+    # Heartbeat wiring
+    # ------------------------------------------------------------------
+    @property
+    def wants_heartbeat(self) -> bool:
+        """Whether a scenario should install a heartbeat sampler."""
+        return self.enabled and (self.progress or self.profiler is not None
+                                 or self.trace is not NULL_SINK)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Fold profiler results into the metrics registry."""
+        if self.profiler is not None:
+            self.profiler.export_into(self.metrics)
+
+    def close(self) -> None:
+        self.trace.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Instrumentation {state} series={len(self.metrics)} "
+                f"profiler={'on' if self.profiler else 'off'}>")
+
+
+class _NullInstrumentation(Instrumentation):
+    """The disabled bundle; everything it hands out is a no-op."""
+
+    def __init__(self) -> None:
+        super().__init__(metrics=NULL_REGISTRY, trace=NULL_SINK,
+                         profiler=None, progress=False)
+        self.enabled = False
+
+    def finalize(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_INSTRUMENTATION = _NullInstrumentation()
+
+
+def resolve(obs: Optional[Instrumentation]) -> Instrumentation:
+    """Normalise an optional ``obs`` argument to a usable bundle."""
+    return obs if obs is not None else NULL_INSTRUMENTATION

@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the simulator's Prometheus-style accounting surface.
+Call sites *bind* their instruments once (usually in a constructor) and
+then update them on the hot path::
+
+    sent = registry.counter("net.datagrams_sent")
+    ...
+    sent.inc()
+
+Instruments are memoised per ``(name, tags)`` series, so two components
+binding the same series share one underlying value — e.g. every peer in
+``ChinaTelecom`` increments the same ``proto.gossip_rounds{isp=...}``
+counter.  Iteration and :meth:`MetricsRegistry.snapshot` are
+deterministic (sorted by name, then tags) so that two runs with the same
+seed produce byte-identical dumps.
+
+The :class:`NullRegistry` hands out shared no-op instruments; it is the
+default everywhere, which keeps the un-instrumented hot path at the cost
+of one no-op method call.
+
+A tag-cardinality guard protects long campaigns from unbounded series
+growth (e.g. a tag accidentally keyed by peer address): once a name
+exceeds ``max_series_per_name`` distinct tag sets, further updates are
+folded into a single ``{"overflow": "true"}`` series instead of
+allocating new ones.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds) — spans sub-ms event
+#: handling up to multi-second queueing delays.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+TagMap = Optional[Dict[str, str]]
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+_OVERFLOW_TAGS = {"overflow": "true"}
+
+
+def _tag_key(tags: TagMap) -> Tuple[Tuple[str, str], ...]:
+    if not tags:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in tags.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "tags", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, tags: TagMap = None) -> None:
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_record(self) -> dict:
+        return {"name": self.name, "type": self.kind, "tags": self.tags,
+                "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}{self.tags or ''} = {self.value}>"
+
+
+class Gauge:
+    """A value that can move in both directions (set or adjusted)."""
+
+    __slots__ = ("name", "tags", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, tags: TagMap = None) -> None:
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def adjust(self, delta: float) -> None:
+        self.value += delta
+
+    def to_record(self) -> dict:
+        return {"name": self.name, "type": self.kind, "tags": self.tags,
+                "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}{self.tags or ''} = {self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative export, Prometheus-style).
+
+    ``bounds`` are the inclusive upper bounds of each bucket; one extra
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "tags", "bounds", "bucket_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                 tags: TagMap = None) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name} bounds must be sorted")
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def to_record(self) -> dict:
+        return {"name": self.name, "type": self.kind, "tags": self.tags,
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self.bucket_counts),
+                "count": self.count, "sum": self.sum}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Histogram {self.name}{self.tags or ''} "
+                f"n={self.count} sum={self.sum:.6f}>")
+
+
+class MetricsRegistry:
+    """Holds every metric series, memoised per ``(name, tags)``."""
+
+    #: Reports are deterministic, so instrument objects can be compared
+    #: by identity: the same series is always the same object.
+    def __init__(self, max_series_per_name: int = 512) -> None:
+        if max_series_per_name < 1:
+            raise ValueError("max_series_per_name must be >= 1")
+        self.max_series_per_name = max_series_per_name
+        self._series: Dict[_SeriesKey, object] = {}
+        self._per_name: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def counter(self, name: str, tags: TagMap = None) -> Counter:
+        return self._bind(Counter, name, tags)
+
+    def gauge(self, name: str, tags: TagMap = None) -> Gauge:
+        return self._bind(Gauge, name, tags)
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  tags: TagMap = None) -> Histogram:
+        return self._bind(Histogram, name, tags, bounds=bounds)
+
+    def _bind(self, cls, name: str, tags: TagMap, **kwargs):
+        key = (name, _tag_key(tags))
+        metric = self._series.get(key)
+        if metric is None:
+            if self._per_name.get(name, 0) >= self.max_series_per_name:
+                # Cardinality guard: fold runaway tag sets into one
+                # overflow series rather than growing without bound.
+                return self._bind(cls, name, _OVERFLOW_TAGS, **kwargs) \
+                    if tags != _OVERFLOW_TAGS else self._overflow(cls, name,
+                                                                  **kwargs)
+            metric = cls(name, tags=tags, **kwargs)
+            self._series[key] = metric
+            self._per_name[name] = self._per_name.get(name, 0) + 1
+        if type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} {dict(_tag_key(tags))} already registered "
+                f"as {metric.kind}, requested {cls.kind}")
+        return metric
+
+    def _overflow(self, cls, name: str, **kwargs):
+        # The guard tripped *and* the overflow series itself would exceed
+        # the limit (max_series_per_name hit by untagged series): force it.
+        key = (name, _tag_key(_OVERFLOW_TAGS))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = cls(name, tags=_OVERFLOW_TAGS, **kwargs)
+            self._series[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[object]:
+        """Deterministic iteration: sorted by (name, tag items)."""
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def get(self, name: str, tags: TagMap = None) -> Optional[object]:
+        return self._series.get((name, _tag_key(tags)))
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._series})
+
+    def snapshot(self) -> List[dict]:
+        """All series as plain dict records, in deterministic order."""
+        return [metric.to_record() for metric in self]
+
+    def clear(self) -> None:
+        self._series.clear()
+        self._per_name.clear()
+
+
+# ----------------------------------------------------------------------
+# No-op instruments: the default, zero-overhead path
+# ----------------------------------------------------------------------
+class NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def adjust(self, delta: float) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = NullCounter("null")
+NULL_GAUGE = NullGauge("null")
+NULL_HISTOGRAM = NullHistogram("null")
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out shared no-op instruments and records nothing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, tags: TagMap = None) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, tags: TagMap = None) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  tags: TagMap = None) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()

@@ -29,6 +29,8 @@ from ..network.bandwidth import AccessProfile
 from ..network.datagram import Datagram
 from ..network.isp import ISP
 from ..network.transport import Host, UdpNetwork
+from ..obs import INFO, WARNING, Instrumentation
+from ..obs import resolve as resolve_obs
 from ..sim.engine import Simulator, Timer
 from ..streaming.buffer import ChunkBuffer
 from ..streaming.playback import PlaybackMonitor, PlayerState
@@ -63,7 +65,8 @@ class PPLivePeer(Host):
                  isp: ISP, profile: AccessProfile, config: ProtocolConfig,
                  channel: LiveChannel, bootstrap_address: str,
                  policy: Optional[PeerSelectionPolicy] = None,
-                 source_address: Optional[str] = None) -> None:
+                 source_address: Optional[str] = None,
+                 obs: Optional[Instrumentation] = None) -> None:
         super().__init__(sim, network, address, isp, profile)
         self.config = config
         self.channel = channel
@@ -100,6 +103,27 @@ class PPLivePeer(Host):
         self.joined_at: Optional[float] = None
         self.departed_at: Optional[float] = None
 
+        # Observability: per-ISP-tagged instruments, bound once.  Peers
+        # in the same ISP share series; the default bundle is no-op.
+        obs = resolve_obs(obs)
+        self._obs = obs
+        self._trace = obs.trace
+        self._obs_tags = {"isp": isp.name}
+        metrics = obs.metrics
+        self._m_gossip_rounds = metrics.counter("proto.gossip_rounds",
+                                                self._obs_tags)
+        self._m_hellos_sent = metrics.counter("proto.hellos_sent",
+                                              self._obs_tags)
+        self._m_hello_timeouts = metrics.counter("proto.hello_timeouts",
+                                                 self._obs_tags)
+        self._m_races_won = metrics.counter("proto.handshake_races_won",
+                                            self._obs_tags)
+        self._m_races_lost = metrics.counter("proto.handshake_races_lost",
+                                             self._obs_tags)
+        self._m_hello_rejects = metrics.counter("proto.hello_rejects_sent",
+                                                self._obs_tags)
+        self._m_resyncs = metrics.counter("proto.resyncs", self._obs_tags)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -110,6 +134,9 @@ class PPLivePeer(Host):
         self.go_online()
         self.joined_at = self.sim.now
         self.phase = PeerPhase.BOOTSTRAPPING
+        if self._trace.enabled_for(INFO):
+            self._trace.emit(self.sim.now, INFO, "peer_join",
+                             peer=self.address, isp=self.isp.name)
         self._transmit(self.bootstrap_address, m.ChannelListRequest())
         self._bootstrap_timer = self.sim.every(
             self.config.bootstrap_retry_interval, self._bootstrap_retry)
@@ -146,6 +173,10 @@ class PPLivePeer(Host):
     def _shutdown(self) -> None:
         self.phase = PeerPhase.DEPARTED
         self.departed_at = self.sim.now
+        if self._trace.enabled_for(INFO):
+            self._trace.emit(self.sim.now, INFO, "peer_depart",
+                             peer=self.address, isp=self.isp.name,
+                             neighbors=len(self.neighbors))
         for timer in self._timers:
             timer.stop()
         self._timers.clear()
@@ -227,6 +258,10 @@ class PPLivePeer(Host):
     def _become_active(self) -> None:
         self.phase = PeerPhase.ACTIVE
         now = self.sim.now
+        if self._trace.enabled_for(INFO):
+            self._trace.emit(now, INFO, "peer_active", peer=self.address,
+                             isp=self.isp.name,
+                             startup_delay=now - (self.joined_at or now))
         live = self.channel.live_chunk(now)
         lag = self._rng.randint(self.config.startup_lag_min,
                                 self.config.startup_lag_max)
@@ -234,11 +269,12 @@ class PPLivePeer(Host):
         geometry = self.channel.geometry
         self.buffer = ChunkBuffer(geometry, first_chunk)
         self.player = PlaybackMonitor(geometry, self.buffer, join_time=now,
-                                      startup_chunks=self.config.startup_chunks)
+                                      startup_chunks=self.config.startup_chunks,
+                                      obs=self._obs, obs_tags=self._obs_tags)
         self.scheduler = DataScheduler(
             self.sim, self.config, geometry, self.buffer, self.neighbors,
             self._send_data_request, source_address=self.source_address,
-            rng=self._scheduler_rng)
+            rng=self._scheduler_rng, obs=self._obs, obs_tags=self._obs_tags)
         # Initial burst: query every tracker group at once.
         for tracker in self.trackers:
             self._transmit(tracker, m.TrackerQuery(
@@ -298,10 +334,12 @@ class PPLivePeer(Host):
                 lambda a=address: self._on_hello_timeout(a),
                 label="hello-timeout")
             self._pending_hellos[address] = (timeout, self.sim.now)
+            self._m_hellos_sent.inc()
             self._transmit(address, hello)
 
     def _on_hello_timeout(self, address: str) -> None:
         if self._pending_hellos.pop(address, None) is not None:
+            self._m_hello_timeouts.inc()
             self.pool.note_failure(address, self.sim.now)
 
     def _on_hello(self, src: str, msg: m.Hello) -> None:
@@ -318,6 +356,7 @@ class PPLivePeer(Host):
             return
         if self.neighbors.is_full:
             self.hello_rejects += 1
+            self._m_hello_rejects.inc()
             self._transmit(src, m.HelloReject(
                 channel_id=self.channel.channel_id))
             return
@@ -345,6 +384,7 @@ class PPLivePeer(Host):
             return
         if self.neighbors.is_full:
             # Lost the race: the table filled while this ack was in flight.
+            self._m_races_lost.inc()
             self._transmit(src, m.Goodbye(
                 channel_id=self.channel.channel_id))
             return
@@ -352,6 +392,7 @@ class PPLivePeer(Host):
         state.hello_rtt = self.sim.now - sent_at
         state.record_availability(msg.have_until, self.sim.now,
                                   msg.have_from)
+        self._m_races_won.inc()
 
     def _on_hello_reject(self, src: str, msg: m.HelloReject) -> None:
         pending = self._pending_hellos.pop(src, None)
@@ -408,6 +449,7 @@ class PPLivePeer(Host):
         targets = self.neighbors.addresses()
         if not targets:
             return
+        self._m_gossip_rounds.inc()
         fanout = min(self.config.gossip_fanout, len(targets))
         chosen = self._rng.sample(targets, fanout)
         own_list = tuple(self.pool.build_peer_list(
@@ -608,7 +650,12 @@ class PPLivePeer(Host):
         keeping its neighbor relationships.
         """
         self.resyncs += 1
+        self._m_resyncs.inc()
         now = self.sim.now
+        if self._trace.enabled_for(WARNING):
+            self._trace.emit(now, WARNING, "playback_resync",
+                             peer=self.address, isp=self.isp.name,
+                             live_chunk=live, behind=live - self.have_until)
         if self.player is not None:
             self.player.stop(now)
         lag = self._rng.randint(self.config.startup_lag_min,
@@ -617,7 +664,8 @@ class PPLivePeer(Host):
         geometry = self.channel.geometry
         self.buffer = ChunkBuffer(geometry, first_chunk)
         self.player = PlaybackMonitor(geometry, self.buffer, join_time=now,
-                                      startup_chunks=self.config.startup_chunks)
+                                      startup_chunks=self.config.startup_chunks,
+                                      obs=self._obs, obs_tags=self._obs_tags)
         if self.scheduler is not None:
             self.scheduler.reset_for_buffer(self.buffer)
 

@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
+from ..obs import WARNING, Instrumentation
+from ..obs import resolve as resolve_obs
 from ..sim.engine import Simulator
 from ..sim.random import weighted_choice
 from ..streaming.buffer import ChunkBuffer
@@ -59,7 +61,9 @@ class DataScheduler:
                  geometry: ChunkGeometry, buffer: ChunkBuffer,
                  neighbors: NeighborTable, send_request: SendRequestFn,
                  source_address: Optional[str] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 obs: Optional[Instrumentation] = None,
+                 obs_tags: Optional[dict] = None) -> None:
         self.sim = sim
         self.config = config
         self.geometry = geometry
@@ -81,6 +85,20 @@ class DataScheduler:
         self.misses_handled = 0
         self.timeouts = 0
         self.duplicate_replies = 0
+        # Observability: series shared per tag set (usually per ISP).
+        obs = resolve_obs(obs)
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_requests = metrics.counter("proto.data_requests_issued",
+                                           obs_tags)
+        self._m_to_source = metrics.counter("proto.data_requests_to_source",
+                                            obs_tags)
+        self._m_timeouts = metrics.counter("proto.data_request_timeouts",
+                                           obs_tags)
+        self._m_misses = metrics.counter("proto.data_request_misses",
+                                         obs_tags)
+        self._m_cooldowns = metrics.counter("proto.neighbor_cooldowns",
+                                            obs_tags)
 
     # ------------------------------------------------------------------
     # Planning
@@ -227,10 +245,12 @@ class DataScheduler:
         if to_source:
             self._source_inflight += 1
             self.requests_to_source += 1
+            self._m_to_source.inc()
         else:
             target.inflight += 1
             target.data_requests_sent += 1
         self.requests_issued += 1
+        self._m_requests.inc()
         self.send_request(target.address, chunk, first, last, seq)
 
     def on_reply(self, seq: int, chunk: int, first: int, last: int,
@@ -261,10 +281,12 @@ class DataScheduler:
             return
         self._settle(pending)
         self.misses_handled += 1
+        self._m_misses.inc()
         neighbor = self.neighbors.get(pending.neighbor)
         if neighbor is not None:
             neighbor.record_miss(self.sim.now)
             neighbor.cooldown_until = self.sim.now + self.config.miss_cooldown
+            self._m_cooldowns.inc()
             if have_until >= 0:
                 # A miss is the most authoritative availability signal:
                 # overwrite (do not merely max) the reported range.
@@ -278,6 +300,12 @@ class DataScheduler:
             return
         self._settle(pending, cancel_timeout=False)
         self.timeouts += 1
+        self._m_timeouts.inc()
+        if self._trace.enabled_for(WARNING):
+            self._trace.emit(self.sim.now, WARNING, "data_request_timeout",
+                             neighbor=pending.neighbor, seq=pending.seq,
+                             chunk=pending.chunk,
+                             to_source=pending.to_source)
         if pending.to_source:
             self._source_cooldown_until = (self.sim.now
                                            + self.config.timeout_cooldown)
@@ -286,6 +314,7 @@ class DataScheduler:
             neighbor.data_timeouts += 1
             neighbor.cooldown_until = (self.sim.now
                                        + self.config.timeout_cooldown)
+            self._m_cooldowns.inc()
             # Penalise the EWMA with the full timeout so unresponsive
             # neighbors stop attracting requests.
             neighbor.record_response(self.config.data_timeout,

@@ -11,6 +11,7 @@ the same model code, two runs produce byte-identical traces.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from .clock import Clock
@@ -73,7 +74,8 @@ class Timer:
 class Simulator:
     """Deterministic single-threaded discrete-event simulator."""
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    def __init__(self, seed: int = 0, start_time: float = 0.0,
+                 profiler: Optional[Any] = None) -> None:
         self.clock = Clock(start_time)
         self.queue = EventQueue()
         self.random = RandomRouter(seed)
@@ -81,6 +83,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        #: Optional :class:`repro.obs.EngineProfiler`; when set, every
+        #: executed event is wall-clock-accounted under its label.
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     # Time
@@ -131,7 +136,13 @@ class Simulator:
         callback = event.callback
         self.events_executed += 1
         if callback is not None:
-            callback()
+            profiler = self.profiler
+            if profiler is None:
+                callback()
+            else:
+                started = perf_counter()
+                callback()
+                profiler.record(event.label, perf_counter() - started)
         return True
 
     def run_until(self, end_time: float,
@@ -139,8 +150,12 @@ class Simulator:
         """Run events with timestamps <= ``end_time``.
 
         Returns the number of events executed.  The clock is left at
-        ``end_time`` even if the queue drains earlier, so back-to-back
-        ``run_until`` calls observe contiguous time.
+        ``end_time`` when the window completes — even if the queue
+        drained earlier — so back-to-back ``run_until`` calls observe
+        contiguous time.  If the ``max_events`` bound stops the run
+        while events due before ``end_time`` are still queued, the
+        clock stays at the last executed event so those events are not
+        silently skipped over.
         """
         if end_time < self.now:
             raise SchedulingError(
@@ -158,7 +173,9 @@ class Simulator:
                 executed += 1
         finally:
             self._running = False
-        self.clock.advance_to(end_time)
+        next_time = self.queue.peek_time()
+        if next_time is None or next_time > end_time:
+            self.clock.advance_to(end_time)
         return executed
 
     def run(self, max_events: Optional[int] = None) -> int:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from ..obs import INFO, Instrumentation
+from ..obs import resolve as resolve_obs
 from .buffer import ChunkBuffer
 from .chunks import ChunkGeometry
 
@@ -32,7 +34,9 @@ class PlaybackMonitor:
     """Tracks playout progress against the receive buffer."""
 
     def __init__(self, geometry: ChunkGeometry, buffer: ChunkBuffer,
-                 join_time: float, startup_chunks: int = 3) -> None:
+                 join_time: float, startup_chunks: int = 3,
+                 obs: Optional[Instrumentation] = None,
+                 obs_tags: Optional[dict] = None) -> None:
         if startup_chunks < 1:
             raise ValueError("startup_chunks must be >= 1")
         self.geometry = geometry
@@ -48,6 +52,19 @@ class PlaybackMonitor:
         self._stall_began: Optional[float] = None
         self.deadlines_met = 0
         self.deadlines_missed = 0
+        # Observability: no-op by default; series shared per tag set.
+        obs = resolve_obs(obs)
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_deadlines_met = metrics.counter("streaming.deadlines_met",
+                                                obs_tags)
+        self._m_deadline_misses = metrics.counter(
+            "streaming.deadline_misses", obs_tags)
+        self._m_stalls = metrics.counter("streaming.stalls", obs_tags)
+        self._h_startup_delay = metrics.histogram(
+            "streaming.startup_delay_seconds",
+            bounds=(1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0),
+            tags=obs_tags)
 
     # ------------------------------------------------------------------
     # Driving
@@ -95,6 +112,7 @@ class PlaybackMonitor:
             self.state = PlayerState.PLAYING
             self.playout_started_at = now
             self.startup_delay = now - self.join_time
+            self._h_startup_delay.observe(self.startup_delay)
             self.playout_chunk = self.buffer.first_chunk - 1
             self._consume_due_chunks(now)
 
@@ -117,6 +135,7 @@ class PlaybackMonitor:
                     self._end_stall(now)
                 self.playout_chunk = next_chunk
                 self.deadlines_met += 1
+                self._m_deadlines_met.inc()
                 due = self._due_chunk(now)
             else:
                 # Count the miss once, on the transition into the stall;
@@ -124,16 +143,26 @@ class PlaybackMonitor:
                 if self.state is PlayerState.PLAYING:
                     self._begin_stall(now)
                     self.deadlines_missed += 1
+                    self._m_deadline_misses.inc()
                 break
         self.buffer.evict_before(self.playout_chunk)
 
     def _begin_stall(self, now: float) -> None:
         self.state = PlayerState.STALLED
         self.stall_count += 1
+        self._m_stalls.inc()
         self._stall_began = now
+        if self._trace.enabled_for(INFO):
+            self._trace.emit(now, INFO, "playback_stall",
+                             chunk=self.playout_chunk + 1,
+                             continuity=round(self.continuity_index, 4))
 
     def _end_stall(self, now: float) -> None:
         if self._stall_began is not None:
-            self.stall_seconds += now - self._stall_began
+            duration = now - self._stall_began
+            self.stall_seconds += duration
             self._stall_began = None
+            if self._trace.enabled_for(INFO):
+                self._trace.emit(now, INFO, "playback_resume",
+                                 stalled_for=round(duration, 3))
         self.state = PlayerState.PLAYING

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.locality import traffic_locality
 from ..network.isp import ISPCategory
+from ..obs import INFO, Instrumentation
+from ..obs import resolve as resolve_obs
 from ..sim.random import RandomRouter
 from ..streaming.chunks import ChunkGeometry
 from ..streaming.video import Popularity
@@ -58,6 +61,9 @@ class CampaignConfig:
     foreign_swing_sigma: float = 0.8
     diurnal: DiurnalPattern = field(default_factory=DiurnalPattern)
     geometry: ChunkGeometry = field(default_factory=ChunkGeometry)
+    #: Observability bundle threaded into every daily session; the
+    #: campaign also reports per-day progress through it.
+    instrumentation: Optional[Instrumentation] = None
 
 
 @dataclass
@@ -144,6 +150,7 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
         duration=config.session_duration,
         geometry=config.geometry,
         churn=ChurnModel(),
+        instrumentation=config.instrumentation,
     )
     result = SessionScenario(scenario_config).run()
 
@@ -166,10 +173,32 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
 def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     """Run the full campaign: ``days`` sessions per program."""
     config = config if config is not None else CampaignConfig()
+    obs = resolve_obs(config.instrumentation)
     router = RandomRouter(config.seed)
-    popular = [_run_day(config, day, Popularity.POPULAR, router)
-               for day in range(config.days)]
-    unpopular = [_run_day(config, day, Popularity.UNPOPULAR, router)
-                 for day in range(config.days)]
+
+    def run_days(popularity: Popularity) -> List[DailyLocality]:
+        days = []
+        for day in range(config.days):
+            daily = _run_day(config, day, popularity, router)
+            days.append(daily)
+            if obs.enabled:
+                obs.trace.emit(0.0, INFO, "campaign_day",
+                               day=day + 1, days=config.days,
+                               popularity=popularity.value,
+                               population=daily.population,
+                               locality_by_isp=daily.locality_by_isp)
+                if obs.progress:
+                    stream = obs.progress_stream
+                    summary = " ".join(
+                        f"{label}={value:.1f}%" for label, value
+                        in sorted(daily.locality_by_isp.items()))
+                    print(f"[campaign] day {day + 1}/{config.days} "
+                          f"({popularity.value}) pop={daily.population} "
+                          f"{summary}",
+                          file=stream if stream is not None else sys.stderr)
+        return days
+
+    popular = run_days(Popularity.POPULAR)
+    unpopular = run_days(Popularity.UNPOPULAR)
     return CampaignResult(config=config, popular=popular,
                           unpopular=unpopular)

@@ -16,6 +16,7 @@ layer needs.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -24,6 +25,8 @@ from ..capture.sniffer import ProbeSniffer
 from ..capture.store import TraceStore
 from ..network.bandwidth import ADSL, CAMPUS, AccessProfile
 from ..network.builder import Internet, build_internet
+from ..obs import INFO, HeartbeatSampler, Instrumentation
+from ..obs import resolve as resolve_obs
 from ..protocol.bootstrap import BootstrapServer
 from ..protocol.config import ProtocolConfig
 from ..protocol.peer import PPLivePeer
@@ -94,6 +97,9 @@ class ScenarioConfig:
     #: Deploy ISP-aware trackers (the paper's reference [28] design)
     #: instead of PPLive's plain random-sample trackers.
     isp_aware_trackers: bool = False
+    #: Observability bundle (metrics/trace/profiler); ``None`` keeps the
+    #: zero-overhead no-op default and byte-identical behaviour.
+    instrumentation: Optional[Instrumentation] = None
 
 
 @dataclass
@@ -167,7 +173,7 @@ class SessionScenario:
     # ------------------------------------------------------------------
     def build_deployment(self, sim: Simulator) -> Deployment:
         cfg = self.config
-        internet = build_internet(sim)
+        internet = build_internet(sim, obs=cfg.instrumentation)
         catalog = internet.catalog
         allocator = internet.allocator
 
@@ -228,7 +234,8 @@ class SessionScenario:
             deployment.sim, internet.udp, address, isp, profile,
             cfg.protocol, deployment.channel,
             bootstrap_address=deployment.bootstrap.address,
-            policy=policy, source_address=deployment.source.address)
+            policy=policy, source_address=deployment.source.address,
+            obs=cfg.instrumentation)
         peer.join()
         return peer
 
@@ -244,15 +251,75 @@ class SessionScenario:
             cfg.protocol, deployment.channel,
             bootstrap_address=deployment.bootstrap.address,
             policy=factory(deployment),
-            source_address=deployment.source.address)
+            source_address=deployment.source.address,
+            obs=cfg.instrumentation)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _install_heartbeat(self, obs: Instrumentation, sim: Simulator,
+                           deployment: Deployment,
+                           manager: "PopulationManager",
+                           probe_peers: Dict[str, PPLivePeer]
+                           ) -> HeartbeatSampler:
+        """Periodic progress beacon: swarm size, neighbor fill, uplink
+        backlog and playback health, as trace records, gauges and
+        (optionally) stderr progress lines."""
+        cfg = self.config
+        udp = deployment.internet.udp
+        metrics = obs.metrics
+        g_viewers = metrics.gauge("workload.active_viewers")
+        g_online = metrics.gauge("net.online_hosts")
+
+        def sample(now: float) -> dict:
+            fields = {"viewers": manager.active_count,
+                      "online_hosts": udp.online_count}
+            g_viewers.set(manager.active_count)
+            g_online.set(udp.online_count)
+            neighbor_fill = []
+            for name, peer in sorted(probe_peers.items()):
+                tags = {"probe": name}
+                neighbors = len(peer.neighbors)
+                neighbor_fill.append(
+                    f"{neighbors}/{cfg.protocol.max_neighbors}")
+                metrics.gauge("proto.neighbor_fill", tags).set(neighbors)
+                backlog = peer.uplink.backlog(now)
+                metrics.gauge("net.uplink_backlog_seconds_last",
+                              tags).set(round(backlog, 6))
+                if peer.player is not None:
+                    continuity = peer.player.continuity_index
+                    metrics.gauge("streaming.continuity_index",
+                                  tags).set(round(continuity, 6))
+                    metrics.gauge("streaming.buffer_lead_chunks", tags).set(
+                        peer.have_until - peer.player.playout_chunk)
+                    fields[f"{name}.continuity"] = round(continuity, 3)
+            if neighbor_fill:
+                fields["probe_neighbors"] = ",".join(neighbor_fill)
+            return fields
+
+        stream = None
+        if obs.progress:
+            stream = obs.progress_stream if obs.progress_stream is not None \
+                else sys.stderr
+        return HeartbeatSampler(sim, obs, sample,
+                                interval=obs.heartbeat_interval,
+                                label=f"session seed={cfg.seed}",
+                                stream=stream)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> SessionResult:
         cfg = self.config
-        sim = Simulator(seed=cfg.seed)
+        obs = resolve_obs(cfg.instrumentation)
+        sim = Simulator(seed=cfg.seed, profiler=obs.profiler)
         deployment = self.build_deployment(sim)
+        if obs.trace.enabled_for(INFO):
+            obs.trace.emit(sim.now, INFO, "session_start", seed=cfg.seed,
+                           population=cfg.population,
+                           popularity=cfg.popularity.value,
+                           warmup=cfg.warmup, duration=cfg.duration,
+                           probes=[spec.name for spec in cfg.probes])
 
         population_policy = cfg.policy_factory(deployment)
         manager = PopulationManager(
@@ -281,9 +348,21 @@ class SessionScenario:
                            lambda s=spec: launch_probe(s),
                            label="probe-join")
 
+        heartbeat = None
+        if obs.wants_heartbeat:
+            heartbeat = self._install_heartbeat(obs, sim, deployment,
+                                                manager, probe_peers)
+
         end_time = cfg.warmup + cfg.duration
         sim.run_until(end_time)
 
+        if heartbeat is not None:
+            heartbeat.stop()
+        if obs.enabled:
+            obs.metrics.counter("sim.events_executed").inc(
+                sim.events_executed)
+            obs.metrics.counter("sim.sessions_run").inc()
+            obs.finalize()
         manager.stop()
         probes: Dict[str, ProbeResult] = {}
         for spec in cfg.probes:
@@ -293,6 +372,11 @@ class SessionScenario:
             probes[spec.name] = ProbeResult(
                 spec=spec, peer=peer, trace=trace,
                 report=match_all(trace))
+        if obs.trace.enabled_for(INFO):
+            obs.trace.emit(sim.now, INFO, "session_end", seed=cfg.seed,
+                           events_executed=sim.events_executed,
+                           viewers_spawned=manager.total_spawned,
+                           viewers_departed=manager.total_departed)
         return SessionResult(config=cfg, deployment=deployment,
                              probes=probes, population=manager)
 

@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
-from repro.experiments import ALL_EXPERIMENT_IDS
+from repro import __version__
+from repro.cli import build_instrumentation, build_parser, main
+from repro.experiments import ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS
 
 
 class TestParser:
@@ -12,17 +15,55 @@ class TestParser:
         assert args.experiment == "fig02"
         assert args.scale == "small"
         assert args.seed == 7
+        assert args.metrics is None
+        assert args.trace is None
+        assert args.log_level is None
+        assert args.progress is False
 
     def test_scale_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig02", "--scale", "huge"])
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_obs_flags(self):
+        args = build_parser().parse_args(
+            ["fig02", "--metrics", "m.jsonl", "--trace", "t.jsonl",
+             "--log-level", "warning", "--progress"])
+        assert args.metrics == "m.jsonl"
+        assert args.trace == "t.jsonl"
+        assert args.log_level == "warning"
+        assert args.progress is True
+
+
+class TestInstrumentationFromFlags:
+    def test_no_flags_means_none(self):
+        args = build_parser().parse_args(["fig02"])
+        assert build_instrumentation(args) is None
+
+    def test_metrics_flag_enables_bundle(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig02", "--metrics", str(tmp_path / "m.jsonl")])
+        obs = build_instrumentation(args)
+        assert obs is not None and obs.enabled
+        assert obs.profiler is not None
+        obs.close()
+
 
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0
-        out = capsys.readouterr().out.split()
-        assert out == list(ALL_EXPERIMENT_IDS)
+        lines = capsys.readouterr().out.strip().splitlines()
+        ids = [line.split()[0] for line in lines]
+        assert ids == list(ALL_EXPERIMENT_IDS)
+        # Every line carries a one-line description from the registry.
+        for line in lines:
+            eid = line.split()[0]
+            assert EXPERIMENT_DESCRIPTIONS[eid] in line
 
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
@@ -35,3 +76,38 @@ class TestMain:
         out = capsys.readouterr().out
         assert "fig15" in out
         assert "regenerated" in out
+
+    def test_obs_flags_produce_parseable_files(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.jsonl"
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["fig15", "--scale", "small", "--seed", "3",
+                     "--metrics", str(metrics_path),
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+
+        names = set()
+        with open(metrics_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                assert {"name", "type", "tags"} <= set(record)
+                names.add(record["name"])
+        assert len(names) >= 10
+        layers = {name.split(".")[0] for name in names}
+        assert {"sim", "net", "proto", "streaming"} <= layers
+
+        events = set()
+        with open(trace_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                assert {"t", "level", "event"} <= set(record)
+                events.add(record["event"])
+        assert "session_start" in events
+        assert "session_end" in events
+
+    def test_metrics_csv_extension_writes_csv(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.csv"
+        assert main(["fig15", "--scale", "small", "--seed", "3",
+                     "--metrics", str(metrics_path)]) == 0
+        capsys.readouterr()
+        header = metrics_path.read_text().splitlines()[0]
+        assert header.startswith("name,")

@@ -117,6 +117,27 @@ class TestRunUntil:
         executed = sim.run_until(100.0, max_events=3)
         assert executed == 3
 
+    def test_max_events_break_does_not_skip_queued_events(self):
+        # Regression: when the max_events bound fires, the clock must
+        # stay at the last executed event, not jump to end_time past
+        # events that are still queued and due before it.
+        sim = Simulator()
+        seen = []
+        for t in range(10):
+            sim.call_at(float(t + 1), lambda t=t: seen.append(t + 1))
+        sim.run_until(100.0, max_events=3)
+        assert sim.now == 3.0
+        # The remaining events are still runnable in a later window.
+        sim.run_until(100.0)
+        assert seen == list(range(1, 11))
+        assert sim.now == 100.0
+
+    def test_run_until_without_break_still_reaches_end_time(self):
+        sim = Simulator()
+        sim.call_at(2.0, lambda: None)
+        sim.run_until(50.0)
+        assert sim.now == 50.0
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
