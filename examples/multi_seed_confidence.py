@@ -5,18 +5,33 @@ One simulated session is one draw; this example runs the popular-channel
 TELE-probe workload across several seeds and reports bootstrap
 confidence intervals for the headline metrics — the honest way to state
 "the reproduction shows X".
+
+The per-seed sessions are independent, so they fan out across worker
+processes with ``--jobs N`` (byte-identical results for every N; see
+docs/PARALLEL.md).
 """
 
-from repro.analysis import aggregate_sessions
+import argparse
+
+from repro.analysis import aggregate_metrics
+from repro.parallel import run_seed_sweep
 from repro.workload import ScenarioConfig
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the per-seed "
+                             "sessions (default: 1 = serial)")
+    args = parser.parse_args()
+
     config = ScenarioConfig(population=35, duration=420.0, warmup=150.0)
     seeds = [1, 2, 3, 4, 5]
     print(f"running {len(seeds)} seeds of a "
-          f"{config.population}-viewer popular channel ...")
-    result = aggregate_sessions(config, seeds=seeds)
+          f"{config.population}-viewer popular channel "
+          f"({args.jobs} worker{'s' if args.jobs != 1 else ''}) ...")
+    per_seed = run_seed_sweep(config, seeds, jobs=args.jobs)
+    result = aggregate_metrics(per_seed)
     print()
     print(result.render())
     print()

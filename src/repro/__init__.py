@@ -25,7 +25,8 @@ and servers), ``baselines`` (alternative peer-selection policies),
 ``experiments`` (one driver per table/figure).
 """
 
-from .analysis import (LocalityBreakdown, aggregate_sessions,
+from .analysis import (LocalityBreakdown, aggregate_metrics,
+                       aggregate_sessions,
                        analyze_contributions, analyze_requests_vs_rtt,
                        analyze_session_overlay, data_response_series,
                        locality_breakdown, locality_timeline,
@@ -39,6 +40,7 @@ from .obs import (EngineProfiler, Instrumentation, JsonlSink, LoggingSink,
                   MetricsRegistry, NullSink, RingSink, TraceSink,
                   read_metrics_jsonl, read_trace_jsonl, strip_wall_metrics,
                   write_metrics_csv, write_metrics_jsonl)
+from .parallel import (Job, JobFailure, run_jobs, run_seed_sweep)
 from .protocol import (PPLivePeer, PPLiveReferralPolicy, ProtocolConfig,
                        TrackerServer)
 from .sim import Simulator
@@ -70,6 +72,9 @@ __all__ = [
     "peerlist_response_series", "data_response_series",
     "analyze_contributions", "analyze_requests_vs_rtt",
     "analyze_session_overlay", "locality_timeline", "aggregate_sessions",
+    "aggregate_metrics",
+    # parallel execution
+    "Job", "JobFailure", "run_jobs", "run_seed_sweep",
     # stats
     "fit_stretched_exponential", "fit_zipf", "top_fraction_share",
     # observability

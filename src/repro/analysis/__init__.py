@@ -1,7 +1,8 @@
 """Trace analysis (S8): locality, response times, contributions, RTT."""
 
 from .aggregate import (AggregateResult, SessionMetrics,
-                        aggregate_sessions, session_metrics)
+                        aggregate_metrics, aggregate_sessions,
+                        session_metrics)
 from .contributions import (ContributionAnalysis, analyze_contributions,
                             bytes_per_peer, connected_peers_by_isp,
                             requests_per_peer)
@@ -39,7 +40,7 @@ __all__ = [
     "isp_assortativity", "isp_modularity",
     "TimelinePoint", "locality_timeline", "timeline_summary",
     "AggregateResult", "SessionMetrics", "aggregate_sessions",
-    "session_metrics",
+    "aggregate_metrics", "session_metrics",
     "FairnessReport", "PeerFairness", "analyze_fairness",
     "gini_coefficient", "session_fairness",
     "format_table", "format_category_counter", "percentage",

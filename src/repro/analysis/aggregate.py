@@ -8,14 +8,13 @@ with means and bootstrap confidence intervals.
 
 from __future__ import annotations
 
-import dataclasses
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..parallel.sweeps import run_seed_sweep
 from ..stats.bootstrap import BootstrapEstimate, bootstrap_mean
-from ..workload.scenario import (ScenarioConfig, SessionResult,
-                                 SessionScenario)
+from ..workload.scenario import ScenarioConfig, SessionResult
 from .contributions import analyze_contributions
 from .locality import traffic_locality
 from .rtt import analyze_requests_vs_rtt
@@ -85,20 +84,13 @@ def session_metrics(result: SessionResult,
     )
 
 
-def aggregate_sessions(config: ScenarioConfig,
-                       seeds: Sequence[int],
-                       probe_name: Optional[str] = None,
-                       resamples: int = 400) -> AggregateResult:
-    """Run ``config`` once per seed and aggregate the probe metrics."""
-    if not seeds:
-        raise ValueError("need at least one seed")
-    per_seed: List[SessionMetrics] = []
-    for seed in seeds:
-        seeded = dataclasses.replace(config, seed=seed)
-        result = SessionScenario(seeded).run()
-        per_seed.append(session_metrics(result, probe_name))
-
-    rng = random.Random(len(seeds) * 7919 + seeds[0])
+def aggregate_metrics(per_seed: Sequence[SessionMetrics],
+                      resamples: int = 400) -> AggregateResult:
+    """Summarise already-computed per-seed metrics with bootstrap CIs."""
+    if not per_seed:
+        raise ValueError("need metrics for at least one seed")
+    per_seed = list(per_seed)
+    rng = random.Random(len(per_seed) * 7919 + per_seed[0].seed)
     localities = [m.locality for m in per_seed]
     locality_mean = bootstrap_mean(localities, rng, resamples)
 
@@ -116,3 +108,18 @@ def aggregate_sessions(config: ScenarioConfig,
                            locality_mean=locality_mean,
                            top10_mean=top10_mean,
                            correlation_mean=correlation_mean)
+
+
+def aggregate_sessions(config: ScenarioConfig,
+                       seeds: Sequence[int],
+                       probe_name: Optional[str] = None,
+                       resamples: int = 400,
+                       jobs: int = 1) -> AggregateResult:
+    """Run ``config`` once per seed and aggregate the probe metrics.
+
+    ``jobs`` fans the independent seeded sessions out to worker
+    processes; the aggregate is identical for every ``jobs`` value.
+    """
+    per_seed = run_seed_sweep(config, seeds, jobs=jobs,
+                              probe_name=probe_name)
+    return aggregate_metrics(per_seed, resamples)

@@ -7,10 +7,14 @@ Usage::
     python -m repro fig02 --metrics m.jsonl --trace t.jsonl --progress
     python -m repro table1
     python -m repro all --scale small
+    python -m repro run fig06 --jobs 4
 
 ``all`` runs every single-session figure and Table 1 (the four canonical
 sessions are simulated once and shared); ``fig06`` runs the campaign and
-is therefore much slower.
+is therefore much slower.  A leading ``run`` token is accepted and
+ignored (``repro run fig06`` == ``repro fig06``); ``--jobs N`` fans
+parallelisable experiments — currently the fig06 campaign — out to N
+worker processes with byte-identical output (see ``docs/PARALLEL.md``).
 
 Observability flags (see ``docs/OBSERVABILITY.md``):
 
@@ -61,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
              "2-hour sessions)")
     parser.add_argument("--seed", type=int, default=7,
                         help="master seed (default: 7)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallelisable experiments (the "
+             "fig06 campaign); results are byte-identical for every N "
+             "(default: 1 = serial in-process)")
     obs_group = parser.add_argument_group("observability")
     obs_group.add_argument(
         "--metrics", metavar="PATH", default=None,
@@ -110,10 +119,12 @@ def _write_metrics(obs: Instrumentation, path: str) -> int:
 
 def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
              seed: int,
-             instrumentation: Optional[Instrumentation] = None) -> None:
+             instrumentation: Optional[Instrumentation] = None,
+             jobs: int = 1) -> None:
     started = time.time()
     result = run_experiment(experiment_id, bank=bank, scale=scale,
-                            seed=seed, instrumentation=instrumentation)
+                            seed=seed, instrumentation=instrumentation,
+                            jobs=jobs)
     elapsed = time.time() - started
     print(result.render())
     print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
@@ -121,6 +132,9 @@ def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "run":
+        argv = argv[1:]  # "repro run fig06" == "repro fig06"
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(eid) for eid in ALL_EXPERIMENT_IDS) + 2
@@ -138,7 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if experiment_id == "fig06":
                     continue  # campaign: run explicitly, it is much slower
                 _run_one(experiment_id, bank, scale, args.seed,
-                         instrumentation=obs)
+                         instrumentation=obs, jobs=args.jobs)
             print("(fig06 skipped by 'all'; run 'python -m repro fig06' "
                   "explicitly)")
             return 0
@@ -148,7 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"try 'list'", file=sys.stderr)
             return 2
         _run_one(args.experiment, bank, scale, args.seed,
-                 instrumentation=obs)
+                 instrumentation=obs, jobs=args.jobs)
         return 0
     finally:
         if obs is not None:

@@ -6,7 +6,7 @@ from .ablations import (AblationPoint, AblationResult, isp_aware_tracker,
 from .base import (DEFAULT_BANK, SCALE_PARAMS, Scale, ScaleParams,
                    WorkloadBank, WorkloadKey, build_config)
 from .contribution_figs import ContributionFigure, contribution_figure
-from .fig06 import Figure6, figure6
+from .fig06 import Figure6, campaign_config, figure6
 from .locality_figs import LocalityFigure, locality_figure
 from .registry import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
                        run_experiment)
@@ -22,7 +22,7 @@ __all__ = [
     "table1_row",
     "ContributionFigure", "contribution_figure",
     "RttFigure", "rtt_figure",
-    "Figure6", "figure6",
+    "Figure6", "figure6", "campaign_config",
     "run_experiment", "ALL_EXPERIMENT_IDS", "EXPERIMENT_DESCRIPTIONS",
     "AblationResult", "AblationPoint", "policy_comparison",
     "latency_pressure", "popularity_sweep", "top_peer_caching",

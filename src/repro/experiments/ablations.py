@@ -18,17 +18,38 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.locality import traffic_locality
 from ..analysis.report import format_table
 from ..baselines.oracles import IspOracle, ProximityOracle
 from ..baselines.strategies import (BiasedNeighborPolicy, OnoPolicy,
                                     P4PPolicy, TrackerOnlyRandomPolicy)
+from ..parallel.jobs import Job, run_jobs
 from ..streaming.video import Popularity
 from ..workload.popularity import popular_channel_mix
 from ..workload.scenario import (ScenarioConfig, SessionScenario,
                                  TELE_PROBE)
+
+
+# Policy factories must be module-level (not lambdas) so ablation grid
+# points stay picklable and can fan out to worker processes.
+def _tracker_only_policy(dep):
+    return TrackerOnlyRandomPolicy()
+
+
+def _biased_policy(dep):
+    return BiasedNeighborPolicy(IspOracle(dep.internet.directory))
+
+
+def _ono_policy(dep):
+    return OnoPolicy(ProximityOracle(dep.internet.latency,
+                                     dep.internet.udp,
+                                     dep.sim.random.stream("ono-oracle")))
+
+
+def _p4p_policy(dep):
+    return P4PPolicy(IspOracle(dep.internet.directory))
 
 
 @dataclass
@@ -78,6 +99,28 @@ def _measure(config: ScenarioConfig, label: str) -> AblationPoint:
         if probe.peer.player is not None else 0.0)
 
 
+def _measure_job(config: ScenarioConfig, label: str) -> AblationPoint:
+    """Worker entry point: instrumentation stays with the parent."""
+    return _measure(dataclasses.replace(config, instrumentation=None),
+                    label)
+
+
+def _measure_all(labelled: Sequence[Tuple[str, ScenarioConfig]],
+                 jobs: int = 1) -> List[AblationPoint]:
+    """Measure every (label, config) grid point, serial or fanned out.
+
+    Points are independent simulations seeded by their own configs, so
+    the output — always in input order — is identical for every
+    ``jobs`` value.
+    """
+    if jobs <= 1:
+        return [_measure(config, label) for label, config in labelled]
+    merged = run_jobs([Job(key=label, fn=_measure_job,
+                           args=(config, label))
+                       for label, config in labelled], workers=jobs)
+    return list(merged.values())
+
+
 def _base_config(seed: int, population: int,
                  duration: float) -> ScenarioConfig:
     return ScenarioConfig(seed=seed, population=population,
@@ -92,63 +135,49 @@ def _base_config(seed: int, population: int,
 # ----------------------------------------------------------------------
 def policy_comparison(seed: int = 7, population: int = 80,
                       duration: float = 900.0,
-                      include_oracles: bool = True) -> AblationResult:
+                      include_oracles: bool = True,
+                      jobs: int = 1) -> AblationResult:
     """A1/A3: PPLive referral vs tracker-only vs oracle baselines."""
-    points: List[AblationPoint] = []
-
     config = _base_config(seed, population, duration)
-    points.append(_measure(config, "pplive-referral"))
-
-    tracker_only = dataclasses.replace(
-        config,
-        policy_factory=lambda dep: TrackerOnlyRandomPolicy())
-    points.append(_measure(tracker_only, "tracker-only-random"))
-
+    grid = [
+        ("pplive-referral", config),
+        ("tracker-only-random",
+         dataclasses.replace(config, policy_factory=_tracker_only_policy)),
+    ]
     if include_oracles:
-        biased = dataclasses.replace(
-            config,
-            policy_factory=lambda dep: BiasedNeighborPolicy(
-                IspOracle(dep.internet.directory)))
-        points.append(_measure(biased, "biased-neighbor"))
-
-        ono = dataclasses.replace(
-            config,
-            policy_factory=lambda dep: OnoPolicy(ProximityOracle(
-                dep.internet.latency, dep.internet.udp,
-                dep.sim.random.stream("ono-oracle"))))
-        points.append(_measure(ono, "ono"))
-
-        p4p = dataclasses.replace(
-            config,
-            policy_factory=lambda dep: P4PPolicy(
-                IspOracle(dep.internet.directory)))
-        points.append(_measure(p4p, "p4p"))
-
+        grid.extend([
+            ("biased-neighbor",
+             dataclasses.replace(config, policy_factory=_biased_policy)),
+            ("ono",
+             dataclasses.replace(config, policy_factory=_ono_policy)),
+            ("p4p",
+             dataclasses.replace(config, policy_factory=_p4p_policy)),
+        ])
     return AblationResult(
         ablation_id="A1/A3",
         title="peer-selection policy vs ISP-level traffic locality",
-        points=points)
+        points=_measure_all(grid, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
 # A2: latency-driven replacement pressure
 # ----------------------------------------------------------------------
 def latency_pressure(seed: int = 7, population: int = 80,
-                     duration: float = 900.0) -> AblationResult:
+                     duration: float = 900.0,
+                     jobs: int = 1) -> AblationResult:
     """A2: with vs without the latency-driven neighbor replacement."""
     config = _base_config(seed, population, duration)
-    with_pressure = _measure(config, "latency replacement on")
-
     no_pressure_protocol = dataclasses.replace(
         config.protocol, neighbor_replace_probability=0.0)
-    no_pressure = dataclasses.replace(config,
-                                      protocol=no_pressure_protocol)
-    without_pressure = _measure(no_pressure, "latency replacement off")
-
+    grid = [
+        ("latency replacement on", config),
+        ("latency replacement off",
+         dataclasses.replace(config, protocol=no_pressure_protocol)),
+    ]
     return AblationResult(
         ablation_id="A2",
         title="latency-driven neighbor replacement vs locality",
-        points=[with_pressure, without_pressure])
+        points=_measure_all(grid, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -156,16 +185,16 @@ def latency_pressure(seed: int = 7, population: int = 80,
 # ----------------------------------------------------------------------
 def popularity_sweep(seed: int = 7,
                      populations: tuple = (20, 40, 80, 140),
-                     duration: float = 900.0) -> AblationResult:
+                     duration: float = 900.0,
+                     jobs: int = 1) -> AblationResult:
     """A4: locality as a function of concurrent audience size."""
-    points = []
-    for population in populations:
-        config = _base_config(seed, population, duration)
-        points.append(_measure(config, f"population={population}"))
+    grid = [(f"population={population}",
+             _base_config(seed, population, duration))
+            for population in populations]
     return AblationResult(
         ablation_id="A4",
         title="concurrent audience size vs traffic locality",
-        points=points)
+        points=_measure_all(grid, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
@@ -173,29 +202,31 @@ def popularity_sweep(seed: int = 7,
 # ----------------------------------------------------------------------
 def top_peer_caching(seed: int = 7, population: int = 80,
                      duration: float = 900.0,
-                     pin_fraction: float = 0.10) -> AblationResult:
+                     pin_fraction: float = 0.10,
+                     jobs: int = 1) -> AblationResult:
     """A5: does pinning the top 10% of responders help, as the paper
     speculates ("it might be worth caching these top 10% of
     neighbors")?"""
     config = _base_config(seed, population, duration)
-    baseline = _measure(config, "no pinning")
-
     pinned_protocol = dataclasses.replace(
         config.protocol, pin_top_responders=pin_fraction)
-    pinned_config = dataclasses.replace(config, protocol=pinned_protocol)
-    pinned = _measure(pinned_config,
-                      f"pin top {pin_fraction:.0%} responders")
+    grid = [
+        ("no pinning", config),
+        (f"pin top {pin_fraction:.0%} responders",
+         dataclasses.replace(config, protocol=pinned_protocol)),
+    ]
     return AblationResult(
         ablation_id="A5",
         title="top-responder connection caching (paper Section 3.4)",
-        points=[baseline, pinned])
+        points=_measure_all(grid, jobs=jobs))
 
 
 # ----------------------------------------------------------------------
 # A6: ISP-aware tracker (the paper's reference [28] design)
 # ----------------------------------------------------------------------
 def isp_aware_tracker(seed: int = 7, population: int = 80,
-                      duration: float = 900.0) -> AblationResult:
+                      duration: float = 900.0,
+                      jobs: int = 1) -> AblationResult:
     """A6: tracker-side ISP awareness vs PPLive's plain trackers.
 
     Both variants use the native referral policy; only the tracker
@@ -203,11 +234,12 @@ def isp_aware_tracker(seed: int = 7, population: int = 80,
     adds on top of the emergent client-side locality.
     """
     config = _base_config(seed, population, duration)
-    plain = _measure(config, "random tracker (PPLive)")
-
-    aware_config = dataclasses.replace(config, isp_aware_trackers=True)
-    aware = _measure(aware_config, "isp-aware tracker [28]")
+    grid = [
+        ("random tracker (PPLive)", config),
+        ("isp-aware tracker [28]",
+         dataclasses.replace(config, isp_aware_trackers=True)),
+    ]
     return AblationResult(
         ablation_id="A6",
         title="tracker-side ISP awareness vs emergent locality",
-        points=[plain, aware])
+        points=_measure_all(grid, jobs=jobs))

@@ -87,14 +87,19 @@ def run_experiment(experiment_id: str,
                    bank: Optional[WorkloadBank] = None,
                    scale: Scale = Scale.DEFAULT,
                    seed: int = 7,
-                   instrumentation=None):
+                   instrumentation=None,
+                   jobs: int = 1):
     """Reproduce one table/figure; returns its result object.
 
     ``experiment_id`` is "fig02".."fig18" or "table1" ("fig06" runs the
     campaign and takes noticeably longer than the single-session
     figures).  ``instrumentation`` threads an observability bundle into
     the simulated sessions; when a ``bank`` is supplied its own bundle
-    wins for the session figures.
+    wins for the session figures.  ``jobs`` fans parallelisable
+    experiments (currently the fig06 campaign) out to that many worker
+    processes with byte-identical results.  fig06 scales with ``scale``
+    but keeps the campaign's canonical seed (11) rather than ``seed``,
+    so its reproduction stays pinned to the paper's protocol.
     """
     if bank is None:
         bank = WorkloadBank(instrumentation=instrumentation) \
@@ -128,8 +133,9 @@ def run_experiment(experiment_id: str,
             _session_for(bank, "mason-popular", scale, seed),
             _session_for(bank, "mason-unpopular", scale, seed))
     if experiment_id == "fig06":
-        from .fig06 import figure6
-        return figure6(instrumentation=instrumentation)
+        from .fig06 import campaign_config, figure6
+        return figure6(config=campaign_config(scale),
+                       instrumentation=instrumentation, jobs=jobs)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 

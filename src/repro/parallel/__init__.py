@@ -1,0 +1,20 @@
+"""Parallel execution layer (S12): deterministic job fan-out.
+
+``run_jobs`` fans independent simulation units (campaign days,
+multi-seed replicas, ablation grid points) out to worker processes and
+merges their results by job key, so every ``jobs`` value yields
+byte-identical output; ``run_seed_sweep`` applies it to multi-seed
+scenario sweeps.  See ``docs/PARALLEL.md`` for the execution model and
+the determinism contract.
+"""
+
+from .jobs import (WHERE_FALLBACK, WHERE_POOL, WHERE_SERIAL, Job,
+                   JobFailure, JobOutcome, execute_jobs, merge_by_key,
+                   run_jobs)
+from .sweeps import run_seed_sweep
+
+__all__ = [
+    "Job", "JobOutcome", "JobFailure",
+    "run_jobs", "execute_jobs", "merge_by_key", "run_seed_sweep",
+    "WHERE_SERIAL", "WHERE_POOL", "WHERE_FALLBACK",
+]

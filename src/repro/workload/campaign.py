@@ -28,6 +28,7 @@ from ..analysis.locality import traffic_locality
 from ..network.isp import ISPCategory
 from ..obs import INFO, Instrumentation
 from ..obs import resolve as resolve_obs
+from ..parallel.jobs import Job, run_jobs
 from ..sim.random import RandomRouter
 from ..streaming.chunks import ChunkGeometry
 from ..streaming.video import Popularity
@@ -170,10 +171,98 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
                          population=population, locality_by_isp=averaged)
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run the full campaign: ``days`` sessions per program."""
+def _emit_day(config: CampaignConfig, obs: Instrumentation,
+              popularity: Popularity, daily: DailyLocality) -> None:
+    """Campaign-level progress/trace for one finished day.
+
+    Shared by the serial and parallel paths so both produce the same
+    campaign-level event stream, in the same deterministic order.
+    """
+    if not obs.enabled:
+        return
+    obs.trace.emit(0.0, INFO, "campaign_day",
+                   day=daily.day + 1, days=config.days,
+                   popularity=popularity.value,
+                   population=daily.population,
+                   locality_by_isp=daily.locality_by_isp)
+    if obs.progress:
+        stream = obs.progress_stream
+        summary = " ".join(
+            f"{label}={value:.1f}%" for label, value
+            in sorted(daily.locality_by_isp.items()))
+        print(f"[campaign] day {daily.day + 1}/{config.days} "
+              f"({popularity.value}) pop={daily.population} "
+              f"{summary}",
+              file=stream if stream is not None else sys.stderr)
+
+
+def _campaign_day_job(config: CampaignConfig, day: int,
+                      popularity_value: str) -> DailyLocality:
+    """Worker entry point: one (day, program) simulation.
+
+    The day's RNG streams derive from ``(config.seed, day, popularity)``
+    alone — the router fork in :func:`_run_day` consumes no shared
+    state — so rebuilding the router here yields the exact draw sequence
+    the serial loop would have used.
+    """
+    return _run_day(config, day, Popularity(popularity_value),
+                    RandomRouter(config.seed))
+
+
+def campaign_jobs(config: CampaignConfig) -> List[Job]:
+    """The campaign's independent job list: one job per (program, day).
+
+    The configs shipped to workers carry no instrumentation bundle —
+    sinks do not pickle and worker-side metrics would race; the parent
+    re-emits the campaign-level events after the deterministic merge.
+    """
+    worker_config = dataclasses.replace(config, instrumentation=None)
+    return [Job(key=(popularity.value, day), fn=_campaign_day_job,
+                args=(worker_config, day, popularity.value))
+            for popularity in (Popularity.POPULAR, Popularity.UNPOPULAR)
+            for day in range(config.days)]
+
+
+def assemble_campaign(config: CampaignConfig,
+                      merged: Dict[Tuple[str, int], DailyLocality]
+                      ) -> CampaignResult:
+    """Build the result from merged ``{(program, day): DailyLocality}``.
+
+    Pure and order-insensitive: only the day index, never the insertion
+    (= completion) order of ``merged``, decides where a day lands.
+    """
+    popular = [merged[(Popularity.POPULAR.value, day)]
+               for day in range(config.days)]
+    unpopular = [merged[(Popularity.UNPOPULAR.value, day)]
+                 for day in range(config.days)]
+    return CampaignResult(config=config, popular=popular,
+                          unpopular=unpopular)
+
+
+def run_campaign(config: Optional[CampaignConfig] = None, *,
+                 jobs: int = 1, timeout: Optional[float] = None,
+                 retries: int = 1) -> CampaignResult:
+    """Run the full campaign: ``days`` sessions per program.
+
+    ``jobs`` fans the independent daily sessions out to that many worker
+    processes (see ``docs/PARALLEL.md``); the result is byte-identical
+    for every ``jobs`` value.  ``timeout``/``retries`` bound stuck and
+    crashed workers when ``jobs > 1``.
+    """
     config = config if config is not None else CampaignConfig()
     obs = resolve_obs(config.instrumentation)
+
+    if jobs > 1:
+        merged = run_jobs(campaign_jobs(config), workers=jobs,
+                          timeout=timeout, retries=retries,
+                          obs=config.instrumentation)
+        result = assemble_campaign(config, merged)
+        for popularity, days in ((Popularity.POPULAR, result.popular),
+                                 (Popularity.UNPOPULAR, result.unpopular)):
+            for daily in days:
+                _emit_day(config, obs, popularity, daily)
+        return result
+
     router = RandomRouter(config.seed)
 
     def run_days(popularity: Popularity) -> List[DailyLocality]:
@@ -181,21 +270,7 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
         for day in range(config.days):
             daily = _run_day(config, day, popularity, router)
             days.append(daily)
-            if obs.enabled:
-                obs.trace.emit(0.0, INFO, "campaign_day",
-                               day=day + 1, days=config.days,
-                               popularity=popularity.value,
-                               population=daily.population,
-                               locality_by_isp=daily.locality_by_isp)
-                if obs.progress:
-                    stream = obs.progress_stream
-                    summary = " ".join(
-                        f"{label}={value:.1f}%" for label, value
-                        in sorted(daily.locality_by_isp.items()))
-                    print(f"[campaign] day {day + 1}/{config.days} "
-                          f"({popularity.value}) pop={daily.population} "
-                          f"{summary}",
-                          file=stream if stream is not None else sys.stderr)
+            _emit_day(config, obs, popularity, daily)
         return days
 
     popular = run_days(Popularity.POPULAR)

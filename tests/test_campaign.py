@@ -6,13 +6,18 @@ rendering — is validated quickly; the benchmark suite runs the real
 28-day shape.
 """
 
+import copy
+
 import pytest
 
 from repro.experiments.fig06 import Figure6, figure6
+from repro.network.isp import ISPCategory
+from repro.obs import Instrumentation, RingSink
 from repro.streaming.video import Popularity
 from repro.workload.campaign import (CampaignConfig, CampaignResult,
-                                     run_campaign)
+                                     _swing_foreign_share, run_campaign)
 from repro.workload.diurnal import DiurnalPattern
+from repro.workload.popularity import popular_channel_mix
 
 
 @pytest.fixture(scope="module")
@@ -82,3 +87,44 @@ class TestDeterminism:
         assert (a.popular[0].locality_by_isp
                 == b.popular[0].locality_by_isp)
         assert a.popular[0].population == b.popular[0].population
+
+
+class TestConfigMutationSafety:
+    """A config object is input, never scratch space: campaigns must
+    leave it untouched so it can be reused for identical reruns."""
+
+    TINY = dict(seed=29, days=1, popular_population=8,
+                unpopular_population=6, session_duration=120.0,
+                warmup=60.0)
+
+    def test_config_unchanged_and_reusable(self):
+        config = CampaignConfig(**self.TINY)
+        snapshot = copy.deepcopy(config)
+        first = run_campaign(config)
+        assert config == snapshot
+        second = run_campaign(config)
+        assert first.popular == second.popular
+        assert first.unpopular == second.unpopular
+
+    def test_parallel_run_leaves_config_unchanged(self):
+        config = CampaignConfig(**self.TINY)
+        snapshot = copy.deepcopy(config)
+        run_campaign(config, jobs=2)
+        assert config == snapshot
+
+    def test_swing_foreign_share_copies_the_mix(self):
+        mix = popular_channel_mix()
+        before = mix.categories[ISPCategory.FOREIGN].weight
+        swung = _swing_foreign_share(mix, 3.0)
+        assert mix.categories[ISPCategory.FOREIGN].weight == before
+        assert (swung.categories[ISPCategory.FOREIGN].weight
+                == pytest.approx(before * 3.0))
+        # Non-foreign categories are shared content-wise but the input
+        # mapping itself must not have been touched.
+        assert mix == popular_channel_mix()
+
+    def test_figure6_does_not_mutate_caller_config(self):
+        config = CampaignConfig(**self.TINY)
+        obs = Instrumentation(trace=RingSink())
+        figure6(config, instrumentation=obs)
+        assert config.instrumentation is None

@@ -39,6 +39,18 @@ class TestParser:
         assert args.log_level == "warning"
         assert args.progress is True
 
+    def test_jobs_default_is_serial(self):
+        assert build_parser().parse_args(["fig06"]).jobs == 1
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["fig06", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "--jobs" in capsys.readouterr().out
+
 
 class TestInstrumentationFromFlags:
     def test_no_flags_means_none(self):
@@ -68,6 +80,11 @@ class TestMain:
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_leading_run_token_is_accepted(self, capsys):
+        # "repro run list" == "repro list"
+        assert main(["run", "list"]) == 0
+        assert "fig06" in capsys.readouterr().out
 
     def test_runs_one_small_experiment(self, capsys):
         # Smallest meaningful run: uses the SMALL scale TELE-popular

@@ -1,0 +1,290 @@
+"""Determinism-equivalence harness for the parallel execution layer.
+
+The contract under test: because every simulation unit derives its RNG
+streams from its own key, fanning units out to worker processes must
+change *nothing* about the results — ``run_campaign(..., jobs=N)`` is
+byte-identical for every ``N``, worker crashes and timeouts degrade
+throughput but never output, and the serial path's campaign-level event
+stream is exactly what it was before the parallel layer existed.
+"""
+
+import hashlib
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.experiments.fig06 import Figure6
+from repro.obs import Instrumentation, RingSink
+from repro.parallel import (WHERE_FALLBACK, WHERE_POOL, WHERE_SERIAL, Job,
+                            JobFailure, execute_jobs, merge_by_key,
+                            run_jobs, run_seed_sweep)
+from repro.streaming.video import Popularity
+from repro.workload.campaign import CampaignConfig, run_campaign
+from repro.workload.scenario import ScenarioConfig
+
+
+# ----------------------------------------------------------------------
+# Job functions must be module-level so they pickle across processes.
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _crash_in_worker(x):
+    """Poisoned job: kills any pool worker, succeeds in-process."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(17)
+    return x + 100
+
+
+def _sleep_in_worker(x):
+    """Hangs any pool worker; returns immediately in-process."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(300.0)
+    return x
+
+
+def _always_raise(x):
+    raise ValueError(f"deterministic failure for {x}")
+
+
+def _series_digest(result):
+    """Stable digest over all six locality curves of a campaign."""
+    parts = []
+    for popularity in (Popularity.POPULAR, Popularity.UNPOPULAR):
+        for curve in ("CNC", "TELE", "Mason"):
+            parts.append(",".join(f"{value:.9e}" for value
+                                  in result.series(popularity, curve)))
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+TINY_CAMPAIGN = dict(seed=11, days=2, popular_population=10,
+                     unpopular_population=6, session_duration=120.0,
+                     warmup=60.0)
+
+
+# ----------------------------------------------------------------------
+# run_jobs core behaviour
+# ----------------------------------------------------------------------
+class TestRunJobs:
+    def test_serial_matches_input_order(self):
+        jobs = [Job(key=i, fn=_square, args=(i,)) for i in (3, 1, 2)]
+        merged = run_jobs(jobs)
+        assert list(merged.items()) == [(3, 9), (1, 1), (2, 4)]
+
+    def test_pool_matches_serial(self):
+        jobs = [Job(key=i, fn=_square, args=(i,)) for i in range(8)]
+        assert run_jobs(jobs, workers=2) == run_jobs(jobs)
+
+    def test_empty_job_list(self):
+        assert list(run_jobs([], workers=4)) == []
+
+    def test_duplicate_keys_rejected(self):
+        jobs = [Job(key="x", fn=_square, args=(1,)),
+                Job(key="x", fn=_square, args=(2,))]
+        with pytest.raises(ValueError, match="unique"):
+            run_jobs(jobs)
+
+    def test_serial_outcomes_are_marked_serial(self):
+        outcomes = execute_jobs([Job(key=0, fn=_square, args=(5,))])
+        assert [o.where for o in outcomes] == [WHERE_SERIAL]
+        assert outcomes[0].attempts == 1
+        assert outcomes[0].queue_wait == 0.0
+
+    def test_pool_outcomes_record_timing(self):
+        outcomes = execute_jobs([Job(key=i, fn=_square, args=(i,))
+                                 for i in range(3)], workers=2)
+        for outcome in outcomes:
+            assert outcome.where == WHERE_POOL
+            assert outcome.wall_clock >= 0.0
+            assert outcome.queue_wait >= 0.0
+
+
+class TestCrashAndTimeout:
+    def test_poisoned_job_falls_back_in_process(self):
+        jobs = [Job(key="a", fn=_square, args=(3,)),
+                Job(key="poison", fn=_crash_in_worker, args=(1,)),
+                Job(key="b", fn=_square, args=(4,))]
+        outcomes = {o.key: o for o in execute_jobs(jobs, workers=2,
+                                                   retries=1)}
+        # Every job delivered the right value despite the crash ...
+        assert outcomes["a"].value == 9
+        assert outcomes["b"].value == 16
+        assert outcomes["poison"].value == 101
+        # ... and the poisoned one was retried then run in-process.
+        assert outcomes["poison"].where == WHERE_FALLBACK
+        assert outcomes["poison"].attempts == 3  # 2 pool rounds + fallback
+
+    def test_timeout_falls_back_without_hanging(self):
+        started = time.monotonic()
+        jobs = [Job(key="slow", fn=_sleep_in_worker, args=(7,)),
+                Job(key="ok", fn=_square, args=(2,))]
+        outcomes = {o.key: o for o in execute_jobs(jobs, workers=2,
+                                                   timeout=1.0,
+                                                   retries=0)}
+        elapsed = time.monotonic() - started
+        assert outcomes["slow"].value == 7
+        assert outcomes["slow"].where == WHERE_FALLBACK
+        assert outcomes["ok"].value == 4
+        # The 300 s worker sleep must not block the merge.
+        assert elapsed < 60.0
+
+    def test_deterministic_failure_raises_job_failure(self):
+        with pytest.raises(JobFailure, match="bad"):
+            run_jobs([Job(key="bad", fn=_always_raise, args=(0,))],
+                     workers=2, retries=1)
+
+    def test_failure_raises_in_serial_mode_too(self):
+        with pytest.raises(JobFailure):
+            run_jobs([Job(key="bad", fn=_always_raise, args=(0,))])
+
+
+class TestMergeByKey:
+    def test_merge_follows_key_order_not_insertion_order(self):
+        results = {"b": 2, "a": 1, "c": 3}  # "completion" order b, a, c
+        merged = merge_by_key(["a", "b", "c"], results)
+        assert list(merged.items()) == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            merge_by_key(["a", "b"], {"a": 1})
+
+    def test_unknown_result_key_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            merge_by_key(["a"], {"a": 1, "zzz": 9})
+
+    def test_duplicate_key_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_by_key(["a", "a"], {"a": 1})
+
+
+# ----------------------------------------------------------------------
+# Campaign: serial vs parallel byte-identical results
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serial_campaign():
+    return run_campaign(CampaignConfig(**TINY_CAMPAIGN), jobs=1)
+
+
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_byte_identical_across_job_counts(self, serial_campaign,
+                                              jobs):
+        parallel = run_campaign(CampaignConfig(**TINY_CAMPAIGN),
+                                jobs=jobs)
+        # Rendered Figure 6 table: byte-identical.
+        assert (Figure6(result=parallel).render()
+                == Figure6(result=serial_campaign).render())
+        # Per-day locality series: bit-identical floats.
+        assert _series_digest(parallel) == _series_digest(serial_campaign)
+        # Structured fields match exactly, day by day.
+        for mine, theirs in zip(parallel.popular + parallel.unpopular,
+                                serial_campaign.popular
+                                + serial_campaign.unpopular):
+            assert mine.day == theirs.day
+            assert mine.popularity == theirs.popularity
+            assert mine.population == theirs.population
+            assert mine.locality_by_isp == theirs.locality_by_isp
+
+    def test_pool_unavailable_falls_back_to_serial(self,
+                                                   serial_campaign,
+                                                   monkeypatch):
+        # Platform cannot provide a process pool: the campaign must
+        # degrade to in-process execution with byte-identical output.
+        import repro.parallel.jobs as jobs_module
+        real_make_pool = jobs_module._make_pool
+        calls = {"n": 0}
+
+        def flaky_pool(workers):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return None  # pool "unavailable" -> serial fallback
+            return real_make_pool(workers)
+
+        monkeypatch.setattr(jobs_module, "_make_pool", flaky_pool)
+        parallel = run_campaign(CampaignConfig(**TINY_CAMPAIGN), jobs=2)
+        assert _series_digest(parallel) == _series_digest(serial_campaign)
+
+
+def _campaign_events(jobs):
+    # Generous capacity: the serial path also streams every per-session
+    # event into the sink, and the campaign_day records must survive.
+    sink = RingSink(capacity=500_000)
+    obs = Instrumentation(trace=sink)
+    config = CampaignConfig(instrumentation=obs, **TINY_CAMPAIGN)
+    run_campaign(config, jobs=jobs)
+    return [record for record in sink.records
+            if record["event"] == "campaign_day"]
+
+
+@pytest.fixture(scope="module")
+def serial_events():
+    return _campaign_events(jobs=1)
+
+
+class TestCampaignEventStream:
+    """The serial path's campaign-level event stream is untouched, and
+    the parallel path replays the identical stream after its merge."""
+
+    def test_serial_event_stream_shape(self, serial_events):
+        events = serial_events
+        days = TINY_CAMPAIGN["days"]
+        # One event per (program, day): all popular days in order, then
+        # all unpopular days — exactly the pre-parallel serial protocol.
+        assert [(e["popularity"], e["day"]) for e in events] == \
+            [("popular", d + 1) for d in range(days)] \
+            + [("unpopular", d + 1) for d in range(days)]
+        for event in events:
+            assert event["days"] == days
+            assert set(event["locality_by_isp"]) == {"CNC", "TELE",
+                                                     "Mason"}
+
+    def test_parallel_emits_identical_campaign_events(self,
+                                                      serial_events):
+        parallel = _campaign_events(jobs=2)
+        assert serial_events == parallel
+
+
+# ----------------------------------------------------------------------
+# Seed sweeps and ablation grids
+# ----------------------------------------------------------------------
+class TestSeedSweep:
+    SCENARIO = dict(population=12, duration=120.0, warmup=60.0)
+
+    def test_parallel_sweep_matches_serial(self):
+        config = ScenarioConfig(**self.SCENARIO)
+        serial = run_seed_sweep(config, [1, 2, 3], jobs=1)
+        parallel = run_seed_sweep(config, [1, 2, 3], jobs=2)
+        assert serial == parallel
+        assert [m.seed for m in parallel] == [1, 2, 3]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_seed_sweep(ScenarioConfig(**self.SCENARIO), [])
+
+    def test_duplicate_seeds_allowed(self):
+        config = ScenarioConfig(**self.SCENARIO)
+        metrics = run_seed_sweep(config, [5, 5], jobs=2)
+        assert metrics[0] == metrics[1]
+
+
+class TestParallelObservability:
+    def test_job_metrics_flow_into_bundle(self):
+        obs = Instrumentation(trace=RingSink())
+        jobs = [Job(key=i, fn=_square, args=(i,)) for i in range(4)]
+        run_jobs(jobs, workers=2, obs=obs)
+        pool_jobs = obs.metrics.get("parallel.jobs", {"where": "pool"})
+        assert pool_jobs is not None and pool_jobs.value == 4
+        assert obs.metrics.get("parallel.job_seconds").count == 4
+        assert obs.metrics.get("parallel.queue_seconds").count == 4
+        assert obs.metrics.get("parallel.workers").value == 2
+        runs = obs.trace.events("parallel_run")
+        assert runs and runs[0]["jobs"] == 4
+
+    def test_null_obs_costs_nothing(self):
+        # No bundle: the runner must not allocate metrics anywhere.
+        jobs = [Job(key=i, fn=_square, args=(i,)) for i in range(2)]
+        merged = run_jobs(jobs, workers=2, obs=None)
+        assert dict(merged) == {0: 0, 1: 1}

@@ -1,0 +1,99 @@
+"""Property tests: job completion order can never leak into results.
+
+The merge layer is the only part of the parallel runner that stands
+between worker nondeterminism (completion order, which pool round a job
+landed in) and the determinism contract, so it is tested exhaustively:
+for *any* permutation of completion order, the merged output is the
+same ordered mapping, and the assembled :class:`CampaignResult` places
+every day by its index.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import merge_by_key
+from repro.streaming.video import Popularity
+from repro.workload.campaign import (CampaignConfig, DailyLocality,
+                                     assemble_campaign)
+
+# Hashable, collision-friendly key universe (ints, strings, tuples —
+# the shapes real jobs use: days, labels, (index, seed) pairs).
+_KEYS = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+    st.tuples(st.text(max_size=4), st.integers(0, 50)),
+)
+
+
+@st.composite
+def keyed_results(draw):
+    keys = draw(st.lists(_KEYS, min_size=1, max_size=12, unique=True))
+    values = draw(st.lists(st.integers(), min_size=len(keys),
+                           max_size=len(keys)))
+    return keys, dict(zip(keys, values))
+
+
+@given(case=keyed_results(), order=st.randoms(use_true_random=False))
+@settings(max_examples=200, deadline=None)
+def test_any_completion_order_merges_identically(case, order):
+    keys, results = case
+    # "Completion order" = the insertion order of the results mapping.
+    shuffled_keys = list(results)
+    order.shuffle(shuffled_keys)
+    shuffled_results = {key: results[key] for key in shuffled_keys}
+
+    merged = merge_by_key(keys, shuffled_results)
+    baseline = merge_by_key(keys, results)
+    assert list(merged.items()) == list(baseline.items())
+    assert list(merged) == list(keys)
+
+
+@given(case=keyed_results(), missing_index=st.integers(0, 11))
+@settings(max_examples=50, deadline=None)
+def test_missing_result_always_detected(case, missing_index):
+    keys, results = case
+    victim = keys[missing_index % len(keys)]
+    del results[victim]
+    try:
+        merge_by_key(keys, results)
+    except KeyError:
+        pass
+    else:  # pragma: no cover - the assertion documents the contract
+        raise AssertionError("merge accepted an incomplete result set")
+
+
+@st.composite
+def campaign_days(draw):
+    days = draw(st.integers(1, 6))
+    locality = st.dictionaries(
+        st.sampled_from(["CNC", "TELE", "Mason"]),
+        st.floats(0.0, 100.0, allow_nan=False), min_size=3, max_size=3)
+    merged = {}
+    for popularity in (Popularity.POPULAR, Popularity.UNPOPULAR):
+        for day in range(days):
+            merged[(popularity.value, day)] = DailyLocality(
+                day=day, popularity=popularity,
+                population=draw(st.integers(10, 500)),
+                locality_by_isp=draw(locality))
+    return days, merged
+
+
+@given(case=campaign_days(), order=st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_campaign_assembly_ignores_completion_order(case, order):
+    days, merged = case
+    config = CampaignConfig(days=days)
+
+    shuffled_keys = list(merged)
+    order.shuffle(shuffled_keys)
+    shuffled = {key: merged[key] for key in shuffled_keys}
+
+    result = assemble_campaign(config, shuffled)
+    baseline = assemble_campaign(config, merged)
+    assert result.popular == baseline.popular
+    assert result.unpopular == baseline.unpopular
+    # Day i of each panel is the DailyLocality whose key said day i.
+    for index, daily in enumerate(result.popular):
+        assert daily is merged[(Popularity.POPULAR.value, index)]
+    for index, daily in enumerate(result.unpopular):
+        assert daily is merged[(Popularity.UNPOPULAR.value, index)]
