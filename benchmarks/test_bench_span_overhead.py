@@ -1,0 +1,99 @@
+"""Benchmark: span-layer overhead on the simulation hot path.
+
+The span instrumentation rides the same zero-overhead contract as the
+rest of ``repro.obs``: every call site guards on ``sink.enabled``, so
+
+* **Null spans are free.**  A run whose bundle carries the default
+  :data:`NULL_SPAN_SINK` must cost the same as a fully uninstrumented
+  run — the guard is one attribute load and a boolean check, and no
+  span objects, attribute dicts or IDs are ever allocated.
+* **Recording is cheap.**  An in-memory span sink (tens of thousands
+  of spans on this workload) must stay within a small multiple of the
+  uninstrumented run.
+
+Timings use min-of-N; the structural properties (shared null sink,
+shared inert span, nothing recorded) are asserted exactly.
+"""
+
+import time
+
+from repro.obs import (NULL_SPAN, NULL_SPAN_SINK, Instrumentation,
+                       MemorySpanSink, resolve)
+from repro.streaming import Popularity
+from repro.workload.popularity import popular_channel_mix
+from repro.workload.scenario import (TELE_PROBE, ScenarioConfig,
+                                     SessionScenario)
+
+ROUNDS = 3
+
+
+def _config(obs=None) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=5,
+        population=20,
+        mix=popular_channel_mix(),
+        popularity=Popularity.POPULAR,
+        probes=(TELE_PROBE,),
+        warmup=60.0,
+        duration=180.0,
+        instrumentation=obs,
+    )
+
+
+def _min_wall(make_obs) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        SessionScenario(_config(make_obs())).run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_null_span_path_is_free(benchmark, save_result):
+    baseline = benchmark.pedantic(lambda: _min_wall(lambda: None),
+                                  rounds=1, iterations=1)
+    # Enabled bundle, but spans left at the null default: the span
+    # guards are live at every call site yet must do no span work.
+    null_spans = _min_wall(lambda: Instrumentation())
+    recorded = []
+    def with_memory_sink():
+        obs = Instrumentation(spans=MemorySpanSink())
+        recorded.append(obs.spans)
+        return obs
+    recording = _min_wall(with_memory_sink)
+
+    spans_per_run = recorded[-1].spans_recorded
+    save_result(
+        "span_overhead",
+        f"span overhead (small session, min of {ROUNDS}):\n"
+        f"  uninstrumented:     {baseline * 1000:.1f} ms\n"
+        f"  null-span bundle:   {null_spans * 1000:.1f} ms "
+        f"({null_spans / baseline - 1:+.1%})\n"
+        f"  memory span sink:   {recording * 1000:.1f} ms "
+        f"({recording / baseline - 1:+.1%}, "
+        f"{spans_per_run} spans/run)")
+
+    # Null spans must not add measurable cost (the bundle also carries
+    # a live metrics registry, so allow the obs-overhead margin).
+    assert null_spans <= baseline * 3.0 + 0.05
+    # Recording tens of thousands of spans stays cheap too.
+    assert recording <= baseline * 3.5 + 0.05
+    assert spans_per_run > 1000
+
+
+def test_structural_zero_overhead():
+    # The default bundle hands out the one shared disabled sink.
+    assert resolve(None).spans is NULL_SPAN_SINK
+    assert Instrumentation().spans is NULL_SPAN_SINK
+    assert not NULL_SPAN_SINK.enabled
+    # Every start on the null sink returns the same inert span and
+    # records nothing, so stray finishes cannot allocate or leak.
+    before = NULL_SPAN_SINK.spans_recorded
+    span = NULL_SPAN_SINK.start_span("s", "c", 0.0, junk="x")
+    assert span is NULL_SPAN
+    assert span.finish(1.0, "timeout") is NULL_SPAN
+    assert NULL_SPAN_SINK.instant("i", "c", 2.0) is NULL_SPAN
+    assert NULL_SPAN_SINK.spans_recorded == before
+    # A disabled run records no spans end-to-end.
+    obs_free = _config()
+    assert obs_free.instrumentation is None

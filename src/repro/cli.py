@@ -2,12 +2,14 @@
 
 Usage::
 
-    python -m repro list
+    python -m repro list [--json]
     python -m repro fig02 [--scale small|default|full] [--seed N]
     python -m repro fig02 --metrics m.jsonl --trace t.jsonl --progress
+    python -m repro fig02 --spans spans.json
     python -m repro table1
     python -m repro all --scale small
     python -m repro run fig06 --jobs 4
+    python -m repro report --scale small --out scorecard.md
 
 ``all`` runs every single-session figure and Table 1 (the four canonical
 sessions are simulated once and shared); ``fig06`` runs the campaign and
@@ -16,11 +18,20 @@ ignored (``repro run fig06`` == ``repro fig06``); ``--jobs N`` fans
 parallelisable experiments — currently the fig06 campaign — out to N
 worker processes with byte-identical output (see ``docs/PARALLEL.md``).
 
+``report`` builds the run-fidelity scorecard: every paper-target
+statistic of Figures 2-5/11-18 and Table 1 measured against its target
+range, plus engine perf numbers, written as markdown (or HTML with
+``--format html``) and appended as one JSON record to
+``benchmarks/results/trend.jsonl``.
+
 Observability flags (see ``docs/OBSERVABILITY.md``):
 
 * ``--metrics PATH``  — dump the metrics registry after the run
   (JSONL, or CSV when PATH ends in ``.csv``),
 * ``--trace PATH``    — stream structured trace records to a JSONL file,
+* ``--spans PATH``    — record causal transaction spans: Chrome
+  trace-event JSON when PATH ends in ``.json`` (opens in Perfetto /
+  ``chrome://tracing``), streaming JSONL otherwise,
 * ``--log-level L``   — bridge trace records into stdlib logging on
   stderr at level ``L`` (debug|info|warning|error),
 * ``--progress``      — print heartbeat progress lines to stderr.
@@ -32,19 +43,25 @@ uninstrumented and its output is byte-identical to earlier releases.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import logging
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
 from .experiments import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
                           Scale, WorkloadBank, run_experiment)
-from .obs import (EngineProfiler, Instrumentation, JsonlSink, LoggingSink,
-                  TeeSink, level_from_name, write_metrics_csv,
-                  write_metrics_jsonl)
+from .obs import (ChromeTraceSink, EngineProfiler, Instrumentation,
+                  JsonlSink, JsonlSpanSink, LoggingSink, TeeSink,
+                  level_from_name, write_metrics_csv, write_metrics_jsonl)
 
 _LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: Default trend file the ``report`` subcommand appends to.
+DEFAULT_TREND_PATH = "benchmarks/results/trend.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (fig02..fig18, table1), 'all' for every "
-             "single-session experiment, or 'list'")
+             "single-session experiment, 'list', or 'report'")
     parser.add_argument(
         "--scale", choices=[s.value for s in Scale], default="small",
         help="workload scale (default: small; 'full' is the paper's "
@@ -70,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for parallelisable experiments (the "
              "fig06 campaign); results are byte-identical for every N "
              "(default: 1 = serial in-process)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with 'list': emit the experiment registry as JSON")
     obs_group = parser.add_argument_group("observability")
     obs_group.add_argument(
         "--metrics", metavar="PATH", default=None,
@@ -78,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_group.add_argument(
         "--trace", metavar="PATH", default=None,
         help="stream structured trace records to PATH as JSONL")
+    obs_group.add_argument(
+        "--spans", metavar="PATH", default=None,
+        help="record causal transaction spans to PATH: Chrome "
+             "trace-event JSON when PATH ends in .json (Perfetto / "
+             "chrome://tracing), streaming JSONL otherwise")
     obs_group.add_argument(
         "--log-level", choices=_LOG_LEVELS, default=None,
         help="also log trace records to stderr via stdlib logging at "
@@ -88,9 +113,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Build the run-fidelity scorecard: reproduced "
+                    "paper statistics vs target ranges, plus engine "
+                    "perf, appended to the benchmark trend file.")
+    parser.add_argument(
+        "--scale", choices=[s.value for s in Scale], default="small",
+        help="workload scale for the scored runs (default: small)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default: 7)")
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the scorecard to PATH (default: stdout)")
+    parser.add_argument(
+        "--format", choices=("markdown", "html"), default=None,
+        help="output format (default: by --out extension, else "
+             "markdown)")
+    parser.add_argument(
+        "--label", default="", help="free-form label recorded in the "
+                                    "scorecard and the trend record")
+    parser.add_argument(
+        "--metrics-in", metavar="PATH", default=None,
+        help="fold a finished run's --metrics JSONL artifact into the "
+             "perf block instead of this run's own numbers")
+    parser.add_argument(
+        "--spans-in", metavar="PATH", default=None,
+        help="fold a finished run's --spans artifact (JSONL or Chrome "
+             "trace) into the perf block's span count")
+    parser.add_argument(
+        "--trend", metavar="PATH", default=DEFAULT_TREND_PATH,
+        help=f"trend file to append the JSON record to (default: "
+             f"{DEFAULT_TREND_PATH})")
+    parser.add_argument(
+        "--no-trend", action="store_true",
+        help="skip the trend.jsonl append")
+    return parser
+
+
 def build_instrumentation(args) -> Optional[Instrumentation]:
     """An enabled bundle when any obs flag was given, else ``None``."""
-    if not (args.metrics or args.trace or args.log_level or args.progress):
+    if not (args.metrics or args.trace or args.spans or args.log_level
+            or args.progress):
         return None
     trace_level = level_from_name(args.log_level or "info")
     sinks = []
@@ -107,7 +172,12 @@ def build_instrumentation(args) -> Optional[Instrumentation]:
         sink = sinks[0]
     else:
         sink = None
-    return Instrumentation(trace=sink, profiler=EngineProfiler(),
+    spans = None
+    if args.spans:
+        spans = ChromeTraceSink(args.spans) if args.spans.endswith(".json") \
+            else JsonlSpanSink(args.spans)
+    return Instrumentation(trace=sink, spans=spans,
+                           profiler=EngineProfiler(),
                            progress=args.progress)
 
 
@@ -131,22 +201,91 @@ def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
     print()
 
 
+def _list_experiments(as_json: bool) -> int:
+    if as_json:
+        from .experiments.collect import PAPER_TARGETS
+        records = [{"id": experiment_id,
+                    "description": EXPERIMENT_DESCRIPTIONS.get(
+                        experiment_id, ""),
+                    "paper": PAPER_TARGETS.get(experiment_id, "")}
+                   for experiment_id in ALL_EXPERIMENT_IDS]
+        print(json.dumps(records, indent=2))
+        return 0
+    width = max(len(eid) for eid in ALL_EXPERIMENT_IDS) + 2
+    for experiment_id in ALL_EXPERIMENT_IDS:
+        description = EXPERIMENT_DESCRIPTIONS.get(experiment_id, "")
+        print(f"{experiment_id:<{width}}{description}".rstrip())
+    return 0
+
+
+def _report(argv: List[str]) -> int:
+    from .experiments.scorecard import (append_trend, build_scorecard,
+                                        perf_from_artifacts)
+    args = build_report_parser().parse_args(argv)
+    card = build_scorecard(scale=Scale(args.scale), seed=args.seed,
+                           label=args.label)
+    if args.metrics_in or args.spans_in:
+        card.perf = perf_from_artifacts(args.metrics_in, args.spans_in)
+
+    fmt = args.format
+    if fmt is None:
+        fmt = "html" if (args.out or "").endswith((".html", ".htm")) \
+            else "markdown"
+    rendered = card.render_html() if fmt == "html" \
+        else card.render_markdown()
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"[scorecard: {card.passed}/{card.scored} in range "
+              f"-> {args.out}]", file=sys.stderr)
+    else:
+        print(rendered)
+    if not args.no_trend:
+        append_trend(card, Path(args.trend))
+        print(f"[trend record appended -> {args.trend}]",
+              file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "run":
         argv = argv[1:]  # "repro run fig06" == "repro fig06"
+    if argv and argv[0] == "report":
+        return _report(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        width = max(len(eid) for eid in ALL_EXPERIMENT_IDS) + 2
-        for experiment_id in ALL_EXPERIMENT_IDS:
-            description = EXPERIMENT_DESCRIPTIONS.get(experiment_id, "")
-            print(f"{experiment_id:<{width}}{description}".rstrip())
-        return 0
+        return _list_experiments(args.json)
+    if args.experiment == "report":
+        # "repro report" with main-parser flags only; re-route the
+        # shared ones so both spellings work.
+        forwarded = ["--scale", args.scale, "--seed", str(args.seed)]
+        return _report(forwarded)
 
     obs = build_instrumentation(args)
     scale = Scale(args.scale)
     bank = WorkloadBank(instrumentation=obs)
-    try:
+    # LIFO cleanup with *independent* steps: closing the sinks must
+    # happen even when finalize or the metrics write raises, so a
+    # crashed run still flushes its partial JSONL artifacts.
+    with contextlib.ExitStack() as cleanup:
+        if obs is not None:
+            cleanup.callback(obs.close)
+            if args.trace:
+                cleanup.callback(
+                    lambda: print(f"[trace -> {args.trace}]",
+                                  file=sys.stderr))
+            if args.spans:
+                cleanup.callback(
+                    lambda: print(f"[spans -> {args.spans}]",
+                                  file=sys.stderr))
+            if args.metrics:
+                def _flush_metrics() -> None:
+                    count = _write_metrics(obs, args.metrics)
+                    print(f"[metrics: {count} series -> {args.metrics}]",
+                          file=sys.stderr)
+                cleanup.callback(_flush_metrics)
+            cleanup.callback(obs.finalize)
+
         if args.experiment == "all":
             for experiment_id in ALL_EXPERIMENT_IDS:
                 if experiment_id == "fig06":
@@ -164,16 +303,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_one(args.experiment, bank, scale, args.seed,
                  instrumentation=obs, jobs=args.jobs)
         return 0
-    finally:
-        if obs is not None:
-            obs.finalize()
-            if args.metrics:
-                count = _write_metrics(obs, args.metrics)
-                print(f"[metrics: {count} series -> {args.metrics}]",
-                      file=sys.stderr)
-            if args.trace:
-                print(f"[trace -> {args.trace}]", file=sys.stderr)
-            obs.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -105,6 +105,7 @@ class UdpNetwork:
         self._obs = obs
         self._obs_enabled = obs.enabled
         self._trace = obs.trace
+        self._spans = obs.spans
         metrics = obs.metrics
         self._m_sent = metrics.counter("net.datagrams_sent")
         self._m_delivered = metrics.counter("net.datagrams_delivered")
@@ -178,6 +179,12 @@ class UdpNetwork:
                                  src=datagram.src, dst=dst,
                                  wire_bytes=datagram.wire_bytes,
                                  msg=type(payload).__name__)
+            if self._spans.enabled:
+                # Tail drops truncate data transactions: the instant
+                # marks where a request/reply span will end in timeout.
+                self._spans.instant("uplink_tail_drop", "net", now,
+                                    actor=datagram.src, dst=dst,
+                                    msg=type(payload).__name__)
             self._notify("drop_uplink", datagram, now)
             return False
         self._m_bytes_queued.inc(datagram.wire_bytes)

@@ -9,9 +9,14 @@ measurement substrate.  Three facets, bundled by
 * :mod:`repro.obs.trace` — structured, levelled trace records streamed
   to JSONL / ring buffer / stdlib logging,
 * :mod:`repro.obs.profiler` — per-event-label wall-clock accounting in
-  the engine plus the periodic heartbeat sampler for long campaigns.
+  the engine plus the periodic heartbeat sampler for long campaigns,
+* :mod:`repro.obs.spans` — causal transaction spans (trace/parent IDs,
+  status, flat attributes) with JSONL and Chrome-trace (Perfetto)
+  exporters; the simulator-side analogue of the paper's
+  transaction-matching methodology.
 
-See ``docs/OBSERVABILITY.md`` for the metric catalog and trace schema.
+See ``docs/OBSERVABILITY.md`` for the metric catalog, trace schema and
+span model.
 """
 
 from .export import (metrics_to_records, read_metrics_csv,
@@ -21,6 +26,11 @@ from .instrument import NULL_INSTRUMENTATION, Instrumentation, resolve
 from .metrics import (DEFAULT_BUCKETS, NULL_REGISTRY, Counter, Gauge,
                       Histogram, MetricsRegistry, NullRegistry)
 from .profiler import EngineProfiler, EngineSample, HeartbeatSampler
+from .spans import (NULL_SPAN, NULL_SPAN_SINK, ChromeTraceSink,
+                    JsonlSpanSink, MemorySpanSink, NullSpanSink, Span,
+                    SpanSink, TeeSpanSink, read_chrome_trace,
+                    read_spans_jsonl, span_categories,
+                    validate_chrome_trace)
 from .trace import (DEBUG, ERROR, INFO, NULL_SINK, WARNING, JsonlSink,
                     LoggingSink, NullSink, RingSink, TeeSink, TraceSink,
                     level_from_name, read_trace_jsonl)
@@ -32,6 +42,10 @@ __all__ = [
     "TraceSink", "NullSink", "NULL_SINK", "JsonlSink", "RingSink",
     "LoggingSink", "TeeSink", "level_from_name", "read_trace_jsonl",
     "DEBUG", "INFO", "WARNING", "ERROR",
+    "Span", "SpanSink", "NullSpanSink", "NULL_SPAN_SINK", "NULL_SPAN",
+    "MemorySpanSink", "JsonlSpanSink", "ChromeTraceSink", "TeeSpanSink",
+    "read_spans_jsonl", "read_chrome_trace", "validate_chrome_trace",
+    "span_categories",
     "EngineProfiler", "EngineSample", "HeartbeatSampler",
     "metrics_to_records", "strip_wall_metrics",
     "write_metrics_jsonl", "read_metrics_jsonl",

@@ -18,6 +18,7 @@ from typing import Optional, TextIO
 
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .profiler import EngineProfiler
+from .spans import NULL_SPAN_SINK, SpanSink
 from .trace import NULL_SINK, TraceSink
 
 
@@ -27,11 +28,13 @@ class Instrumentation:
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  trace: Optional[TraceSink] = None,
                  profiler: Optional[EngineProfiler] = None,
+                 spans: Optional[SpanSink] = None,
                  progress: bool = False,
                  progress_stream: Optional[TextIO] = None,
                  heartbeat_interval: float = 30.0) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else NULL_SINK
+        self.spans = spans if spans is not None else NULL_SPAN_SINK
         self.profiler = profiler
         self.progress = progress
         self.progress_stream = progress_stream
@@ -48,9 +51,10 @@ class Instrumentation:
 
     @classmethod
     def full(cls, trace: Optional[TraceSink] = None,
+             spans: Optional[SpanSink] = None,
              progress: bool = False) -> "Instrumentation":
-        """Everything on: real registry, profiler, optional sink."""
-        return cls(metrics=MetricsRegistry(), trace=trace,
+        """Everything on: real registry, profiler, optional sinks."""
+        return cls(metrics=MetricsRegistry(), trace=trace, spans=spans,
                    profiler=EngineProfiler(), progress=progress)
 
     # ------------------------------------------------------------------
@@ -72,6 +76,7 @@ class Instrumentation:
 
     def close(self) -> None:
         self.trace.close()
+        self.spans.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
@@ -84,7 +89,8 @@ class _NullInstrumentation(Instrumentation):
 
     def __init__(self) -> None:
         super().__init__(metrics=NULL_REGISTRY, trace=NULL_SINK,
-                         profiler=None, progress=False)
+                         spans=NULL_SPAN_SINK, profiler=None,
+                         progress=False)
         self.enabled = False
 
     def finalize(self) -> None:

@@ -264,6 +264,8 @@ def execute_jobs(jobs: Sequence[Job], *, workers: int = 1,
     ordered = list(merge_by_key(keys, outcomes).values())
     if resolved.enabled:
         _record_metrics(ordered, workers, resolved)
+        if resolved.spans.enabled:
+            _record_spans(ordered, workers, resolved)
     return ordered
 
 
@@ -300,3 +302,33 @@ def _record_metrics(outcomes: Sequence[JobOutcome], workers: int,
                        jobs=len(outcomes), workers=workers,
                        **{f"jobs_{where}": count
                           for where, count in sorted(by_where.items())})
+
+
+def _record_spans(outcomes: Sequence[JobOutcome], workers: int,
+                  obs: Instrumentation) -> None:
+    """Parent-side job spans, merged deterministically by job key.
+
+    Workers never see the span sink (unpicklable, and worker completion
+    order is racy), so the parent materialises one span per job *in
+    merged key order* after :func:`merge_by_key`.  Span IDs and
+    attributes are therefore identical run-to-run; only the wall-clock
+    durations vary, which is exactly the parallel category's job: it
+    measures the machine, not the simulation.  Each job is laid on a
+    synthetic timeline — queue wait then execution, jobs end-to-end —
+    so the fan-out reads as one track in Perfetto.
+    """
+    run_span = obs.spans.start_span("parallel_run", "parallel", 0.0,
+                                    actor="parallel",
+                                    jobs=len(outcomes), workers=workers)
+    cursor = 0.0
+    for outcome in outcomes:
+        start = cursor + outcome.queue_wait
+        end = start + outcome.wall_clock
+        span = obs.spans.start_span(
+            "job", "parallel", start, parent=run_span, actor="parallel",
+            key=str(outcome.key), where=outcome.where,
+            attempts=outcome.attempts,
+            queue_wait=round(outcome.queue_wait, 6))
+        span.finish(end)
+        cursor = end
+    run_span.finish(cursor)

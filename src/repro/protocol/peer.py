@@ -108,6 +108,14 @@ class PPLivePeer(Host):
         obs = resolve_obs(obs)
         self._obs = obs
         self._trace = obs.trace
+        self._spans = obs.spans
+        # Open causal spans, keyed by what resolves them: the join span
+        # roots this peer's trace; tracker spans by tracker address,
+        # peer-list spans by request_id, connect spans by target address.
+        self._join_span = None
+        self._tracker_spans: Dict[str, object] = {}
+        self._peerlist_spans: Dict[int, object] = {}
+        self._hello_spans: Dict[str, object] = {}
         self._obs_tags = {"isp": isp.name}
         metrics = obs.metrics
         self._m_gossip_rounds = metrics.counter("proto.gossip_rounds",
@@ -137,6 +145,10 @@ class PPLivePeer(Host):
         if self._trace.enabled_for(INFO):
             self._trace.emit(self.sim.now, INFO, "peer_join",
                              peer=self.address, isp=self.isp.name)
+        if self._spans.enabled:
+            self._join_span = self._spans.start_span(
+                "channel_join", "bootstrap", self.sim.now,
+                actor=self.address, peer=self.address, isp=self.isp.name)
         self._transmit(self.bootstrap_address, m.ChannelListRequest())
         self._bootstrap_timer = self.sim.every(
             self.config.bootstrap_retry_interval, self._bootstrap_retry)
@@ -186,6 +198,19 @@ class PPLivePeer(Host):
         for event, _sent_at in self._pending_hellos.values():
             self.sim.cancel(event)
         self._pending_hellos.clear()
+        # Resolve every open span: departure answers them all.
+        now = self.sim.now
+        if self._join_span is not None and not self._join_span.finished:
+            self._join_span.finish(now, "aborted")
+        for span in self._tracker_spans.values():
+            span.finish(now, "unanswered")
+        self._tracker_spans.clear()
+        for span in self._peerlist_spans.values():
+            span.finish(now, "unanswered")
+        self._peerlist_spans.clear()
+        for span in self._hello_spans.values():
+            span.finish(now, "aborted")
+        self._hello_spans.clear()
         if self.player is not None:
             self.player.stop(self.sim.now)
         self.go_offline()
@@ -262,6 +287,8 @@ class PPLivePeer(Host):
             self._trace.emit(now, INFO, "peer_active", peer=self.address,
                              isp=self.isp.name,
                              startup_delay=now - (self.joined_at or now))
+        if self._join_span is not None:
+            self._join_span.finish(now, trackers=len(self.trackers))
         live = self.channel.live_chunk(now)
         lag = self._rng.randint(self.config.startup_lag_min,
                                 self.config.startup_lag_max)
@@ -270,13 +297,17 @@ class PPLivePeer(Host):
         self.buffer = ChunkBuffer(geometry, first_chunk)
         self.player = PlaybackMonitor(geometry, self.buffer, join_time=now,
                                       startup_chunks=self.config.startup_chunks,
-                                      obs=self._obs, obs_tags=self._obs_tags)
+                                      obs=self._obs, obs_tags=self._obs_tags,
+                                      actor=self.address,
+                                      span_parent=self._join_span)
         self.scheduler = DataScheduler(
             self.sim, self.config, geometry, self.buffer, self.neighbors,
             self._send_data_request, source_address=self.source_address,
-            rng=self._scheduler_rng, obs=self._obs, obs_tags=self._obs_tags)
+            rng=self._scheduler_rng, obs=self._obs, obs_tags=self._obs_tags,
+            actor=self.address, span_parent=self._join_span)
         # Initial burst: query every tracker group at once.
         for tracker in self.trackers:
+            self._open_tracker_span(tracker)
             self._transmit(tracker, m.TrackerQuery(
                 channel_id=self.channel.channel_id))
         self._schedule_tracker_round()
@@ -293,6 +324,19 @@ class PPLivePeer(Host):
             self.MAINTENANCE_INTERVAL, self._maintenance))
 
     # -- tracker interaction ---------------------------------------------
+    def _open_tracker_span(self, tracker: str) -> None:
+        """Open a peerlist-category span for one tracker query.  A new
+        query to the same tracker supersedes the old span (the reply
+        cannot be told apart), which is then closed as superseded."""
+        if not self._spans.enabled:
+            return
+        stale = self._tracker_spans.pop(tracker, None)
+        if stale is not None:
+            stale.finish(self.sim.now, "superseded")
+        self._tracker_spans[tracker] = self._spans.start_span(
+            "tracker_query", "peerlist", self.sim.now,
+            parent=self._join_span, actor=self.address, tracker=tracker)
+
     def _schedule_tracker_round(self) -> None:
         interval = self.policy.tracker_interval(self, self.config)
         self._tracker_event = self.sim.call_after(
@@ -310,17 +354,23 @@ class PPLivePeer(Host):
             targets = self.trackers
         query = m.TrackerQuery(channel_id=self.channel.channel_id)
         for tracker in targets:
+            self._open_tracker_span(tracker)
             self._transmit(tracker, query)
         self._schedule_tracker_round()
 
     def _on_tracker_reply(self, src: str, msg: m.TrackerReply) -> None:
+        span = self._tracker_spans.pop(src, None)
+        if span is not None:
+            span.finish(self.sim.now, peers=len(msg.peers))
         if self.phase is not PeerPhase.ACTIVE:
             return
         self.pool.add_many(msg.peers, self.sim.now, ListSource.TRACKER)
-        self._attempt_connections(msg.peers, ListSource.TRACKER)
+        self._attempt_connections(msg.peers, ListSource.TRACKER,
+                                  parent_span=span)
 
     # -- membership -------------------------------------------------------
-    def _attempt_connections(self, addresses, source: ListSource) -> None:
+    def _attempt_connections(self, addresses, source: ListSource,
+                             parent_span=None) -> None:
         chosen = self.policy.select_candidates(
             self, list(addresses), source, self._rng)
         hello = m.Hello(channel_id=self.channel.channel_id,
@@ -335,12 +385,24 @@ class PPLivePeer(Host):
                 label="hello-timeout")
             self._pending_hellos[address] = (timeout, self.sim.now)
             self._m_hellos_sent.inc()
+            if self._spans.enabled:
+                # Child of the list transaction that named the target:
+                # the "reply -> connect attempt" causal edge.
+                self._hello_spans[address] = self._spans.start_span(
+                    "connect", "peerlist", self.sim.now,
+                    parent=(parent_span if parent_span is not None
+                            else self._join_span),
+                    actor=self.address, target=address,
+                    source=source.value)
             self._transmit(address, hello)
 
     def _on_hello_timeout(self, address: str) -> None:
         if self._pending_hellos.pop(address, None) is not None:
             self._m_hello_timeouts.inc()
             self.pool.note_failure(address, self.sim.now)
+            span = self._hello_spans.pop(address, None)
+            if span is not None:
+                span.finish(self.sim.now, "timeout")
 
     def _on_hello(self, src: str, msg: m.Hello) -> None:
         if self.phase is not PeerPhase.ACTIVE:
@@ -378,13 +440,20 @@ class PPLivePeer(Host):
             return
         event, sent_at = pending
         self.sim.cancel(event)
+        span = self._hello_spans.pop(src, None)
         if self.phase is not PeerPhase.ACTIVE:
+            if span is not None:
+                span.finish(self.sim.now, "aborted")
             return
         if src in self.neighbors:
+            if span is not None:
+                span.finish(self.sim.now, "duplicate")
             return
         if self.neighbors.is_full:
             # Lost the race: the table filled while this ack was in flight.
             self._m_races_lost.inc()
+            if span is not None:
+                span.finish(self.sim.now, "race_lost")
             self._transmit(src, m.Goodbye(
                 channel_id=self.channel.channel_id))
             return
@@ -393,11 +462,16 @@ class PPLivePeer(Host):
         state.record_availability(msg.have_until, self.sim.now,
                                   msg.have_from)
         self._m_races_won.inc()
+        if span is not None:
+            span.finish(self.sim.now, rtt=state.hello_rtt)
 
     def _on_hello_reject(self, src: str, msg: m.HelloReject) -> None:
         pending = self._pending_hellos.pop(src, None)
         if pending is not None:
             self.sim.cancel(pending[0])
+            span = self._hello_spans.pop(src, None)
+            if span is not None:
+                span.finish(self.sim.now, "rejected")
         self.pool.note_failure(src, self.sim.now)
 
     def _on_goodbye(self, src: str, msg: m.Goodbye) -> None:
@@ -424,6 +498,7 @@ class PPLivePeer(Host):
             self._peerlist_request_id += 1
             own_list = tuple(self.pool.build_peer_list(
                 targets, self.config.peer_list_max, self.sim.now))
+            self._open_peerlist_span(self._peerlist_request_id, target)
             self._transmit(target, m.PeerListRequest(
                 channel_id=self.channel.channel_id, enclosed=own_list,
                 have_until=self.have_until, have_from=self.have_from,
@@ -432,6 +507,7 @@ class PPLivePeer(Host):
             tracker = self.trackers[self._tracker_rotation
                                     % len(self.trackers)]
             self._tracker_rotation += 1
+            self._open_tracker_span(tracker)
             self._transmit(tracker, m.TrackerQuery(
                 channel_id=self.channel.channel_id))
         # Also retry known-but-unconnected candidates right away.
@@ -441,6 +517,14 @@ class PPLivePeer(Host):
             self._attempt_connections(candidates, ListSource.NEIGHBOR)
 
     # -- gossip -------------------------------------------------------------
+    def _open_peerlist_span(self, request_id: int, target: str) -> None:
+        if not self._spans.enabled:
+            return
+        self._peerlist_spans[request_id] = self._spans.start_span(
+            "peerlist_request", "peerlist", self.sim.now,
+            parent=self._join_span, actor=self.address, target=target,
+            request_id=request_id)
+
     def _gossip_round(self) -> None:
         if self.phase is not PeerPhase.ACTIVE:
             return
@@ -461,6 +545,7 @@ class PPLivePeer(Host):
                 channel_id=self.channel.channel_id, enclosed=own_list,
                 have_until=self.have_until, have_from=self.have_from,
                 request_id=self._peerlist_request_id)
+            self._open_peerlist_span(self._peerlist_request_id, target)
             self._transmit(target, request)
 
     def _on_peer_list_request(self, src: str, msg: m.PeerListRequest) -> None:
@@ -483,6 +568,9 @@ class PPLivePeer(Host):
         self._transmit(src, reply)
 
     def _on_peer_list_reply(self, src: str, msg: m.PeerListReply) -> None:
+        span = self._peerlist_spans.pop(msg.request_id, None)
+        if span is not None:
+            span.finish(self.sim.now, peers=len(msg.peers))
         if self.phase is not PeerPhase.ACTIVE:
             return
         now = self.sim.now
@@ -494,7 +582,8 @@ class PPLivePeer(Host):
         self.pool.add_many(msg.peers, now, ListSource.NEIGHBOR)
         # "a client ... always tries to connect to the listed peers as
         # soon as the list is received"
-        self._attempt_connections(msg.peers, ListSource.NEIGHBOR)
+        self._attempt_connections(msg.peers, ListSource.NEIGHBOR,
+                                  parent_span=span)
 
     # -- availability ----------------------------------------------------
     def _buffermap_round(self) -> None:
@@ -665,7 +754,9 @@ class PPLivePeer(Host):
         self.buffer = ChunkBuffer(geometry, first_chunk)
         self.player = PlaybackMonitor(geometry, self.buffer, join_time=now,
                                       startup_chunks=self.config.startup_chunks,
-                                      obs=self._obs, obs_tags=self._obs_tags)
+                                      obs=self._obs, obs_tags=self._obs_tags,
+                                      actor=self.address,
+                                      span_parent=self._join_span)
         if self.scheduler is not None:
             self.scheduler.reset_for_buffer(self.buffer)
 

@@ -52,6 +52,7 @@ class PendingRequest:
     sent_at: float
     timeout_event: object = None
     to_source: bool = False
+    span: object = None
 
 
 class DataScheduler:
@@ -63,7 +64,9 @@ class DataScheduler:
                  source_address: Optional[str] = None,
                  rng: Optional[random.Random] = None,
                  obs: Optional[Instrumentation] = None,
-                 obs_tags: Optional[dict] = None) -> None:
+                 obs_tags: Optional[dict] = None,
+                 actor: Optional[str] = None,
+                 span_parent: object = None) -> None:
         self.sim = sim
         self.config = config
         self.geometry = geometry
@@ -88,6 +91,9 @@ class DataScheduler:
         # Observability: series shared per tag set (usually per ISP).
         obs = resolve_obs(obs)
         self._trace = obs.trace
+        self._spans = obs.spans
+        self._actor = actor
+        self._span_parent = span_parent
         metrics = obs.metrics
         self._m_requests = metrics.counter("proto.data_requests_issued",
                                            obs_tags)
@@ -236,6 +242,12 @@ class DataScheduler:
         pending = PendingRequest(seq=seq, neighbor=target.address,
                                  chunk=chunk, first=first, last=last,
                                  sent_at=self.sim.now, to_source=to_source)
+        if self._spans.enabled:
+            pending.span = self._spans.start_span(
+                "data_request", "data", self.sim.now,
+                parent=self._span_parent, actor=self._actor, seq=seq,
+                neighbor=target.address, chunk=chunk, first=first,
+                last=last, to_source=to_source)
         pending.timeout_event = self.sim.call_after(
             self.config.data_timeout, lambda: self._on_timeout(seq),
             label="data-timeout")
@@ -271,6 +283,13 @@ class DataScheduler:
         added = self.buffer.add_range(chunk, first, last)
         if neighbor is not None:
             neighbor.bytes_received += self.geometry.range_bytes(first, last)
+        if pending.span is not None:
+            pending.span.finish(self.sim.now, subpieces=added)
+            if added and self.buffer.has_chunk(chunk):
+                # The reply that completed the chunk: the hand-off point
+                # from the data chain to the playback chain.
+                self._spans.instant("chunk_complete", "data", self.sim.now,
+                                    parent=pending.span, chunk=chunk)
         return added
 
     def on_miss(self, seq: int, have_until: int,
@@ -282,6 +301,8 @@ class DataScheduler:
         self._settle(pending)
         self.misses_handled += 1
         self._m_misses.inc()
+        if pending.span is not None:
+            pending.span.finish(self.sim.now, "miss")
         neighbor = self.neighbors.get(pending.neighbor)
         if neighbor is not None:
             neighbor.record_miss(self.sim.now)
@@ -301,6 +322,8 @@ class DataScheduler:
         self._settle(pending, cancel_timeout=False)
         self.timeouts += 1
         self._m_timeouts.inc()
+        if pending.span is not None:
+            pending.span.finish(self.sim.now, "timeout")
         if self._trace.enabled_for(WARNING):
             self._trace.emit(self.sim.now, WARNING, "data_request_timeout",
                              neighbor=pending.neighbor, seq=pending.seq,
@@ -347,6 +370,8 @@ class DataScheduler:
         for seq in list(self._pending):
             pending = self._pending.pop(seq)
             self._settle(pending)
+            if pending.span is not None:
+                pending.span.finish(self.sim.now, "reset")
         self._requested.clear()
         self.buffer = buffer
 
@@ -357,6 +382,8 @@ class DataScheduler:
         for seq in stale:
             pending = self._pending.pop(seq)
             self._settle(pending)
+            if pending.span is not None:
+                pending.span.finish(self.sim.now, "neighbor_lost")
 
     def _drop_stale_bookkeeping(self) -> None:
         frontier = self.buffer.have_until

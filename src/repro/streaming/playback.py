@@ -36,7 +36,9 @@ class PlaybackMonitor:
     def __init__(self, geometry: ChunkGeometry, buffer: ChunkBuffer,
                  join_time: float, startup_chunks: int = 3,
                  obs: Optional[Instrumentation] = None,
-                 obs_tags: Optional[dict] = None) -> None:
+                 obs_tags: Optional[dict] = None,
+                 actor: Optional[str] = None,
+                 span_parent: object = None) -> None:
         if startup_chunks < 1:
             raise ValueError("startup_chunks must be >= 1")
         self.geometry = geometry
@@ -55,6 +57,16 @@ class PlaybackMonitor:
         # Observability: no-op by default; series shared per tag set.
         obs = resolve_obs(obs)
         self._trace = obs.trace
+        self._spans = obs.spans
+        self._actor = actor
+        self._span_parent = span_parent
+        self._startup_span = None
+        self._stall_span = None
+        if self._spans.enabled:
+            # Playback chain root: buffering from join until first play.
+            self._startup_span = self._spans.start_span(
+                "startup", "playback", join_time, parent=span_parent,
+                actor=actor, startup_chunks=startup_chunks)
         metrics = obs.metrics
         self._m_deadlines_met = metrics.counter("streaming.deadlines_met",
                                                 obs_tags)
@@ -85,6 +97,12 @@ class PlaybackMonitor:
         if self.state is PlayerState.STALLED and self._stall_began is not None:
             self.stall_seconds += now - self._stall_began
             self._stall_began = None
+        if self._startup_span is not None and not self._startup_span.finished:
+            # Viewer left before playback ever started.
+            self._startup_span.finish(now, "stopped")
+        if self._stall_span is not None:
+            self._stall_span.finish(now, "stopped")
+            self._stall_span = None
         self.state = PlayerState.STOPPED
 
     # ------------------------------------------------------------------
@@ -113,6 +131,9 @@ class PlaybackMonitor:
             self.playout_started_at = now
             self.startup_delay = now - self.join_time
             self._h_startup_delay.observe(self.startup_delay)
+            if self._startup_span is not None:
+                self._startup_span.finish(
+                    now, startup_delay=round(self.startup_delay, 3))
             self.playout_chunk = self.buffer.first_chunk - 1
             self._consume_due_chunks(now)
 
@@ -152,6 +173,15 @@ class PlaybackMonitor:
         self.stall_count += 1
         self._m_stalls.inc()
         self._stall_began = now
+        if self._spans.enabled:
+            # The deadline miss is the instant; the stall it opens is
+            # the interval the viewer experiences.
+            self._spans.instant("deadline_miss", "playback", now,
+                                parent=self._span_parent, actor=self._actor,
+                                chunk=self.playout_chunk + 1)
+            self._stall_span = self._spans.start_span(
+                "stall", "playback", now, parent=self._span_parent,
+                actor=self._actor, chunk=self.playout_chunk + 1)
         if self._trace.enabled_for(INFO):
             self._trace.emit(now, INFO, "playback_stall",
                              chunk=self.playout_chunk + 1,
@@ -165,4 +195,7 @@ class PlaybackMonitor:
             if self._trace.enabled_for(INFO):
                 self._trace.emit(now, INFO, "playback_resume",
                                  stalled_for=round(duration, 3))
+        if self._stall_span is not None:
+            self._stall_span.finish(now)
+            self._stall_span = None
         self.state = PlayerState.PLAYING

@@ -185,6 +185,11 @@ def _emit_day(config: CampaignConfig, obs: Instrumentation,
                    popularity=popularity.value,
                    population=daily.population,
                    locality_by_isp=daily.locality_by_isp)
+    if obs.spans.enabled:
+        obs.spans.instant("campaign_day", "workload", float(daily.day),
+                          actor="campaign", day=daily.day + 1,
+                          popularity=popularity.value,
+                          population=daily.population)
     if obs.progress:
         stream = obs.progress_stream
         summary = " ".join(

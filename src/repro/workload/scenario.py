@@ -320,6 +320,12 @@ class SessionScenario:
                            popularity=cfg.popularity.value,
                            warmup=cfg.warmup, duration=cfg.duration,
                            probes=[spec.name for spec in cfg.probes])
+        session_span = None
+        if obs.spans.enabled:
+            session_span = obs.spans.start_span(
+                "session", "workload", sim.now, actor="session",
+                seed=cfg.seed, population=cfg.population,
+                popularity=cfg.popularity.value)
 
         population_policy = cfg.policy_factory(deployment)
         manager = PopulationManager(
@@ -377,6 +383,10 @@ class SessionScenario:
                            events_executed=sim.events_executed,
                            viewers_spawned=manager.total_spawned,
                            viewers_departed=manager.total_departed)
+        if session_span is not None:
+            session_span.finish(sim.now,
+                                events_executed=sim.events_executed,
+                                viewers_spawned=manager.total_spawned)
         return SessionResult(config=cfg, deployment=deployment,
                              probes=probes, population=manager)
 

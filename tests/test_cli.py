@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro import __version__
-from repro.cli import build_instrumentation, build_parser, main
+from repro.cli import (build_instrumentation, build_parser,
+                       build_report_parser, main)
 from repro.experiments import ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS
 
 
@@ -51,6 +52,21 @@ class TestParser:
             build_parser().parse_args(["--help"])
         assert "--jobs" in capsys.readouterr().out
 
+    def test_spans_flag(self):
+        args = build_parser().parse_args(
+            ["fig02", "--spans", "out.json"])
+        assert args.spans == "out.json"
+        assert build_parser().parse_args(["fig02"]).spans is None
+
+    def test_report_parser_defaults(self):
+        args = build_report_parser().parse_args([])
+        assert args.scale == "small"
+        assert args.seed == 7
+        assert args.out is None
+        assert args.format is None
+        assert args.trend == "benchmarks/results/trend.jsonl"
+        assert args.no_trend is False
+
 
 class TestInstrumentationFromFlags:
     def test_no_flags_means_none(self):
@@ -63,6 +79,19 @@ class TestInstrumentationFromFlags:
         obs = build_instrumentation(args)
         assert obs is not None and obs.enabled
         assert obs.profiler is not None
+        obs.close()
+
+    def test_spans_extension_picks_the_sink(self, tmp_path):
+        from repro.obs import ChromeTraceSink, JsonlSpanSink
+        args = build_parser().parse_args(
+            ["fig02", "--spans", str(tmp_path / "s.json")])
+        obs = build_instrumentation(args)
+        assert isinstance(obs.spans, ChromeTraceSink)
+        obs.close()
+        args = build_parser().parse_args(
+            ["fig02", "--spans", str(tmp_path / "s.jsonl")])
+        obs = build_instrumentation(args)
+        assert isinstance(obs.spans, JsonlSpanSink)
         obs.close()
 
 
@@ -128,3 +157,107 @@ class TestMain:
         capsys.readouterr()
         header = metrics_path.read_text().splitlines()[0]
         assert header.startswith("name,")
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["id"] for r in records] == list(ALL_EXPERIMENT_IDS)
+        for record in records:
+            assert set(record) == {"id", "description", "paper"}
+            assert record["description"] == \
+                EXPERIMENT_DESCRIPTIONS[record["id"]]
+        # Paper-target prose rides along where the registry has it.
+        by_id = {r["id"]: r for r in records}
+        assert "TELE" in by_id["fig02"]["paper"]
+
+    def test_crashed_run_still_flushes_artifacts(self, tmp_path,
+                                                 monkeypatch, capsys):
+        """A mid-run crash must still close every sink: the spans file
+        ends up valid (ChromeTraceSink writes on close) and the partial
+        metrics are written."""
+        import repro.cli as cli_module
+        from repro.obs import read_chrome_trace, validate_chrome_trace
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-run crash")
+
+        monkeypatch.setattr(cli_module, "run_experiment", boom)
+        spans_path = tmp_path / "s.json"
+        metrics_path = tmp_path / "m.jsonl"
+        with pytest.raises(RuntimeError):
+            main(["fig15", "--scale", "small",
+                  "--spans", str(spans_path),
+                  "--metrics", str(metrics_path)])
+        capsys.readouterr()
+        events = read_chrome_trace(str(spans_path))
+        assert validate_chrome_trace(events) == []
+        assert metrics_path.exists()
+
+
+class TestReportCommand:
+    @pytest.fixture
+    def fake_scorecard(self, monkeypatch):
+        from repro.experiments.scorecard import (PerfBlock, Scorecard,
+                                                 Statistic)
+        captured = {}
+
+        def fake_build(scale, seed, label=""):
+            captured["scale"] = scale
+            captured["seed"] = seed
+            card = Scorecard(scale=scale.value, seed=seed, label=label)
+            card.statistics.append(
+                Statistic("fig02", "byte locality (own-ISP share)",
+                          0.6, (0.4, 1.0), paper=0.85))
+            card.perf = PerfBlock(events_executed=10, wall_seconds=1.0,
+                                  events_per_sec=10.0)
+            return card
+
+        monkeypatch.setattr("repro.experiments.scorecard.build_scorecard",
+                            fake_build)
+        return captured
+
+    def test_report_writes_markdown_and_trend(self, tmp_path, capsys,
+                                              fake_scorecard):
+        out = tmp_path / "card.md"
+        trend = tmp_path / "trend.jsonl"
+        assert main(["report", "--scale", "small", "--seed", "3",
+                     "--out", str(out), "--trend", str(trend)]) == 0
+        err = capsys.readouterr().err
+        assert "[scorecard: 1/1 in range" in err
+        assert "trend record appended" in err
+        assert fake_scorecard["seed"] == 3
+        assert out.read_text().startswith("# Run-fidelity scorecard")
+        record = json.loads(trend.read_text())
+        assert record["kind"] == "scorecard"
+        assert record["perf"]["events_executed"] == 10
+
+    def test_report_html_by_extension(self, tmp_path, capsys,
+                                      fake_scorecard):
+        out = tmp_path / "card.html"
+        assert main(["report", "--out", str(out), "--no-trend"]) == 0
+        capsys.readouterr()
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_stdout_and_no_trend(self, tmp_path, capsys,
+                                        fake_scorecard, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report", "--no-trend"]) == 0
+        out = capsys.readouterr().out
+        assert "# Run-fidelity scorecard" in out
+        assert not (tmp_path / "benchmarks").exists()
+
+    def test_run_report_spelling(self, tmp_path, capsys,
+                                 fake_scorecard):
+        # "repro run report" == "repro report".
+        assert main(["run", "report", "--no-trend"]) == 0
+        assert "scorecard" in capsys.readouterr().out.lower()
+
+    def test_report_perf_from_artifacts(self, tmp_path, capsys,
+                                        fake_scorecard):
+        spans = tmp_path / "s.jsonl"
+        spans.write_text('{"name":"a"}\n')
+        assert main(["report", "--no-trend", "--spans-in", str(spans),
+                     "--out", str(tmp_path / "card.md")]) == 0
+        capsys.readouterr()
+        text = (tmp_path / "card.md").read_text()
+        assert "spans recorded: 1" in text
