@@ -9,6 +9,7 @@ Usage::
     python -m repro table1
     python -m repro all --scale small
     python -m repro run fig06 --jobs 4
+    python -m repro run chaos --faults examples/faults/chaos_demo.json
     python -m repro report --scale small --out scorecard.md
 
 ``all`` runs every single-session figure and Table 1 (the four canonical
@@ -17,6 +18,13 @@ is therefore much slower.  A leading ``run`` token is accepted and
 ignored (``repro run fig06`` == ``repro fig06``); ``--jobs N`` fans
 parallelisable experiments — currently the fig06 campaign — out to N
 worker processes with byte-identical output (see ``docs/PARALLEL.md``).
+
+``chaos`` runs the fault-injection study (see ``docs/ROBUSTNESS.md``):
+a clean and a faulted session from the same seed, with recovery
+measured per fault.  ``--faults script.json`` loads a declarative
+:class:`repro.faults.FaultSchedule`; with any other experiment it arms
+the schedule onto the simulated sessions, showing that figure *under*
+faults.
 
 ``report`` builds the run-fidelity scorecard: every paper-target
 statistic of Figures 2-5/11-18 and Table 1 measured against its target
@@ -74,8 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     parser.add_argument(
         "experiment",
-        help="experiment id (fig02..fig18, table1), 'all' for every "
-             "single-session experiment, 'list', or 'report'")
+        help="experiment id (fig02..fig18, table1, chaos), 'all' for "
+             "every single-session experiment, 'list', or 'report'")
     parser.add_argument(
         "--scale", choices=[s.value for s in Scale], default="small",
         help="workload scale (default: small; 'full' is the paper's "
@@ -85,8 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for parallelisable experiments (the "
-             "fig06 campaign); results are byte-identical for every N "
-             "(default: 1 = serial in-process)")
+             "fig06 campaign, the chaos session pair); results are "
+             "byte-identical for every N (default: 1 = serial "
+             "in-process)")
+    parser.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="JSON fault schedule (repro.faults.FaultSchedule) armed "
+             "onto the simulated sessions; 'chaos' uses it as the "
+             "injected storm (default: a built-in demo storm)")
     parser.add_argument(
         "--json", action="store_true",
         help="with 'list': emit the experiment registry as JSON")
@@ -190,11 +204,11 @@ def _write_metrics(obs: Instrumentation, path: str) -> int:
 def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
              seed: int,
              instrumentation: Optional[Instrumentation] = None,
-             jobs: int = 1) -> None:
+             jobs: int = 1, faults=None) -> None:
     started = time.time()
     result = run_experiment(experiment_id, bank=bank, scale=scale,
                             seed=seed, instrumentation=instrumentation,
-                            jobs=jobs)
+                            jobs=jobs, faults=faults)
     elapsed = time.time() - started
     print(result.render())
     print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
@@ -263,7 +277,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     obs = build_instrumentation(args)
     scale = Scale(args.scale)
-    bank = WorkloadBank(instrumentation=obs)
+    faults = None
+    if args.faults:
+        from .faults import FaultSchedule
+        try:
+            faults = FaultSchedule.load(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"bad fault schedule {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+    bank = WorkloadBank(instrumentation=obs, faults=faults)
     # LIFO cleanup with *independent* steps: closing the sinks must
     # happen even when finalize or the metrics write raises, so a
     # crashed run still flushes its partial JSONL artifacts.
@@ -288,12 +311,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         if args.experiment == "all":
             for experiment_id in ALL_EXPERIMENT_IDS:
-                if experiment_id == "fig06":
-                    continue  # campaign: run explicitly, it is much slower
+                if experiment_id in ("fig06", "chaos"):
+                    continue  # slower standalone runs: invoke explicitly
                 _run_one(experiment_id, bank, scale, args.seed,
-                         instrumentation=obs, jobs=args.jobs)
-            print("(fig06 skipped by 'all'; run 'python -m repro fig06' "
-                  "explicitly)")
+                         instrumentation=obs, jobs=args.jobs,
+                         faults=faults)
+            print("(fig06 and chaos skipped by 'all'; run them "
+                  "explicitly, e.g. 'python -m repro chaos')")
             return 0
 
         if args.experiment not in ALL_EXPERIMENT_IDS:
@@ -301,7 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"try 'list'", file=sys.stderr)
             return 2
         _run_one(args.experiment, bank, scale, args.seed,
-                 instrumentation=obs, jobs=args.jobs)
+                 instrumentation=obs, jobs=args.jobs, faults=faults)
         return 0
 
 

@@ -110,12 +110,15 @@ class WorkloadBank:
     An optional :class:`repro.obs.Instrumentation` bundle is threaded
     into every session the bank simulates; because sessions are
     memoised, each one contributes to the bundle exactly once no matter
-    how many figures it feeds.
+    how many figures it feeds.  An optional fault schedule is likewise
+    armed onto every session (``repro run fig02 --faults script.json``):
+    the figure then shows the session *under* those faults.
     """
 
-    def __init__(self, instrumentation=None) -> None:
+    def __init__(self, instrumentation=None, faults=None) -> None:
         self._cache: Dict[WorkloadKey, SessionResult] = {}
         self.instrumentation = instrumentation
+        self.faults = faults
 
     def session(self, probe_name: str, popularity: Popularity,
                 scale: Scale = Scale.DEFAULT, seed: int = 7) -> SessionResult:
@@ -125,6 +128,7 @@ class WorkloadBank:
         if result is None:
             config = build_config(key)
             config.instrumentation = self.instrumentation
+            config.faults = self.faults
             result = SessionScenario(config).run()
             self._cache[key] = result
         return result

@@ -70,6 +70,9 @@ def _build_descriptions() -> dict:
                               "summary over the four featured sessions")
     descriptions["fig06"] = ("traffic locality per day over the 28-day "
                              "campaign (slow: runs every daily session)")
+    descriptions["chaos"] = ("fault-injection study: locality, continuity "
+                             "and recovery time before/during/after each "
+                             "injected fault (accepts --faults)")
     return descriptions
 
 
@@ -88,22 +91,29 @@ def run_experiment(experiment_id: str,
                    scale: Scale = Scale.DEFAULT,
                    seed: int = 7,
                    instrumentation=None,
-                   jobs: int = 1):
+                   jobs: int = 1,
+                   faults=None):
     """Reproduce one table/figure; returns its result object.
 
-    ``experiment_id`` is "fig02".."fig18" or "table1" ("fig06" runs the
-    campaign and takes noticeably longer than the single-session
-    figures).  ``instrumentation`` threads an observability bundle into
+    ``experiment_id`` is "fig02".."fig18", "table1", "fig06" (the
+    campaign; noticeably slower) or "chaos" (the fault-injection
+    study).  ``instrumentation`` threads an observability bundle into
     the simulated sessions; when a ``bank`` is supplied its own bundle
     wins for the session figures.  ``jobs`` fans parallelisable
-    experiments (currently the fig06 campaign) out to that many worker
-    processes with byte-identical results.  fig06 scales with ``scale``
-    but keeps the campaign's canonical seed (11) rather than ``seed``,
-    so its reproduction stays pinned to the paper's protocol.
+    experiments (the fig06 campaign, the chaos session pair) out to
+    that many worker processes with byte-identical results.  ``faults``
+    is an optional :class:`repro.faults.FaultSchedule` armed onto the
+    simulated sessions (chaos uses it as the injected storm; the
+    session figures and fig06 then show behaviour *under* it).  fig06
+    scales with ``scale`` but keeps the campaign's canonical seed (11)
+    rather than ``seed``, so its reproduction stays pinned to the
+    paper's protocol.
     """
     if bank is None:
-        bank = WorkloadBank(instrumentation=instrumentation) \
-            if instrumentation is not None else DEFAULT_BANK
+        bank = WorkloadBank(instrumentation=instrumentation,
+                            faults=faults) \
+            if instrumentation is not None or faults is not None \
+            else DEFAULT_BANK
     if experiment_id in _LOCALITY_FIGS:
         key = _LOCALITY_FIGS[experiment_id]
         session = _session_for(bank, key, scale, seed)
@@ -134,12 +144,18 @@ def run_experiment(experiment_id: str,
             _session_for(bank, "mason-unpopular", scale, seed))
     if experiment_id == "fig06":
         from .fig06 import campaign_config, figure6
-        return figure6(config=campaign_config(scale),
+        config = campaign_config(scale)
+        config.faults = faults
+        return figure6(config=config,
                        instrumentation=instrumentation, jobs=jobs)
+    if experiment_id == "chaos":
+        from .chaos import run_chaos
+        return run_chaos(schedule=faults, scale=scale, seed=seed,
+                         instrumentation=instrumentation, jobs=jobs)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 
 ALL_EXPERIMENT_IDS = tuple(
     sorted(set(_LOCALITY_FIGS) | set(_RESPONSE_FIGS)
            | set(_CONTRIBUTION_FIGS) | set(_RTT_FIGS)
-           | {"table1", "fig06"}))
+           | {"table1", "fig06", "chaos"}))

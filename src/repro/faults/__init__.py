@@ -1,0 +1,18 @@
+"""Deterministic fault injection (S13): chaos scripts for the simulator.
+
+A :class:`FaultSchedule` declares timed fault events — server outages,
+link-degradation episodes, correlated peer blackouts, flash crowds —
+loadable from JSON (``--faults script.json``); a :class:`FaultInjector`
+arms them onto a running scenario with per-fault RNG streams so faulted
+runs stay byte-reproducible at any ``--jobs`` level.  See
+``docs/ROBUSTNESS.md`` for the fault model and determinism contract.
+"""
+
+from .injector import FaultInjector
+from .schedule import (FaultEvent, FaultSchedule, FlashCrowd,
+                       LinkDegradation, PeerBlackout, ServerOutage)
+
+__all__ = [
+    "FaultSchedule", "FaultEvent", "FaultInjector",
+    "ServerOutage", "LinkDegradation", "PeerBlackout", "FlashCrowd",
+]

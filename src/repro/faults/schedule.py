@@ -1,0 +1,245 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a list of timed, typed fault events — the
+"chaos script" of a run.  Schedules are plain frozen dataclasses so they
+
+* round-trip losslessly through JSON (``--faults script.json``),
+* pickle cleanly into worker processes (``--jobs N``), and
+* validate eagerly, at load time, not at injection time.
+
+Four fault classes model the hostile conditions the paper's measurement
+ran under:
+
+* :class:`ServerOutage`      — tracker groups / bootstrap / source go
+  silent (or degrade) for a window, then recover,
+* :class:`LinkDegradation`   — per-:class:`PairClass` loss/latency/
+  throughput multipliers over a window (a Tele<->CNC peering congestion
+  storm, an ISP throttling cross-ISP P2P traffic),
+* :class:`PeerBlackout`      — an ISP-wide incident crashes a fraction
+  of one AS's viewers at an instant,
+* :class:`FlashCrowd`        — an arrival burst layered on the churn
+  model.
+
+Timestamps are simulation seconds from ``t = 0`` (the start of the
+scenario, i.e. *including* warm-up).  The actual injection mechanics
+live in :mod:`repro.faults.injector`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from ..network.latency import PairClass
+
+#: ``ServerOutage.target`` spellings that need no group suffix.
+_SIMPLE_TARGETS = ("bootstrap", "source", "trackers")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """Infrastructure servers stop answering for a window.
+
+    ``target`` is ``"bootstrap"``, ``"source"``, ``"trackers"`` (every
+    tracker group) or ``"tracker:<group_id>"`` (one group).  With
+    ``drop_probability < 1`` the server *degrades* instead of going
+    silent: each arriving datagram is dropped with that probability,
+    drawn from the fault's own RNG stream.
+    """
+
+    KIND = "server_outage"
+
+    target: str
+    start: float
+    duration: float
+    drop_probability: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, "start must be >= 0")
+        _require(self.duration > 0.0, "duration must be positive")
+        _require(0.0 < self.drop_probability <= 1.0,
+                 "drop_probability must be in (0, 1]")
+        if self.target not in _SIMPLE_TARGETS:
+            prefix, _, group = self.target.partition(":")
+            _require(prefix == "tracker" and group.isdigit(),
+                     f"bad outage target {self.target!r}; expected one of "
+                     f"{_SIMPLE_TARGETS} or 'tracker:<group_id>'")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """One path class degrades for a window.
+
+    Loss probability becomes ``min(1, base * loss_multiplier +
+    extra_loss)``; one-way propagation delay is multiplied by
+    ``latency_multiplier``; path throughput is multiplied by
+    ``bandwidth_multiplier`` (use < 1 to throttle).  Multipliers apply
+    *after* the model's normal draws, so the RNG draw count — and with
+    it every other stream in the run — is unchanged.
+    """
+
+    KIND = "link_degradation"
+
+    pair_class: str
+    start: float
+    duration: float
+    loss_multiplier: float = 1.0
+    extra_loss: float = 0.0
+    latency_multiplier: float = 1.0
+    bandwidth_multiplier: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, "start must be >= 0")
+        _require(self.duration > 0.0, "duration must be positive")
+        PairClass(self.pair_class)  # raises ValueError on a bad name
+        _require(self.loss_multiplier >= 0.0,
+                 "loss_multiplier must be >= 0")
+        _require(0.0 <= self.extra_loss <= 1.0,
+                 "extra_loss must be in [0, 1]")
+        _require(self.latency_multiplier > 0.0,
+                 "latency_multiplier must be positive")
+        _require(self.bandwidth_multiplier > 0.0,
+                 "bandwidth_multiplier must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class PeerBlackout:
+    """A fraction of one ISP's viewers crash at an instant.
+
+    Victims depart silently (no goodbyes) and are *not* replaced by the
+    churn model — an ISP-wide blackout removes its audience, it does
+    not reshuffle it.  Which viewers crash is drawn from the fault's
+    own RNG stream.
+    """
+
+    KIND = "peer_blackout"
+
+    isp_name: str
+    start: float
+    fraction: float = 0.5
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, "start must be >= 0")
+        _require(0.0 < self.fraction <= 1.0, "fraction must be in (0, 1]")
+        _require(bool(self.isp_name), "isp_name must be non-empty")
+
+    @property
+    def end(self) -> float:
+        return self.start  # instantaneous
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """``arrivals`` extra viewers join during the window.
+
+    Arrival instants are drawn uniformly over the window from the
+    fault's own RNG stream; each arrival then behaves like any churned
+    viewer (session length from the churn model, goodbye or crash on
+    departure).
+    """
+
+    KIND = "flash_crowd"
+
+    start: float
+    duration: float
+    arrivals: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, "start must be >= 0")
+        _require(self.duration > 0.0, "duration must be positive")
+        _require(self.arrivals > 0, "arrivals must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+FaultEvent = Union[ServerOutage, LinkDegradation, PeerBlackout, FlashCrowd]
+
+_EVENT_TYPES: Dict[str, type] = {
+    cls.KIND: cls
+    for cls in (ServerOutage, LinkDegradation, PeerBlackout, FlashCrowd)
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered collection of fault events for one run."""
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            _require(type(event) in _EVENT_TYPES.values(),
+                     f"not a fault event: {event!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def name_of(self, index: int) -> str:
+        """Stable display/RNG name of one event: its label, or
+        ``<kind>#<index>``."""
+        event = self.events[index]
+        return event.label or f"{event.KIND}#{index}"
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"events": [dict(asdict(event), kind=event.KIND)
+                           for event in self.events]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        if not isinstance(data, dict) or "events" not in data:
+            raise ValueError("fault schedule must be a dict with 'events'")
+        events = []
+        for index, raw in enumerate(data["events"]):
+            if not isinstance(raw, dict):
+                raise ValueError(f"event #{index} is not an object")
+            fields = dict(raw)
+            kind = fields.pop("kind", None)
+            event_type = _EVENT_TYPES.get(kind)
+            if event_type is None:
+                raise ValueError(
+                    f"event #{index}: unknown fault kind {kind!r}; "
+                    f"expected one of {sorted(_EVENT_TYPES)}")
+            try:
+                events.append(event_type(**fields))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"event #{index} ({kind}): {exc}") from exc
+        return cls(events=tuple(events))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        """Read a schedule from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -28,7 +28,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..sim.random import RandomRouter, derive_seed
 from .isp import ISP, ISPCategory
@@ -73,6 +73,23 @@ def classify_pair(a: ISP, b: ISP) -> PairClass:
     if continent_a == continent_b:
         return PairClass.INTERNATIONAL
     return PairClass.TRANSOCEANIC
+
+
+@dataclass(frozen=True)
+class PathOverride:
+    """Dynamic path-quality override for one :class:`PairClass`.
+
+    Installed and removed by the fault injector for the duration of a
+    link-degradation episode.  All factors apply *after* the model's
+    normal draws — overrides never change the RNG draw count, which
+    keeps every other stream in the run byte-identical.  Overrides
+    stack multiplicatively (``extra_loss`` adds).
+    """
+
+    loss_multiplier: float = 1.0
+    extra_loss: float = 0.0
+    latency_multiplier: float = 1.0
+    bandwidth_multiplier: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -139,6 +156,28 @@ class LatencyModel:
         self._router = RandomRouter(derive_seed(master_seed, "latency"))
         self._jitter_rng = self._router.stream("jitter")
         self._loss_rng = self._router.stream("loss")
+        self._overrides: Dict[PairClass, List[PathOverride]] = {}
+
+    # ------------------------------------------------------------------
+    # Dynamic path-quality overrides (fault injection)
+    # ------------------------------------------------------------------
+    def push_override(self, pair_class: PairClass,
+                      override: PathOverride) -> None:
+        """Install a degradation episode on one path class."""
+        self._overrides.setdefault(pair_class, []).append(override)
+
+    def pop_override(self, pair_class: PairClass,
+                     override: PathOverride) -> None:
+        """Remove a previously pushed override (identity match)."""
+        stack = self._overrides.get(pair_class)
+        if not stack or override not in stack:
+            raise ValueError(f"override not installed on {pair_class}")
+        stack.remove(override)
+        if not stack:
+            del self._overrides[pair_class]
+
+    def active_overrides(self, pair_class: PairClass) -> List[PathOverride]:
+        return list(self._overrides.get(pair_class, ()))
 
     # ------------------------------------------------------------------
     # Stable pairwise structure
@@ -179,14 +218,33 @@ class LatencyModel:
         base = self.base_rtt(addr_src, isp_src, addr_dst, isp_dst) / 2.0
         jitter = math.exp(self._jitter_rng.gauss(0.0, self.config.jitter_sigma))
         delay = base * min(jitter, self.config.jitter_max_factor)
+        pair_class = classify_pair(isp_src, isp_dst)
+        overrides = self._overrides.get(pair_class)
+        if overrides:
+            for override in overrides:
+                delay *= override.latency_multiplier
         if wire_bytes > 0:
-            rate = self.config.path_bps[classify_pair(isp_src, isp_dst)]
+            rate = self.config.path_bps[pair_class]
+            if overrides:
+                for override in overrides:
+                    rate *= override.bandwidth_multiplier
             delay += wire_bytes * 8.0 / rate
         return delay
 
     def is_lost(self, isp_src: ISP, isp_dst: ISP) -> bool:
-        """Bernoulli loss draw for a packet on this path."""
-        probability = self.config.loss[classify_pair(isp_src, isp_dst)]
+        """Bernoulli loss draw for a packet on this path.
+
+        Exactly one draw per call, override or not: degradation episodes
+        adjust the probability, never the draw count.
+        """
+        pair_class = classify_pair(isp_src, isp_dst)
+        probability = self.config.loss[pair_class]
+        overrides = self._overrides.get(pair_class)
+        if overrides:
+            for override in overrides:
+                probability = probability * override.loss_multiplier \
+                    + override.extra_loss
+            probability = min(probability, 1.0)
         return self._loss_rng.random() < probability
 
     def cache_size(self) -> int:

@@ -29,7 +29,7 @@ from .isp import ISP
 from .latency import LatencyModel
 
 #: Tap signature: (event, datagram, time).  ``event`` is "send", "recv",
-#: "drop_uplink" or "drop_loss".
+#: "drop_uplink", "drop_loss" or "drop_fault".
 TapFn = Callable[[str, Datagram, float], None]
 
 
@@ -50,6 +50,9 @@ class Host:
         self.profile = profile
         self.uplink = UplinkQueue(profile)
         self.online = False
+        #: Fault-injection receive filter: (drop_probability, rng) while
+        #: a server-outage window is active, else None.
+        self._fault_filter = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -66,6 +69,34 @@ class Host:
         if self.online:
             self.network.deregister(self)
             self.online = False
+
+    # ------------------------------------------------------------------
+    # Fault injection (server outage / degradation windows)
+    # ------------------------------------------------------------------
+    def install_fault_filter(self, drop_probability: float, rng) -> None:
+        """Drop each arriving datagram with ``drop_probability``.
+
+        With probability 1 the host goes silent (no RNG draws at all);
+        below 1 it degrades, drawing from the fault's own stream.  The
+        host stays registered: its address remains routable, like a real
+        server whose process hangs while the IP keeps answering ARP.
+        """
+        if not 0.0 < drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in (0, 1]")
+        self._fault_filter = (drop_probability, rng)
+
+    def clear_fault_filter(self) -> None:
+        """End the outage window; the host answers normally again."""
+        self._fault_filter = None
+
+    def fault_drops(self) -> bool:
+        """One receive decision under the current fault filter."""
+        if self._fault_filter is None:
+            return False
+        probability, rng = self._fault_filter
+        if probability >= 1.0:
+            return True
+        return rng.random() < probability
 
     # ------------------------------------------------------------------
     # I/O
@@ -98,6 +129,7 @@ class UdpNetwork:
         self.datagrams_lost = 0
         self.datagrams_dropped_uplink = 0
         self.datagrams_dropped_offline = 0
+        self.datagrams_dropped_fault = 0
         self.bytes_delivered = 0
         # Observability: instruments are bound once here; with the
         # default null bundle every update below is a no-op call.
@@ -114,6 +146,8 @@ class UdpNetwork:
             "net.datagrams_dropped_uplink")
         self._m_dropped_offline = metrics.counter(
             "net.datagrams_dropped_offline")
+        self._m_dropped_fault = metrics.counter(
+            "net.datagrams_dropped_fault")
         self._m_bytes_delivered = metrics.counter("net.bytes_delivered")
         self._m_bytes_queued = metrics.counter("net.bytes_queued_uplink")
         self._h_backlog = metrics.histogram(
@@ -223,6 +257,15 @@ class UdpNetwork:
         if host is None:
             self.datagrams_dropped_offline += 1
             self._m_dropped_offline.inc()
+            return
+        if host.fault_drops():
+            self.datagrams_dropped_fault += 1
+            self._m_dropped_fault.inc()
+            if self._trace.enabled_for(DEBUG):
+                self._trace.emit(self.sim.now, DEBUG, "fault_drop",
+                                 src=datagram.src, dst=datagram.dst,
+                                 msg=type(datagram.payload).__name__)
+            self._notify("drop_fault", datagram, self.sim.now)
             return
         self.datagrams_delivered += 1
         self.bytes_delivered += datagram.wire_bytes

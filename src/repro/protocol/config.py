@@ -45,6 +45,18 @@ class ProtocolConfig:
     tracker_reply_max: int = 60
     #: Tracker forgets a peer not heard from for this long.
     tracker_peer_ttl: float = 180.0
+    #: A tracker query still unanswered after this long counts as one
+    #: failure against that tracker (checked lazily, at the next query).
+    tracker_failure_timeout: float = 10.0
+    #: Consecutive unanswered queries before a tracker is considered
+    #: dead and skipped by the steady-state round-robin.  Any reply
+    #: resets the count, so transient packet loss never condemns one.
+    tracker_dead_after: int = 2
+    #: When *every* known tracker looks dead, the client re-requests the
+    #: playlink from the bootstrap server (fresh tracker addresses) at
+    #: most once per this many seconds — automatic recovery from a
+    #: tracker outage, no manual intervention.
+    rebootstrap_interval: float = 30.0
 
     # ------------------------------------------------------------------
     # Neighbor management
@@ -146,6 +158,12 @@ class ProtocolConfig:
             raise ValueError("target_neighbors cannot exceed max_neighbors")
         if self.tracker_groups < 1:
             raise ValueError("need at least one tracker group")
+        if self.tracker_dead_after < 1:
+            raise ValueError("tracker_dead_after must be >= 1")
+        if self.tracker_failure_timeout <= 0:
+            raise ValueError("tracker_failure_timeout must be positive")
+        if self.rebootstrap_interval <= 0:
+            raise ValueError("rebootstrap_interval must be positive")
         if self.startup_lag_min > self.startup_lag_max:
             raise ValueError("startup_lag_min cannot exceed startup_lag_max")
         if self.startup_lag_min < 1:

@@ -87,6 +87,12 @@ class PPLivePeer(Host):
         self._bootstrap_timer: Optional[Timer] = None
         self._tracker_event = None
         self._tracker_rotation = 0
+        # Tracker health: last unanswered query time and consecutive
+        # unanswered-query counts, driving failover and re-bootstrap.
+        self._tracker_pending: Dict[str, float] = {}
+        self._tracker_failures: Dict[str, int] = {}
+        self._last_rebootstrap: Optional[float] = None
+        self._rebootstrap_pending = False
         self._peerlist_request_id = 0
         node_random = sim.random.fork(f"peer:{address}")
         self._rng = node_random.stream("protocol")
@@ -100,6 +106,7 @@ class PPLivePeer(Host):
         self.bytes_uploaded = 0
         self.hello_rejects = 0
         self.resyncs = 0
+        self.rebootstraps = 0
         self.joined_at: Optional[float] = None
         self.departed_at: Optional[float] = None
 
@@ -131,6 +138,8 @@ class PPLivePeer(Host):
         self._m_hello_rejects = metrics.counter("proto.hello_rejects_sent",
                                                 self._obs_tags)
         self._m_resyncs = metrics.counter("proto.resyncs", self._obs_tags)
+        self._m_rebootstraps = metrics.counter("proto.rebootstraps",
+                                               self._obs_tags)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -273,12 +282,24 @@ class PPLivePeer(Host):
             channel_id=self.channel.channel_id))
 
     def _on_playlink(self, src: str, msg: m.PlaylinkReply) -> None:
-        if self.phase is not PeerPhase.JOINING:
-            return
         if msg.channel_id != self.channel.channel_id or not msg.trackers:
             return
-        self.trackers = list(msg.trackers)
-        self._become_active()
+        if self.phase is PeerPhase.JOINING:
+            self.trackers = list(msg.trackers)
+            self._become_active()
+            return
+        if self.phase is PeerPhase.ACTIVE and self._rebootstrap_pending:
+            # The refresh we asked for after writing every tracker off:
+            # swap in the fresh list and query all of it at once, so the
+            # neighbor table refills without manual intervention.
+            # Unsolicited playlink replies (duplicate bootstrap-retry
+            # answers) are still ignored.
+            self._rebootstrap_pending = False
+            self.trackers = list(msg.trackers)
+            self._tracker_pending.clear()
+            self._tracker_failures.clear()
+            for tracker in self.trackers:
+                self._query_tracker(tracker)
 
     def _become_active(self) -> None:
         self.phase = PeerPhase.ACTIVE
@@ -307,9 +328,7 @@ class PPLivePeer(Host):
             actor=self.address, span_parent=self._join_span)
         # Initial burst: query every tracker group at once.
         for tracker in self.trackers:
-            self._open_tracker_span(tracker)
-            self._transmit(tracker, m.TrackerQuery(
-                channel_id=self.channel.channel_id))
+            self._query_tracker(tracker)
         self._schedule_tracker_round()
         jitter = self.config.gossip_jitter
         self._timers.append(self.sim.every(
@@ -342,23 +361,79 @@ class PPLivePeer(Host):
         self._tracker_event = self.sim.call_after(
             interval, self._tracker_round, label="tracker-round")
 
+    def _query_tracker(self, tracker: str) -> None:
+        """Send one tracker query, with unanswered-query bookkeeping.
+
+        If the *previous* query to this tracker has sat unanswered for
+        ``tracker_failure_timeout``, that counts as one strike; enough
+        consecutive strikes (``tracker_dead_after``) and the tracker is
+        treated as dead until it answers again.
+        """
+        now = self.sim.now
+        sent = self._tracker_pending.get(tracker)
+        if (sent is not None
+                and now - sent >= self.config.tracker_failure_timeout):
+            self._tracker_failures[tracker] = \
+                self._tracker_failures.get(tracker, 0) + 1
+        self._tracker_pending[tracker] = now
+        self._open_tracker_span(tracker)
+        self._transmit(tracker, m.TrackerQuery(
+            channel_id=self.channel.channel_id))
+
+    def _tracker_suspect(self, tracker: str) -> bool:
+        return (self._tracker_failures.get(tracker, 0)
+                >= self.config.tracker_dead_after)
+
+    def _maybe_rebootstrap(self) -> None:
+        """Every known tracker looks dead: ask the bootstrap server for
+        a fresh playlink (rate-limited), the paper's only path back into
+        the swarm's control plane."""
+        now = self.sim.now
+        if (self._last_rebootstrap is not None
+                and now - self._last_rebootstrap
+                < self.config.rebootstrap_interval):
+            return
+        self._last_rebootstrap = now
+        self._rebootstrap_pending = True
+        self.rebootstraps += 1
+        self._m_rebootstraps.inc()
+        if self._trace.enabled_for(WARNING):
+            self._trace.emit(now, WARNING, "tracker_rebootstrap",
+                             peer=self.address, isp=self.isp.name,
+                             trackers=len(self.trackers))
+        self._transmit(self.bootstrap_address, m.PlaylinkRequest(
+            channel_id=self.channel.channel_id))
+
     def _tracker_round(self) -> None:
         if self.phase is not PeerPhase.ACTIVE or not self.trackers:
             return
-        if self.playback_satisfactory():
-            # Steady state: poke a single tracker, round-robin.
-            targets = [self.trackers[self._tracker_rotation
-                                     % len(self.trackers)]]
-            self._tracker_rotation += 1
+        live = [t for t in self.trackers if not self._tracker_suspect(t)]
+        if not live:
+            # Complete tracker blackout: re-bootstrap for fresh
+            # addresses, but keep probing the old ones so their
+            # recovery is noticed even if the bootstrap is down too.
+            self._maybe_rebootstrap()
+            targets = self.trackers
+        elif self.playback_satisfactory():
+            # Steady state: poke a single live tracker, round-robin
+            # (dead trackers are skipped — immediate failover).
+            targets = []
+            for _ in range(len(self.trackers)):
+                candidate = self.trackers[self._tracker_rotation
+                                          % len(self.trackers)]
+                self._tracker_rotation += 1
+                if not self._tracker_suspect(candidate):
+                    targets = [candidate]
+                    break
         else:
             targets = self.trackers
-        query = m.TrackerQuery(channel_id=self.channel.channel_id)
         for tracker in targets:
-            self._open_tracker_span(tracker)
-            self._transmit(tracker, query)
+            self._query_tracker(tracker)
         self._schedule_tracker_round()
 
     def _on_tracker_reply(self, src: str, msg: m.TrackerReply) -> None:
+        self._tracker_pending.pop(src, None)
+        self._tracker_failures.pop(src, None)
         span = self._tracker_spans.pop(src, None)
         if span is not None:
             span.finish(self.sim.now, peers=len(msg.peers))
@@ -504,12 +579,11 @@ class PPLivePeer(Host):
                 have_until=self.have_until, have_from=self.have_from,
                 request_id=self._peerlist_request_id))
         elif self.trackers:
-            tracker = self.trackers[self._tracker_rotation
-                                    % len(self.trackers)]
+            live = [t for t in self.trackers
+                    if not self._tracker_suspect(t)] or self.trackers
+            tracker = live[self._tracker_rotation % len(live)]
             self._tracker_rotation += 1
-            self._open_tracker_span(tracker)
-            self._transmit(tracker, m.TrackerQuery(
-                channel_id=self.channel.channel_id))
+            self._query_tracker(tracker)
         # Also retry known-but-unconnected candidates right away.
         candidates = self.pool.connectable(
             self.sim.now, exclude=self.neighbors.addresses())

@@ -205,7 +205,12 @@ def decode(data: bytes) -> m.Message:
     decoder = _DECODERS.get(type_byte)
     if decoder is None:
         raise WireError(f"unknown message type 0x{type_byte:02x}")
-    return decoder(data, offset)
+    try:
+        return decoder(data, offset)
+    except struct.error as exc:
+        # A valid header on a truncated/garbled body: still a malformed
+        # datagram, never an internal error leaking to the caller.
+        raise WireError(f"truncated {type_byte:#04x} body: {exc}") from exc
 
 
 def _decode_channel_list_request(data, offset):

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.locality import traffic_locality
+from ..faults import FaultSchedule
 from ..network.isp import ISPCategory
 from ..obs import INFO, Instrumentation
 from ..obs import resolve as resolve_obs
@@ -65,6 +66,9 @@ class CampaignConfig:
     #: Observability bundle threaded into every daily session; the
     #: campaign also reports per-day progress through it.
     instrumentation: Optional[Instrumentation] = None
+    #: Fault schedule armed onto *every* daily session (times are
+    #: session-relative seconds, like any scenario schedule).
+    faults: Optional[FaultSchedule] = None
 
 
 @dataclass
@@ -152,6 +156,7 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
         geometry=config.geometry,
         churn=ChurnModel(),
         instrumentation=config.instrumentation,
+        faults=config.faults,
     )
     result = SessionScenario(scenario_config).run()
 

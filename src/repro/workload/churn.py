@@ -87,6 +87,33 @@ class PopulationManager:
         return len(self.active)
 
     # ------------------------------------------------------------------
+    # Fault-injection hooks
+    # ------------------------------------------------------------------
+    def inject_arrival(self) -> None:
+        """One extra viewer beyond the target size (flash crowds).
+
+        The extra viewer churns like any other: session length from the
+        churn model, goodbye or crash on departure.
+        """
+        self._arrive()
+
+    def crash_viewer(self, viewer: object) -> bool:
+        """Crash one active viewer *now* (correlated blackouts).
+
+        Silent departure, no replacement: an ISP-wide blackout removes
+        its audience.  The viewer's still-pending natural departure
+        event finds it gone and no-ops.  Returns False if the viewer
+        was not active (already departed).
+        """
+        if viewer not in self.active:
+            return False
+        self.active.remove(viewer)
+        self.total_departed += 1
+        self.total_crashed += 1
+        viewer.crash()
+        return True
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _arrive(self) -> None:

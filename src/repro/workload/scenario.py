@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..capture.matching import MatchReport, match_all
 from ..capture.sniffer import ProbeSniffer
 from ..capture.store import TraceStore
+from ..faults import FaultInjector, FaultSchedule
 from ..network.bandwidth import ADSL, CAMPUS, AccessProfile
 from ..network.builder import Internet, build_internet
 from ..obs import INFO, HeartbeatSampler, Instrumentation
@@ -100,6 +101,14 @@ class ScenarioConfig:
     #: Observability bundle (metrics/trace/profiler); ``None`` keeps the
     #: zero-overhead no-op default and byte-identical behaviour.
     instrumentation: Optional[Instrumentation] = None
+    #: Deterministic fault schedule armed onto the session (chaos runs);
+    #: ``None`` injects nothing and changes nothing.
+    faults: Optional[FaultSchedule] = None
+    #: Experiment hook called once, right before the simulation runs:
+    #: ``run_hook(sim, deployment, manager, probe_peers)``.  Used by the
+    #: chaos experiment to install windowed samplers; ``probe_peers``
+    #: fills in as probes join.
+    run_hook: Optional[Callable] = None
 
 
 @dataclass
@@ -142,6 +151,8 @@ class SessionResult:
     deployment: Deployment
     probes: Dict[str, ProbeResult]
     population: PopulationManager
+    #: The armed fault injector, when the config carried a schedule.
+    injector: Optional[FaultInjector] = None
 
     @property
     def directory(self):
@@ -336,6 +347,20 @@ class SessionScenario:
             replace_departures=cfg.replace_departures)
         manager.start()
 
+        injector = None
+        if cfg.faults is not None and len(cfg.faults):
+            injector = FaultInjector(
+                sim, cfg.faults,
+                network=deployment.internet.udp,
+                latency=deployment.internet.latency,
+                bootstrap=deployment.bootstrap,
+                trackers=deployment.trackers,
+                source=deployment.source,
+                population=manager,
+                master_seed=cfg.seed,
+                obs=cfg.instrumentation)
+            injector.arm()
+
         # Probes join after the warm-up, with sniffers already attached so
         # the very first bootstrap packets are captured, as with Wireshark.
         probe_peers: Dict[str, PPLivePeer] = {}
@@ -358,6 +383,9 @@ class SessionScenario:
         if obs.wants_heartbeat:
             heartbeat = self._install_heartbeat(obs, sim, deployment,
                                                 manager, probe_peers)
+
+        if cfg.run_hook is not None:
+            cfg.run_hook(sim, deployment, manager, probe_peers)
 
         end_time = cfg.warmup + cfg.duration
         sim.run_until(end_time)
@@ -388,7 +416,8 @@ class SessionScenario:
                                 events_executed=sim.events_executed,
                                 viewers_spawned=manager.total_spawned)
         return SessionResult(config=cfg, deployment=deployment,
-                             probes=probes, population=manager)
+                             probes=probes, population=manager,
+                             injector=injector)
 
 
 def run_session(config: Optional[ScenarioConfig] = None) -> SessionResult:

@@ -133,7 +133,8 @@ class TestRegistry:
     def test_all_ids_known(self):
         assert "fig02" in ALL_EXPERIMENT_IDS
         assert "table1" in ALL_EXPERIMENT_IDS
-        assert len(ALL_EXPERIMENT_IDS) == 18
+        assert "chaos" in ALL_EXPERIMENT_IDS
+        assert len(ALL_EXPERIMENT_IDS) == 19
 
     def test_run_experiment_uses_bank(self, bank):
         fig = run_experiment("fig11", bank=bank, scale=Scale.SMALL, seed=5)

@@ -1,0 +1,531 @@
+"""The fault-injection subsystem: schedules, injector, recovery paths."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.faults import (FaultInjector, FaultSchedule, FlashCrowd,
+                          LinkDegradation, PeerBlackout, ServerOutage)
+from repro.network.builder import build_internet
+from repro.network.latency import (LatencyConfig, LatencyModel, PairClass,
+                                   PathOverride)
+from repro.obs import Instrumentation, MetricsRegistry, MemorySpanSink
+from repro.sim import Simulator
+from repro.workload.scenario import ScenarioConfig, SessionScenario
+
+
+def demo_events():
+    return (
+        ServerOutage(target="trackers", start=100.0, duration=50.0,
+                     label="outage"),
+        LinkDegradation(pair_class="tele_cnc_peering", start=200.0,
+                        duration=40.0, extra_loss=0.2,
+                        latency_multiplier=2.0, bandwidth_multiplier=0.5),
+        PeerBlackout(isp_name="ChinaNetcom", start=260.0, fraction=0.5),
+        FlashCrowd(start=300.0, duration=30.0, arrivals=5),
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedule: validation and (de)serialisation
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_json_round_trip(self):
+        schedule = FaultSchedule(events=demo_events())
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_load_from_file(self, tmp_path):
+        schedule = FaultSchedule(events=demo_events())
+        path = tmp_path / "storm.json"
+        path.write_text(schedule.to_json(), encoding="utf-8")
+        assert FaultSchedule.load(path) == schedule
+
+    def test_committed_example_script_loads(self):
+        schedule = FaultSchedule.load("examples/faults/chaos_demo.json")
+        kinds = [event.KIND for event in schedule]
+        assert kinds == ["server_outage", "link_degradation"]
+
+    def test_name_of_prefers_label(self):
+        schedule = FaultSchedule(events=demo_events())
+        assert schedule.name_of(0) == "outage"
+        assert schedule.name_of(1) == "link_degradation#1"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSchedule.from_dict(
+                {"events": [{"kind": "meteor", "start": 0.0}]})
+
+    def test_error_names_event_index(self):
+        events = [dict(kind="server_outage", target="trackers",
+                       start=1.0, duration=5.0),
+                  dict(kind="server_outage", target="dns",
+                       start=1.0, duration=5.0)]
+        with pytest.raises(ValueError, match="event #1"):
+            FaultSchedule.from_dict({"events": events})
+
+    @pytest.mark.parametrize("bad", [
+        dict(kind="server_outage", target="trackers", start=1.0,
+             duration=-5.0),
+        dict(kind="server_outage", target="tracker:x", start=1.0,
+             duration=5.0),
+        dict(kind="server_outage", target="trackers", start=1.0,
+             duration=5.0, drop_probability=0.0),
+        dict(kind="link_degradation", pair_class="warp_lane", start=1.0,
+             duration=5.0),
+        dict(kind="link_degradation", pair_class="domestic", start=1.0,
+             duration=5.0, extra_loss=1.5),
+        dict(kind="peer_blackout", isp_name="", start=1.0),
+        dict(kind="peer_blackout", isp_name="X", start=1.0, fraction=0.0),
+        dict(kind="flash_crowd", start=1.0, duration=5.0, arrivals=0),
+    ])
+    def test_bad_events_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_dict({"events": [bad]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="event #0"):
+            FaultSchedule.from_dict(
+                {"events": [dict(kind="flash_crowd", start=1.0,
+                                 duration=5.0, arrivals=3, shape="wave")]})
+
+
+# ----------------------------------------------------------------------
+# Latency-model overrides
+# ----------------------------------------------------------------------
+class TestPathOverrides:
+    def setup_method(self):
+        self.model = LatencyModel(LatencyConfig(), master_seed=3)
+        internet = build_internet(Simulator(seed=3))
+        self.tele = internet.catalog.by_name("ChinaTelecom")
+        self.cnc = internet.catalog.by_name("ChinaNetcom")
+
+    def test_latency_and_bandwidth_multiplied(self):
+        args = ("1.0.0.1", self.tele, "2.0.0.1", self.cnc)
+        clean = LatencyModel(LatencyConfig(), master_seed=3)
+        degraded = LatencyModel(LatencyConfig(), master_seed=3)
+        degraded.push_override(
+            PairClass.TELE_CNC_PEERING,
+            PathOverride(latency_multiplier=2.0))
+        # Same seed, same draw count: delays differ exactly 2x.
+        assert degraded.one_way_delay(*args) == \
+            pytest.approx(2.0 * clean.one_way_delay(*args))
+
+    def test_bandwidth_term_slows_bulk_datagrams(self):
+        args = ("1.0.0.1", self.tele, "2.0.0.1", self.cnc)
+        clean = LatencyModel(LatencyConfig(), master_seed=3)
+        throttled = LatencyModel(LatencyConfig(), master_seed=3)
+        throttled.push_override(PairClass.TELE_CNC_PEERING,
+                                PathOverride(bandwidth_multiplier=0.5))
+        bps = LatencyConfig().path_bps[PairClass.TELE_CNC_PEERING]
+        extra = (throttled.one_way_delay(*args, wire_bytes=10_000)
+                 - clean.one_way_delay(*args, wire_bytes=10_000))
+        assert extra == pytest.approx(10_000 * 8.0 / bps)
+
+    def test_loss_draw_count_preserved(self):
+        clean = LatencyModel(LatencyConfig(), master_seed=3)
+        degraded = LatencyModel(LatencyConfig(), master_seed=3)
+        degraded.push_override(PairClass.TELE_CNC_PEERING,
+                               PathOverride(extra_loss=1.0))
+        # Degraded path loses everything...
+        assert all(degraded.is_lost(self.tele, self.cnc)
+                   for _ in range(20))
+        for _ in range(20):
+            clean.is_lost(self.tele, self.cnc)
+        # ...and after the override pops, the two models have consumed
+        # the same number of draws, so they agree from here on.
+        degraded.pop_override(
+            PairClass.TELE_CNC_PEERING,
+            degraded.active_overrides(PairClass.TELE_CNC_PEERING)[0])
+        for _ in range(50):
+            assert degraded.is_lost(self.tele, self.cnc) == \
+                clean.is_lost(self.tele, self.cnc)
+
+    def test_other_pair_classes_untouched(self):
+        clean = LatencyModel(LatencyConfig(), master_seed=3)
+        degraded = LatencyModel(LatencyConfig(), master_seed=3)
+        degraded.push_override(PairClass.TELE_CNC_PEERING,
+                               PathOverride(latency_multiplier=9.0))
+        args = ("1.0.0.1", self.tele, "1.0.0.2", self.tele)
+        assert degraded.one_way_delay(*args) == \
+            pytest.approx(clean.one_way_delay(*args))
+
+    def test_overrides_stack_and_pop(self):
+        first = PathOverride(latency_multiplier=2.0)
+        second = PathOverride(latency_multiplier=3.0)
+        self.model.push_override(PairClass.DOMESTIC, first)
+        self.model.push_override(PairClass.DOMESTIC, second)
+        assert self.model.active_overrides(PairClass.DOMESTIC) == \
+            [first, second]
+        self.model.pop_override(PairClass.DOMESTIC, first)
+        assert self.model.active_overrides(PairClass.DOMESTIC) == [second]
+        self.model.pop_override(PairClass.DOMESTIC, second)
+        assert self.model.active_overrides(PairClass.DOMESTIC) == []
+
+    def test_pop_unknown_override_raises(self):
+        with pytest.raises(ValueError):
+            self.model.pop_override(PairClass.DOMESTIC, PathOverride())
+
+
+# ----------------------------------------------------------------------
+# Transport fault filters
+# ----------------------------------------------------------------------
+class TestFaultFilter:
+    def test_silent_filter_drops_without_rng(self):
+        sim = Simulator(seed=5)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        from repro.network.bandwidth import ADSL
+        from repro.network.transport import Host
+
+        class Sink(Host):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.received = 0
+
+            def handle_datagram(self, datagram):
+                self.received += 1
+
+        a = Sink(sim, internet.udp, internet.allocator.allocate(tele),
+                 tele, ADSL)
+        b = Sink(sim, internet.udp, internet.allocator.allocate(tele),
+                 tele, ADSL)
+        a.go_online()
+        b.go_online()
+
+        class ExplodingRng:
+            def random(self):  # pragma: no cover - must never run
+                raise AssertionError("silent outage must not draw")
+
+        b.install_fault_filter(1.0, ExplodingRng())
+        for _ in range(10):
+            a.send(b.address, "ping", 64)
+        sim.run_until(30.0)
+        dropped_during = internet.udp.datagrams_dropped_fault
+        assert b.received == 0
+        assert dropped_during > 0
+
+        b.clear_fault_filter()
+        for _ in range(10):
+            a.send(b.address, "ping", 64)
+        sim.run_until(60.0)
+        assert b.received > 0
+        assert internet.udp.datagrams_dropped_fault == dropped_during
+
+    def test_partial_filter_uses_fault_rng(self):
+        sim = Simulator(seed=5)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        from repro.network.bandwidth import ADSL
+        from repro.network.transport import Host
+
+        class Sink(Host):
+            def handle_datagram(self, datagram):
+                pass
+
+        host = Sink(sim, internet.udp, internet.allocator.allocate(tele),
+                    tele, ADSL)
+        host.install_fault_filter(0.5, random.Random(1))
+        decisions = [host.fault_drops() for _ in range(200)]
+        assert 40 < sum(decisions) < 160  # actually random, not constant
+        reference = random.Random(1)
+        assert decisions == [reference.random() < 0.5
+                             for _ in range(200)]
+
+    def test_filter_probability_validated(self):
+        sim = Simulator(seed=5)
+        internet = build_internet(sim)
+        tele = internet.catalog.by_name("ChinaTelecom")
+        from repro.network.bandwidth import ADSL
+        from repro.network.transport import Host
+
+        class Sink(Host):
+            def handle_datagram(self, datagram):
+                pass
+
+        host = Sink(sim, internet.udp, internet.allocator.allocate(tele),
+                    tele, ADSL)
+        with pytest.raises(ValueError):
+            host.install_fault_filter(0.0, random.Random(1))
+        with pytest.raises(ValueError):
+            host.install_fault_filter(1.5, random.Random(1))
+
+
+# ----------------------------------------------------------------------
+# Injector mechanics inside a real session
+# ----------------------------------------------------------------------
+def run_faulted_session(schedule, seed=13, population=18, warmup=120.0,
+                        duration=300.0, instrumentation=None):
+    config = ScenarioConfig(seed=seed, population=population,
+                            warmup=warmup, duration=duration,
+                            faults=schedule,
+                            instrumentation=instrumentation)
+    return SessionScenario(config).run()
+
+
+class TestInjector:
+    def test_all_faults_begin_and_end(self):
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="bootstrap", start=130.0, duration=30.0),
+            LinkDegradation(pair_class="intra_isp", start=180.0,
+                            duration=30.0, latency_multiplier=1.5),
+            PeerBlackout(isp_name="ChinaTelecom", start=230.0,
+                         fraction=0.5),
+            FlashCrowd(start=250.0, duration=20.0, arrivals=4),
+        ))
+        result = run_faulted_session(schedule)
+        injector = result.injector
+        assert injector is not None
+        assert injector.faults_begun == 4
+        assert injector.faults_ended == 4
+        assert injector.active == []
+        # Blackout crashed someone; flash crowd spawned extra viewers.
+        assert result.population.total_crashed >= 1
+
+    def test_outage_filter_removed_after_window(self):
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="trackers", start=130.0, duration=40.0),))
+        result = run_faulted_session(schedule)
+        for tracker in result.deployment.trackers:
+            assert tracker._fault_filter is None
+
+    def test_degradation_override_removed_after_window(self):
+        schedule = FaultSchedule(events=(
+            LinkDegradation(pair_class="domestic", start=130.0,
+                            duration=40.0, latency_multiplier=2.0),))
+        result = run_faulted_session(schedule)
+        latency = result.deployment.internet.latency
+        assert latency.active_overrides(PairClass.DOMESTIC) == []
+
+    def test_single_tracker_group_outage(self):
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="tracker:2", start=130.0, duration=40.0),))
+        sim = Simulator(seed=3)
+        scenario = SessionScenario(ScenarioConfig(seed=3))
+        deployment = scenario.build_deployment(sim)
+        injector = FaultInjector(
+            sim, schedule, network=deployment.internet.udp,
+            latency=deployment.internet.latency,
+            bootstrap=deployment.bootstrap,
+            trackers=deployment.trackers, source=deployment.source)
+        injector.arm()
+        sim.run_until(150.0)
+        filtered = [t for t in deployment.trackers
+                    if t._fault_filter is not None]
+        assert [t.group_id for t in filtered] == [2]
+        sim.run_until(200.0)
+        assert all(t._fault_filter is None
+                   for t in deployment.trackers)
+
+    def test_rearming_raises(self):
+        sim = Simulator(seed=3)
+        scenario = SessionScenario(ScenarioConfig(seed=3))
+        deployment = scenario.build_deployment(sim)
+        injector = FaultInjector(
+            sim, FaultSchedule(), network=deployment.internet.udp,
+            latency=deployment.internet.latency)
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_blackout_only_hits_named_isp(self):
+        crashed_isps = []
+        schedule = FaultSchedule(events=(
+            PeerBlackout(isp_name="ChinaNetcom", start=200.0,
+                         fraction=1.0),))
+
+        def hook(sim, deployment, manager, probe_peers):
+            original = manager.crash_viewer
+
+            def spying_crash(viewer):
+                crashed_isps.append(viewer.isp.name)
+                return original(viewer)
+
+            manager.crash_viewer = spying_crash
+
+        config = ScenarioConfig(seed=13, population=18, warmup=120.0,
+                                duration=300.0, faults=schedule,
+                                run_hook=hook)
+        SessionScenario(config).run()
+        assert crashed_isps  # churn mix always includes CNC viewers
+        assert set(crashed_isps) == {"ChinaNetcom"}
+
+    def test_blackout_victims_independent_of_later_faults(self):
+        # Per-fault RNG streams: the blackout picks the same victims
+        # whether or not an unrelated fault rides along later in the
+        # same schedule (its stream is keyed by index and name, and
+        # arming the extra event draws nothing from shared streams).
+        def crashed_with(schedule):
+            crashed = []
+
+            def hook(sim, deployment, manager, probe_peers):
+                original = manager.crash_viewer
+
+                def spying_crash(viewer):
+                    crashed.append(viewer.address)
+                    return original(viewer)
+
+                manager.crash_viewer = spying_crash
+
+            config = ScenarioConfig(seed=13, population=18, warmup=120.0,
+                                    duration=300.0, faults=schedule,
+                                    run_hook=hook)
+            SessionScenario(config).run()
+            return crashed
+
+        blackout = PeerBlackout(isp_name="ChinaTelecom", start=200.0,
+                                fraction=0.5, label="bo")
+        lone = crashed_with(FaultSchedule(events=(blackout,)))
+        crowded = crashed_with(FaultSchedule(events=(
+            blackout,
+            FlashCrowd(start=260.0, duration=20.0, arrivals=3),)))
+        assert lone and lone == crowded
+
+
+# ----------------------------------------------------------------------
+# Observability of fault windows
+# ----------------------------------------------------------------------
+class TestFaultObservability:
+    def test_spans_and_metrics_emitted(self):
+        spans = MemorySpanSink()
+        obs = Instrumentation(metrics=MetricsRegistry(), spans=spans)
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="trackers", start=130.0, duration=40.0,
+                         label="outage"),
+            PeerBlackout(isp_name="ChinaTelecom", start=200.0,
+                         fraction=0.5, label="blackout"),
+        ))
+        run_faulted_session(schedule, instrumentation=obs)
+        names = {m.name: m for m in obs.metrics}
+        injected = [m for m in obs.metrics if m.name == "faults.injected"]
+        assert sum(m.value for m in injected) == 2
+        assert "faults.recovered" in names
+        fault_spans = spans.by_category("faults")
+        windowed = [s for s in fault_spans if s.end > s.start]
+        instants = [s for s in fault_spans if s.end == s.start]
+        assert {s.name for s in windowed} == {"fault:server_outage"}
+        assert windowed[0].start == pytest.approx(130.0)
+        assert windowed[0].end == pytest.approx(170.0)
+        assert any(s.name == "fault:peer_blackout" for s in instants)
+
+
+# ----------------------------------------------------------------------
+# Recovery hardening regressions
+# ----------------------------------------------------------------------
+class TestTrackerOutageRecovery:
+    def test_peer_rebootstraps_and_refills_after_outage(self):
+        """A probe that joins mid-outage must end the session ACTIVE
+        with a filled neighbor table and no manual intervention: all
+        trackers look dead -> automatic playlink re-request -> trackers
+        recover -> neighbor refill."""
+        from repro.protocol.peer import PeerPhase
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="trackers", start=100.0, duration=120.0,
+                         label="outage"),))
+        result = run_faulted_session(schedule, seed=17, population=18,
+                                     warmup=120.0, duration=360.0)
+        peer = result.probe().peer
+        assert peer.rebootstraps >= 1
+        assert peer.phase is PeerPhase.DEPARTED  # left at session end
+        assert peer.player is not None  # reached ACTIVE and streamed
+        assert peer.player.deadlines_met > 0
+
+    def test_neighbor_table_refills_after_outage(self):
+        fills = []
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="trackers", start=100.0, duration=120.0),))
+
+        def hook(sim, deployment, manager, probe_peers):
+            def snapshot():
+                for peer in probe_peers.values():
+                    fills.append((sim.now, len(peer.neighbors)))
+            sim.every(30.0, snapshot)
+
+        config = ScenarioConfig(seed=17, population=18, warmup=120.0,
+                                duration=360.0, faults=schedule,
+                                run_hook=hook)
+        SessionScenario(config).run()
+        late = [count for time, count in fills if time >= 300.0]
+        assert late and max(late) >= 4
+
+    def test_no_rebootstrap_without_outage(self):
+        result = run_faulted_session(FaultSchedule(), seed=17,
+                                     population=18, warmup=120.0,
+                                     duration=360.0)
+        peer = result.probe().peer
+        assert peer.rebootstraps == 0
+
+
+class TestCrashChurnRegression:
+    def test_silent_crash_leaves_no_stuck_state(self):
+        """Satellite regression: a neighbor that crashes silently must
+        be evicted by the silence timeout, leaving no pending-hello or
+        scheduler entry pointing at it."""
+        crashed_addresses = []
+        schedule = FaultSchedule(events=(
+            PeerBlackout(isp_name="ChinaNetcom", start=240.0,
+                         fraction=1.0, label="wipeout"),))
+
+        def hook(sim, deployment, manager, probe_peers):
+            def snapshot():
+                crashed_addresses.extend(
+                    viewer.address for viewer in manager.active
+                    if viewer.isp.name == "ChinaNetcom")
+            sim.call_at(239.9, snapshot)
+
+        config = ScenarioConfig(seed=23, population=20, warmup=120.0,
+                                duration=420.0, faults=schedule,
+                                run_hook=hook)
+        result = SessionScenario(config).run()
+        assert crashed_addresses
+        peer = result.probe().peer
+        dead = set(crashed_addresses)
+        # 180+ seconds after the blackout (> neighbor_silence_timeout):
+        # every crashed neighbor has been swept from the table...
+        assert not dead & set(peer.neighbors.addresses())
+        # ...no handshake is still pending towards a dead host...
+        assert not dead & set(peer._pending_hellos)
+        # ...and the scheduler holds no in-flight request to one beyond
+        # the data timeout (stuck entries would pin the seq forever).
+        if peer.scheduler is not None:
+            horizon = 2 * config.protocol.data_timeout
+            for pending in peer.scheduler._pending.values():
+                assert pending.sent_at >= 540.0 - horizon \
+                    or pending.neighbor not in dead
+
+    def test_crashed_viewer_not_replaced(self):
+        schedule = FaultSchedule(events=(
+            PeerBlackout(isp_name="ChinaNetcom", start=240.0,
+                         fraction=1.0),))
+        faulted = run_faulted_session(schedule, seed=23, population=20,
+                                      warmup=120.0, duration=300.0)
+        clean = run_faulted_session(FaultSchedule(), seed=23,
+                                    population=20, warmup=120.0,
+                                    duration=300.0)
+        assert faulted.population.total_crashed > \
+            clean.population.total_crashed
+        assert faulted.population.active_count < \
+            clean.population.active_count
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestFaultDeterminism:
+    def test_same_schedule_same_run(self):
+        schedule = FaultSchedule(events=demo_events())
+        a = run_faulted_session(schedule, seed=31)
+        b = run_faulted_session(schedule, seed=31)
+        ta = [dataclasses.astuple(t) for t in a.probe().report.data]
+        tb = [dataclasses.astuple(t) for t in b.probe().report.data]
+        assert ta == tb
+        assert a.population.total_crashed == b.population.total_crashed
+
+    def test_no_schedule_matches_empty_schedule(self):
+        # ScenarioConfig(faults=None) and an armed empty schedule are
+        # byte-identical: arming itself must not consume shared RNG.
+        empty = run_faulted_session(FaultSchedule(), seed=31)
+        none = run_faulted_session(None, seed=31)
+        te = [dataclasses.astuple(t) for t in empty.probe().report.data]
+        tn = [dataclasses.astuple(t) for t in none.probe().report.data]
+        assert te == tn
