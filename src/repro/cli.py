@@ -11,6 +11,7 @@ Usage::
     python -m repro run fig06 --jobs 4
     python -m repro run chaos --faults examples/faults/chaos_demo.json
     python -m repro report --scale small --out scorecard.md
+    python -m repro bench --quick --check
 
 ``all`` runs every single-session figure and Table 1 (the four canonical
 sessions are simulated once and shared); ``fig06`` runs the campaign and
@@ -31,6 +32,12 @@ statistic of Figures 2-5/11-18 and Table 1 measured against its target
 range, plus engine perf numbers, written as markdown (or HTML with
 ``--format html``) and appended as one JSON record to
 ``benchmarks/results/trend.jsonl``.
+
+``bench`` runs the engine/campaign micro-benchmarks and writes the
+machine-readable perf baselines ``BENCH_engine.json`` /
+``BENCH_campaign.json`` at the repo root; with ``--check`` it fails when
+a golden digest drifts from the committed baseline (the CI perf gate —
+see ``docs/PERFORMANCE.md``).
 
 Observability flags (see ``docs/OBSERVABILITY.md``):
 
@@ -125,6 +132,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print periodic heartbeat progress lines to stderr")
     return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the engine/campaign micro-benchmarks and write "
+                    "the machine-readable perf baselines BENCH_engine.json "
+                    "and BENCH_campaign.json (see docs/PERFORMANCE.md).")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick profiles (CI smoke)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when a measured golden digest drifts from "
+             "the committed baseline in --baseline-dir")
+    parser.add_argument(
+        "--only", choices=("engine", "campaign"), default=None,
+        help="run just one of the two benchmarks")
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="directory for the BENCH_*.json artifacts (default: .)")
+    parser.add_argument(
+        "--baseline-dir", metavar="DIR", default=None,
+        help="where the committed baselines live for --check "
+             "(default: --out-dir)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="engine bench master seed (default: 7)")
+    parser.add_argument(
+        "--campaign-seed", type=int, default=11,
+        help="campaign bench master seed (default: 11, the golden seed)")
+    return parser
+
+
+def _bench(argv: List[str]) -> int:
+    from .experiments.bench import run_bench
+    args = build_bench_parser().parse_args(argv)
+    return run_bench(Path(args.out_dir), quick=args.quick,
+                     check=args.check,
+                     baseline_dir=Path(args.baseline_dir)
+                     if args.baseline_dir else None,
+                     only=args.only, engine_seed=args.seed,
+                     campaign_seed=args.campaign_seed)
 
 
 def build_report_parser() -> argparse.ArgumentParser:
@@ -266,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = argv[1:]  # "repro run fig06" == "repro fig06"
     if argv and argv[0] == "report":
         return _report(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _list_experiments(args.json)

@@ -1,0 +1,262 @@
+"""Machine-readable micro-benchmarks: the simulator's perf trajectory.
+
+``repro bench`` runs two fixed-seed micro-benchmarks and writes one JSON
+artifact each at the repository root:
+
+* **engine** (``BENCH_engine.json``) — one canonical ``tele-popular``
+  viewing session (the same workload behind
+  ``benchmarks/test_bench_overlay.py``): events/second of the
+  discrete-event core under real protocol traffic.
+* **campaign** (``BENCH_campaign.json``) — the Figure 6 campaign; the
+  ``quick`` profile is byte-for-byte the golden configuration of
+  ``tests/test_campaign_goldens.py``, so its digest doubles as a
+  correctness gate.
+
+Each profile records events/sec, wall-clock seconds, peak RSS and a
+**golden digest** computed purely from deterministic simulation outputs
+(event/datagram counters, rendered Figure 6 table) — never from timing —
+so the digest is machine-independent: it must match on any host, while
+the wall/RSS fields chart the perf trajectory across commits.  CI runs
+``repro bench --quick --check`` and fails when a digest drifts from the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..obs import Instrumentation, MetricsRegistry
+from ..streaming.video import Popularity
+from ..workload.campaign import CampaignConfig, run_campaign
+from ..workload.scenario import SessionScenario
+from .base import Scale, WorkloadKey, build_config
+from .fig06 import Figure6
+
+SCHEMA_VERSION = 1
+
+ENGINE_FILE = "BENCH_engine.json"
+CAMPAIGN_FILE = "BENCH_campaign.json"
+
+ENGINE_PROFILES = ("quick", "default")
+CAMPAIGN_PROFILES = ("quick", "default")
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def _peak_rss_bytes() -> int:
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalise to bytes.
+    return usage * 1024 if sys.platform != "darwin" else usage
+
+
+def engine_config(profile: str, seed: int = 7):
+    """Scenario behind one engine-bench profile.
+
+    ``default`` is the canonical small-scale ``tele-popular`` session —
+    the exact workload of ``benchmarks/test_bench_overlay.py`` at
+    ``REPRO_BENCH_SCALE=small``; ``quick`` is a trimmed variant sized
+    for a CI smoke step.
+    """
+    key = WorkloadKey("tele", Popularity.POPULAR, Scale.SMALL, seed)
+    config = build_config(key)
+    if profile == "quick":
+        config.population = 24
+        config.warmup = 90.0
+        config.duration = 180.0
+    elif profile != "default":
+        raise ValueError(f"unknown engine profile {profile!r}")
+    return config
+
+
+def campaign_config(profile: str, seed: int = 11) -> CampaignConfig:
+    """Campaign behind one campaign-bench profile.
+
+    ``quick`` **is** the golden configuration pinned by
+    ``tests/test_campaign_goldens.py`` (seed 11): its table digest must
+    equal ``GOLDEN_TABLE_DIGEST`` there.
+    """
+    if profile == "quick":
+        return CampaignConfig(seed=seed, days=3, popular_population=10,
+                              unpopular_population=6,
+                              session_duration=120.0, warmup=60.0)
+    if profile == "default":
+        return CampaignConfig(seed=seed, days=6, popular_population=14,
+                              unpopular_population=8,
+                              session_duration=240.0, warmup=80.0)
+    raise ValueError(f"unknown campaign profile {profile!r}")
+
+
+def _series_digest(result) -> str:
+    """Same formula as tests/test_campaign_goldens.py — keep in sync."""
+    parts = []
+    for popularity in (Popularity.POPULAR, Popularity.UNPOPULAR):
+        for curve in ("CNC", "TELE", "Mason"):
+            parts.append(",".join(f"{value:.9e}" for value
+                                  in result.series(popularity, curve)))
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def run_engine_bench(profile: str = "quick", seed: int = 7) -> dict:
+    """One engine micro-benchmark run; returns its record dict."""
+    config = engine_config(profile, seed)
+    started = time.perf_counter()
+    result = SessionScenario(config).run()
+    wall = time.perf_counter() - started
+    sim = result.deployment.sim
+    udp = result.deployment.internet.udp
+    counters = (sim.events_executed, udp.datagrams_sent,
+                udp.datagrams_delivered, udp.datagrams_lost,
+                udp.datagrams_dropped_uplink, udp.datagrams_dropped_offline,
+                udp.datagrams_dropped_fault, udp.bytes_delivered)
+    digest = hashlib.sha256(
+        "|".join(str(value) for value in counters).encode()).hexdigest()
+    return {
+        "profile": profile,
+        "seed": seed,
+        "population": config.population,
+        "sim_seconds": config.warmup + config.duration,
+        "events": sim.events_executed,
+        "datagrams_sent": udp.datagrams_sent,
+        "datagrams_delivered": udp.datagrams_delivered,
+        "wall_seconds": round(wall, 3),
+        "events_per_sec": round(sim.events_executed / wall, 1),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "golden_digest": digest,
+    }
+
+
+def run_campaign_bench(profile: str = "quick", seed: int = 11,
+                       jobs: int = 1) -> dict:
+    """One campaign micro-benchmark run; returns its record dict."""
+    config = campaign_config(profile, seed)
+    metrics = MetricsRegistry()
+    config = replace(config,
+                     instrumentation=Instrumentation(metrics=metrics))
+    started = time.perf_counter()
+    result = run_campaign(config, jobs=jobs)
+    wall = time.perf_counter() - started
+    table = Figure6(result=result).render()
+    table_digest = hashlib.sha256(table.encode()).hexdigest()
+    events_counter = metrics.get("sim.events_executed")
+    events = int(events_counter.value) if events_counter is not None else 0
+    return {
+        "profile": profile,
+        "seed": seed,
+        "days": config.days,
+        "jobs": jobs,
+        "events": events,
+        "wall_seconds": round(wall, 3),
+        "events_per_sec": round(events / wall, 1) if events else None,
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "golden_digest": table_digest,
+        "series_digest": _series_digest(result),
+    }
+
+
+def _load(path: Path) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _merged(path: Path, benchmark: str, records: Dict[str, dict]) -> dict:
+    """Existing file content with ``records`` profiles replaced."""
+    existing = _load(path)
+    profiles = dict(existing.get("profiles", {})) if existing else {}
+    profiles.update(records)
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "command": "repro bench",
+        "git_rev": _git_rev(),
+        "profiles": profiles,
+    }
+
+
+def _check_drift(baseline: Optional[dict], records: Dict[str, dict],
+                 name: str, out) -> List[str]:
+    failures = []
+    base_profiles = (baseline or {}).get("profiles", {})
+    for profile, record in records.items():
+        pinned = base_profiles.get(profile, {}).get("golden_digest")
+        measured = record["golden_digest"]
+        if pinned is None:
+            failures.append(f"{name}:{profile}: no committed baseline digest")
+        elif pinned != measured:
+            failures.append(f"{name}:{profile}: golden digest drifted "
+                            f"(baseline {pinned[:12]}… != "
+                            f"measured {measured[:12]}…)")
+        else:
+            print(f"[bench] {name}:{profile} digest OK "
+                  f"({measured[:12]}…)", file=out)
+    return failures
+
+
+def run_bench(out_dir: Path, quick: bool = False, check: bool = False,
+              baseline_dir: Optional[Path] = None,
+              only: Optional[str] = None,
+              engine_seed: int = 7, campaign_seed: int = 11,
+              out=None) -> int:
+    """Run the bench suite; returns a process exit code."""
+    out = out if out is not None else sys.stderr
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    baseline_dir = Path(baseline_dir) if baseline_dir is not None else None
+    profiles = ("quick",) if quick else ("quick", "default")
+    failures: List[str] = []
+
+    if only in (None, "engine"):
+        records = {}
+        for profile in profiles:
+            print(f"[bench] engine:{profile} (seed {engine_seed}) ...",
+                  file=out)
+            records[profile] = run_engine_bench(profile, engine_seed)
+            print(f"[bench] engine:{profile} "
+                  f"{records[profile]['events_per_sec']:.0f} events/sec "
+                  f"in {records[profile]['wall_seconds']:.2f}s", file=out)
+        path = out_dir / ENGINE_FILE
+        if check:
+            base = _load((baseline_dir or out_dir) / ENGINE_FILE)
+            failures += _check_drift(base, records, "engine", out)
+        path.write_text(json.dumps(_merged(path, "engine", records),
+                                   indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"[bench] wrote {path}", file=out)
+
+    if only in (None, "campaign"):
+        records = {}
+        for profile in profiles:
+            print(f"[bench] campaign:{profile} (seed {campaign_seed}) ...",
+                  file=out)
+            records[profile] = run_campaign_bench(profile, campaign_seed)
+            print(f"[bench] campaign:{profile} "
+                  f"{records[profile]['wall_seconds']:.2f}s wall", file=out)
+        path = out_dir / CAMPAIGN_FILE
+        if check:
+            base = _load((baseline_dir or out_dir) / CAMPAIGN_FILE)
+            failures += _check_drift(base, records, "campaign", out)
+        path.write_text(json.dumps(_merged(path, "campaign", records),
+                                   indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"[bench] wrote {path}", file=out)
+
+    for failure in failures:
+        print(f"[bench] FAIL {failure}", file=out)
+    return 1 if failures else 0

@@ -157,6 +157,38 @@ class LatencyModel:
         self._jitter_rng = self._router.stream("jitter")
         self._loss_rng = self._router.stream("loss")
         self._overrides: Dict[PairClass, List[PathOverride]] = {}
+        # Per-ASN-pair fast path: (asn, asn) -> (pair_class, loss_prob,
+        # path_bps).  Classification and the per-class table lookups are
+        # pure functions of the config, so memoising them cannot change
+        # any RNG draw; mutate the config after first use only via
+        # invalidate_cache().  Jitter parameters are globals of the
+        # model, bound once here for the same reason.
+        self._pair_cache: Dict[Tuple[int, int], Tuple[PairClass, float,
+                                                      float]] = {}
+        self._jitter_sigma = config.jitter_sigma
+        self._jitter_max = config.jitter_max_factor
+
+    def _pair_params(self, isp_a: ISP, isp_b: ISP) -> Tuple[PairClass,
+                                                            float, float]:
+        """Memoised ``(pair_class, loss_probability, path_bps)``."""
+        key = (isp_a.asn, isp_b.asn)
+        params = self._pair_cache.get(key)
+        if params is None:
+            pair_class = classify_pair(isp_a, isp_b)
+            params = (pair_class, self.config.loss[pair_class],
+                      self.config.path_bps[pair_class])
+            self._pair_cache[key] = params
+        return params
+
+    def invalidate_cache(self) -> None:
+        """Drop memoised per-pair parameters after a config change.
+
+        Only needed when mutating ``config`` *after* the model has
+        served traffic; construction-time customisation needs nothing.
+        """
+        self._pair_cache.clear()
+        self._jitter_sigma = self.config.jitter_sigma
+        self._jitter_max = self.config.jitter_max_factor
 
     # ------------------------------------------------------------------
     # Dynamic path-quality overrides (fault injection)
@@ -193,7 +225,7 @@ class LatencyModel:
         cached = self._base_rtt_cache.get(key)
         if cached is not None:
             return cached
-        pair_class = classify_pair(isp_a, isp_b)
+        pair_class = self._pair_params(isp_a, isp_b)[0]
         band = self.config.bands[pair_class]
         pair_rng = self._router.fork(f"pair:{key[0]}|{key[1]}").stream("rtt")
         rtt = band.sample(pair_rng.gauss(0.0, 1.0))
@@ -201,7 +233,7 @@ class LatencyModel:
         return rtt
 
     def pair_class(self, isp_a: ISP, isp_b: ISP) -> PairClass:
-        return classify_pair(isp_a, isp_b)
+        return self._pair_params(isp_a, isp_b)[0]
 
     # ------------------------------------------------------------------
     # Per-packet behaviour
@@ -216,15 +248,16 @@ class LatencyModel:
         control packets.
         """
         base = self.base_rtt(addr_src, isp_src, addr_dst, isp_dst) / 2.0
-        jitter = math.exp(self._jitter_rng.gauss(0.0, self.config.jitter_sigma))
-        delay = base * min(jitter, self.config.jitter_max_factor)
-        pair_class = classify_pair(isp_src, isp_dst)
+        jitter = math.exp(self._jitter_rng.gauss(0.0, self._jitter_sigma))
+        if jitter > self._jitter_max:
+            jitter = self._jitter_max
+        delay = base * jitter
+        pair_class, _, rate = self._pair_params(isp_src, isp_dst)
         overrides = self._overrides.get(pair_class)
         if overrides:
             for override in overrides:
                 delay *= override.latency_multiplier
         if wire_bytes > 0:
-            rate = self.config.path_bps[pair_class]
             if overrides:
                 for override in overrides:
                     rate *= override.bandwidth_multiplier
@@ -237,8 +270,7 @@ class LatencyModel:
         Exactly one draw per call, override or not: degradation episodes
         adjust the probability, never the draw count.
         """
-        pair_class = classify_pair(isp_src, isp_dst)
-        probability = self.config.loss[pair_class]
+        pair_class, probability, _ = self._pair_params(isp_src, isp_dst)
         overrides = self._overrides.get(pair_class)
         if overrides:
             for override in overrides:

@@ -24,7 +24,7 @@ from ..obs import DEBUG, WARNING, Instrumentation
 from ..obs import resolve as resolve_obs
 from ..sim.engine import Simulator
 from .bandwidth import AccessProfile, UplinkQueue
-from .datagram import Datagram
+from .datagram import HEADER_BYTES, Datagram
 from .isp import ISP
 from .latency import LatencyModel
 
@@ -139,6 +139,8 @@ class UdpNetwork:
         self._trace = obs.trace
         self._spans = obs.spans
         metrics = obs.metrics
+        self._m_messages_sent = metrics.counter_family(
+            "net.messages_sent", "type")
         self._m_sent = metrics.counter("net.datagrams_sent")
         self._m_delivered = metrics.counter("net.datagrams_delivered")
         self._m_lost = metrics.counter("net.datagrams_lost")
@@ -192,26 +194,35 @@ class UdpNetwork:
     # ------------------------------------------------------------------
     def send(self, src_host: Host, dst: str, payload: Any,
              payload_bytes: int) -> bool:
-        """Send a datagram from ``src_host`` to address ``dst``."""
-        now = self.sim.now
+        """Send a datagram from ``src_host`` to address ``dst``.
+
+        The steady-state fast path — no taps, null observability, packet
+        survives the uplink and the loss draw — costs one
+        :class:`Datagram` allocation, one uplink update, one cached
+        latency lookup plus its two RNG draws, and one pooled delivery
+        event (no closure).  Taps and instrumentation only add observers;
+        they never change the draws or the delivery schedule.
+        """
+        sim = self.sim
+        now = sim.clock._now
         datagram = Datagram(src=src_host.address, dst=dst, payload=payload,
                             payload_bytes=payload_bytes, sent_at=now)
+        wire_bytes = payload_bytes + HEADER_BYTES
+        taps = self._taps
         self.datagrams_sent += 1
         self._m_sent.inc()
         if self._obs_enabled:
-            self._obs.metrics.counter(
-                "net.messages_sent",
-                tags={"type": type(payload).__name__}).inc()
+            self._m_messages_sent.labeled(type(payload).__name__).inc()
             self._h_backlog.observe(src_host.uplink.backlog(now))
 
-        uplink_delay = src_host.uplink.enqueue(datagram.wire_bytes, now)
+        uplink_delay = src_host.uplink.enqueue(wire_bytes, now)
         if uplink_delay is None:
             self.datagrams_dropped_uplink += 1
             self._m_dropped_uplink.inc()
             if self._trace.enabled_for(WARNING):
                 self._trace.emit(now, WARNING, "uplink_tail_drop",
                                  src=datagram.src, dst=dst,
-                                 wire_bytes=datagram.wire_bytes,
+                                 wire_bytes=wire_bytes,
                                  msg=type(payload).__name__)
             if self._spans.enabled:
                 # Tail drops truncate data transactions: the instant
@@ -219,37 +230,40 @@ class UdpNetwork:
                 self._spans.instant("uplink_tail_drop", "net", now,
                                     actor=datagram.src, dst=dst,
                                     msg=type(payload).__name__)
-            self._notify("drop_uplink", datagram, now)
+            if taps:
+                self._notify("drop_uplink", datagram, now)
             return False
-        self._m_bytes_queued.inc(datagram.wire_bytes)
-        self._notify("send", datagram, now)
+        self._m_bytes_queued.inc(wire_bytes)
+        if taps:
+            self._notify("send", datagram, now)
 
+        latency = self.latency
         dst_host = self._hosts.get(dst)
         dst_isp = dst_host.isp if dst_host is not None else None
-        if dst_isp is not None and self.latency.is_lost(src_host.isp, dst_isp):
+        if dst_isp is not None and latency.is_lost(src_host.isp, dst_isp):
             self.datagrams_lost += 1
             self._m_lost.inc()
             if self._trace.enabled_for(DEBUG):
                 self._trace.emit(now, DEBUG, "path_loss",
                                  src=datagram.src, dst=dst,
                                  msg=type(payload).__name__)
-            self._notify("drop_loss", datagram, now)
+            if taps:
+                self._notify("drop_loss", datagram, now)
             return True  # the sender cannot tell loss from silence
 
         if dst_isp is None:
             # Destination unknown right now; approximate propagation with
             # the source's intra-ISP delay so late joins behave sanely.
-            propagation = self.latency.one_way_delay(
+            propagation = latency.one_way_delay(
                 src_host.address, src_host.isp, dst, src_host.isp,
-                datagram.wire_bytes)
+                wire_bytes)
         else:
-            propagation = self.latency.one_way_delay(
+            propagation = latency.one_way_delay(
                 src_host.address, src_host.isp, dst, dst_isp,
-                datagram.wire_bytes)
+                wire_bytes)
 
         deliver_at = now + uplink_delay + propagation
-        self.sim.call_at(deliver_at, lambda: self._deliver(datagram),
-                         label="udp-deliver")
+        sim.post(deliver_at, self._deliver, datagram, label="udp-deliver")
         return True
 
     def _deliver(self, datagram: Datagram) -> None:
@@ -261,15 +275,19 @@ class UdpNetwork:
         if host.fault_drops():
             self.datagrams_dropped_fault += 1
             self._m_dropped_fault.inc()
+            now = self.sim.clock._now
             if self._trace.enabled_for(DEBUG):
-                self._trace.emit(self.sim.now, DEBUG, "fault_drop",
+                self._trace.emit(now, DEBUG, "fault_drop",
                                  src=datagram.src, dst=datagram.dst,
                                  msg=type(datagram.payload).__name__)
-            self._notify("drop_fault", datagram, self.sim.now)
+            if self._taps:
+                self._notify("drop_fault", datagram, now)
             return
+        wire_bytes = datagram.payload_bytes + HEADER_BYTES
         self.datagrams_delivered += 1
-        self.bytes_delivered += datagram.wire_bytes
+        self.bytes_delivered += wire_bytes
         self._m_delivered.inc()
-        self._m_bytes_delivered.inc(datagram.wire_bytes)
-        self._notify("recv", datagram, self.sim.now)
+        self._m_bytes_delivered.inc(wire_bytes)
+        if self._taps:
+            self._notify("recv", datagram, self.sim.clock._now)
         host.handle_datagram(datagram)

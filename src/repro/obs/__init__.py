@@ -23,8 +23,10 @@ from .export import (metrics_to_records, read_metrics_csv,
                      read_metrics_jsonl, strip_wall_metrics,
                      write_metrics_csv, write_metrics_jsonl)
 from .instrument import NULL_INSTRUMENTATION, Instrumentation, resolve
-from .metrics import (DEFAULT_BUCKETS, NULL_REGISTRY, Counter, Gauge,
-                      Histogram, MetricsRegistry, NullRegistry)
+from .metrics import (DEFAULT_BUCKETS, NULL_COUNTER_FAMILY,
+                      NULL_GAUGE_FAMILY, NULL_REGISTRY, Counter,
+                      CounterFamily, Gauge, GaugeFamily, Histogram,
+                      MetricsRegistry, NullRegistry)
 from .profiler import EngineProfiler, EngineSample, HeartbeatSampler
 from .spans import (NULL_SPAN, NULL_SPAN_SINK, ChromeTraceSink,
                     JsonlSpanSink, MemorySpanSink, NullSpanSink, Span,
@@ -39,6 +41,8 @@ __all__ = [
     "Instrumentation", "NULL_INSTRUMENTATION", "resolve",
     "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
     "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "CounterFamily", "GaugeFamily",
+    "NULL_COUNTER_FAMILY", "NULL_GAUGE_FAMILY",
     "TraceSink", "NullSink", "NULL_SINK", "JsonlSink", "RingSink",
     "LoggingSink", "TeeSink", "level_from_name", "read_trace_jsonl",
     "DEBUG", "INFO", "WARNING", "ERROR",

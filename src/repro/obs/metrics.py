@@ -137,6 +137,57 @@ class Histogram:
                 f"n={self.count} sum={self.sum:.6f}>")
 
 
+class CounterFamily:
+    """Pre-resolved counter handles for one name, keyed by one tag value.
+
+    Hot paths that increment ``name{tag_key=<value>}`` with a varying
+    value (e.g. ``net.messages_sent{type=...}``) bind a family once and
+    call :meth:`labeled` per update — a single dict hit instead of a tag
+    normalisation + series lookup per call.  The handles come from the
+    owning registry, so they are the same objects a direct
+    :meth:`MetricsRegistry.counter` call would return and export
+    identically.
+    """
+
+    __slots__ = ("_registry", "_name", "_tag_key", "_handles")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 tag_key: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._tag_key = tag_key
+        self._handles: Dict[str, Counter] = {}
+
+    def labeled(self, value: str) -> Counter:
+        handle = self._handles.get(value)
+        if handle is None:
+            handle = self._registry.counter(self._name,
+                                            {self._tag_key: value})
+            self._handles[value] = handle
+        return handle
+
+
+class GaugeFamily:
+    """Pre-resolved gauge handles; see :class:`CounterFamily`."""
+
+    __slots__ = ("_registry", "_name", "_tag_key", "_handles")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 tag_key: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._tag_key = tag_key
+        self._handles: Dict[str, Gauge] = {}
+
+    def labeled(self, value: str) -> Gauge:
+        handle = self._handles.get(value)
+        if handle is None:
+            handle = self._registry.gauge(self._name,
+                                          {self._tag_key: value})
+            self._handles[value] = handle
+        return handle
+
+
 class MetricsRegistry:
     """Holds every metric series, memoised per ``(name, tags)``."""
 
@@ -161,6 +212,14 @@ class MetricsRegistry:
     def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
                   tags: TagMap = None) -> Histogram:
         return self._bind(Histogram, name, tags, bounds=bounds)
+
+    def counter_family(self, name: str, tag_key: str) -> CounterFamily:
+        """Bind a :class:`CounterFamily` over one varying tag."""
+        return CounterFamily(self, name, tag_key)
+
+    def gauge_family(self, name: str, tag_key: str) -> GaugeFamily:
+        """Bind a :class:`GaugeFamily` over one varying tag."""
+        return GaugeFamily(self, name, tag_key)
 
     def _bind(self, cls, name: str, tags: TagMap, **kwargs):
         key = (name, _tag_key(tags))
@@ -249,6 +308,32 @@ NULL_GAUGE = NullGauge("null")
 NULL_HISTOGRAM = NullHistogram("null")
 
 
+class NullCounterFamily(CounterFamily):
+    """Allocation-free family: every label resolves to the shared no-op."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:  # no registry needed
+        pass
+
+    def labeled(self, value: str) -> Counter:
+        return NULL_COUNTER
+
+
+class NullGaugeFamily(GaugeFamily):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
+
+    def labeled(self, value: str) -> Gauge:
+        return NULL_GAUGE
+
+
+NULL_COUNTER_FAMILY = NullCounterFamily()
+NULL_GAUGE_FAMILY = NullGaugeFamily()
+
+
 class NullRegistry(MetricsRegistry):
     """Hands out shared no-op instruments and records nothing."""
 
@@ -264,6 +349,12 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
                   tags: TagMap = None) -> Histogram:
         return NULL_HISTOGRAM
+
+    def counter_family(self, name: str, tag_key: str) -> CounterFamily:
+        return NULL_COUNTER_FAMILY
+
+    def gauge_family(self, name: str, tag_key: str) -> GaugeFamily:
+        return NULL_GAUGE_FAMILY
 
 
 NULL_REGISTRY = NullRegistry()

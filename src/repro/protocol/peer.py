@@ -22,6 +22,7 @@ locality in its traffic is emergent.
 from __future__ import annotations
 
 import enum
+import heapq
 import math
 from typing import Dict, List, Optional
 
@@ -695,9 +696,8 @@ class PPLivePeer(Host):
         total = self.channel.geometry.subpieces_per_chunk
         valid_range = (msg.chunk >= 0 and 0 <= msg.first <= msg.last
                        and msg.last < total)
-        has_range = valid_range and all(
-            self.buffer.has_subpiece(msg.chunk, sp)
-            for sp in range(msg.first, msg.last + 1))
+        has_range = valid_range and self.buffer.has_range(
+            msg.chunk, msg.first, msg.last)
         if not has_range:
             self.data_misses_sent += 1
             self._transmit(src, m.DataMiss(
@@ -775,8 +775,9 @@ class PPLivePeer(Host):
         if not states:
             return frozenset()
         keep = math.ceil(fraction * len(self.neighbors))
-        states.sort(key=lambda s: s.ewma_response)
-        return frozenset(s.address for s in states[:keep])
+        # nsmallest == sorted(...)[:keep] (stable), without the full sort.
+        best = heapq.nsmallest(keep, states, key=lambda s: s.ewma_response)
+        return frozenset(s.address for s in best)
 
     def _maybe_replace_slowest(self, now: float,
                                pinned: frozenset = frozenset()) -> None:

@@ -11,6 +11,7 @@ produces the ≤60-entry peer lists this client sends to others.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -114,14 +115,15 @@ class CandidatePool:
         target = min(limit, self.MIN_LIST_ENTRIES)
         if len(out) < target:
             seen = set(out)
-            fresh = sorted(
+            # nlargest == sorted(..., reverse=True)[:n] (stable): the
+            # same candidates in the same order, without a full sort of
+            # the pool.
+            fresh = heapq.nlargest(
+                target - len(out),
                 (c for c in self._candidates.values()
                  if c.address not in seen),
-                key=lambda c: c.last_seen, reverse=True)
-            for candidate in fresh:
-                out.append(candidate.address)
-                if len(out) >= target:
-                    break
+                key=lambda c: c.last_seen)
+            out.extend(candidate.address for candidate in fresh)
         return out
 
     def addresses(self) -> List[str]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from ..obs import WARNING, Instrumentation
 from ..obs import resolve as resolve_obs
@@ -76,8 +76,10 @@ class DataScheduler:
         self.source_address = source_address
         self._rng = rng if rng is not None else sim.random.stream("scheduler")
         self._pending: Dict[int, PendingRequest] = {}
-        #: chunk -> sub-pieces currently covered by in-flight requests.
-        self._requested: Dict[int, Set[int]] = {}
+        #: chunk -> bitmask of sub-pieces currently covered by in-flight
+        #: requests (bit i == sub-piece i), mirroring the buffer's
+        #: internal representation so planning is pure integer math.
+        self._requested: Dict[int, int] = {}
         self._next_seq = 1
         self._source_inflight = 0
         self._source_cooldown_until = 0.0
@@ -161,37 +163,45 @@ class DataScheduler:
         now = self.sim.now
         cfg = self.config
         chunk_seconds = self.geometry.chunk_seconds
+        slope = cfg.availability_slope
+        margin = cfg.availability_margin
+        max_extrapolation = cfg.max_extrapolation_chunks
+        source = self.source_address
         snapshot = []
+        append = snapshot.append
         for state in self.neighbors:
-            if state.address == self.source_address:
+            if state.address == source or state.cooldown_until > now:
                 continue
-            if state.cooldown_until > now:
-                continue
-            est = state.estimated_have(now, chunk_seconds,
-                                       cfg.availability_slope,
-                                       cfg.availability_margin,
-                                       cfg.max_extrapolation_chunks)
+            est = state.estimated_have(now, chunk_seconds, slope, margin,
+                                       max_extrapolation)
             if est >= 0:
-                snapshot.append((est, state.reported_from, state))
+                append((est, state.reported_from, state))
         return snapshot
 
     def _next_missing_run(self, chunk: int) -> Optional[tuple]:
-        """Longest contiguous run of unrequested missing sub-pieces."""
-        missing = self.buffer.missing_subpieces(chunk)
-        covered = self._requested.get(chunk)
-        if covered:
-            missing = [sp for sp in missing if sp not in covered]
+        """Longest contiguous run of unrequested missing sub-pieces.
+
+        Pure bitmask arithmetic: lowest missing-and-unrequested bit,
+        then the run of consecutive set bits above it, capped at
+        ``subpieces_per_request`` — identical to walking the ascending
+        missing list, without materialising it.
+        """
+        missing = self.buffer.missing_mask(chunk)
         if not missing:
             return None
-        first = missing[0]
-        last = first
+        covered = self._requested.get(chunk)
+        if covered:
+            missing &= ~covered
+            if not missing:
+                return None
+        first = (missing & -missing).bit_length() - 1
+        run = missing >> first
+        # Number of trailing set bits of `run` (bit 0 is set).
+        trailing = (~run & (run + 1)).bit_length() - 1
         limit = self.config.subpieces_per_request
-        for sp in missing[1:]:
-            if sp == last + 1 and (last - first + 1) < limit:
-                last = sp
-            else:
-                break
-        return first, last
+        if trailing > limit:
+            trailing = limit
+        return first, first + trailing - 1
 
     def _pick_neighbor(self, chunk: int, is_urgent: bool,
                        availability: Optional[List[tuple]] = None
@@ -252,8 +262,8 @@ class DataScheduler:
             self.config.data_timeout, lambda: self._on_timeout(seq),
             label="data-timeout")
         self._pending[seq] = pending
-        self._requested.setdefault(chunk, set()).update(
-            range(first, last + 1))
+        span = ((1 << (last - first + 1)) - 1) << first
+        self._requested[chunk] = self._requested.get(chunk, 0) | span
         if to_source:
             self._source_inflight += 1
             self.requests_to_source += 1
@@ -349,8 +359,12 @@ class DataScheduler:
             self.sim.cancel(pending.timeout_event)
         covered = self._requested.get(pending.chunk)
         if covered is not None:
-            covered.difference_update(range(pending.first, pending.last + 1))
-            if not covered:
+            span = ((1 << (pending.last - pending.first + 1)) - 1) \
+                << pending.first
+            covered &= ~span
+            if covered:
+                self._requested[pending.chunk] = covered
+            else:
                 del self._requested[pending.chunk]
         if pending.to_source:
             self._source_inflight = max(0, self._source_inflight - 1)

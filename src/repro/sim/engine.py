@@ -3,20 +3,28 @@
 :class:`Simulator` owns the clock, the pending-event queue, and the master
 random-number router.  Model components schedule callbacks with
 :meth:`call_at` / :meth:`call_after`, create repeating timers with
-:meth:`every`, and read the current time from :attr:`now`.
+:meth:`every`, and read the current time from :attr:`now`.  Hot-path
+components that never cancel their events use :meth:`post`, which
+recycles pooled :class:`Event` objects and skips handle bookkeeping.
 
 The engine is single-threaded and deterministic: with the same seed and
-the same model code, two runs produce byte-identical traces.
+the same model code, two runs produce byte-identical traces.  The run
+loops in :meth:`run_until` / :meth:`run` reach into the queue's heap
+directly — one heap access per executed event instead of a
+``peek_time()`` + ``pop()`` pair — and bind hot attributes to locals;
+both are pure mechanics and cannot change event order, which is fixed by
+the ``(time, seq)`` heap order alone.
 """
 
 from __future__ import annotations
 
+from heapq import heappop
 from time import perf_counter
 from typing import Any, Callable, Optional
 
 from .clock import Clock
 from .errors import EngineStoppedError, SchedulingError
-from .events import Event, EventQueue
+from .events import _NO_ARG, Event, EventQueue
 from .random import RandomRouter
 
 
@@ -93,7 +101,7 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self.clock.now
+        return self.clock._now
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,7 +111,7 @@ class Simulator:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if self._stopped:
             raise EngineStoppedError("cannot schedule on a stopped engine")
-        if time < self.now:
+        if time < self.clock._now:
             raise SchedulingError(
                 f"cannot schedule at {time:.6f}, now is {self.now:.6f}")
         return self.queue.schedule(time, callback, label)
@@ -113,7 +121,24 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` seconds (>= 0)."""
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
-        return self.call_at(self.now + delay, callback, label)
+        return self.call_at(self.clock._now + delay, callback, label)
+
+    def post(self, time: float, callback: Callable[..., Any],
+             arg: Any = _NO_ARG, label: str = "") -> None:
+        """Schedule a fire-and-forget callback at absolute ``time``.
+
+        The pooled counterpart of :meth:`call_at`: no :class:`Event`
+        handle is returned, so the event cannot be cancelled, and the
+        queue recycles the Event object after it fires.  ``arg``, when
+        given, is passed positionally to ``callback`` — hot paths use it
+        instead of allocating a closure per scheduled call.
+        """
+        if self._stopped:
+            raise EngineStoppedError("cannot schedule on a stopped engine")
+        if time < self.clock._now:
+            raise SchedulingError(
+                f"cannot schedule at {time:.6f}, now is {self.now:.6f}")
+        self.queue.schedule_pooled(time, callback, arg, label)
 
     def every(self, period: float, callback: Callable[[], Any],
               jitter_fn: Optional[Callable[[], float]] = None) -> Timer:
@@ -129,20 +154,30 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when idle."""
-        event = self.queue.pop()
+        queue = self.queue
+        event = queue.pop()
         if event is None:
             return False
         self.clock.advance_to(event.time)
         callback = event.callback
+        arg = event.arg
         self.events_executed += 1
         if callback is not None:
             profiler = self.profiler
             if profiler is None:
-                callback()
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    callback(arg)
             else:
                 started = perf_counter()
-                callback()
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    callback(arg)
                 profiler.record(event.label, perf_counter() - started)
+        if event.poolable:
+            queue.recycle(event)
         return True
 
     def run_until(self, end_time: float,
@@ -157,33 +192,102 @@ class Simulator:
         clock stays at the last executed event so those events are not
         silently skipped over.
         """
-        if end_time < self.now:
+        clock = self.clock
+        if end_time < clock._now:
             raise SchedulingError(
                 f"end_time {end_time:.6f} is before now {self.now:.6f}")
         executed = 0
         self._running = True
+        # The queue mutates its heap strictly in place (push/compact/
+        # clear), so holding a local alias across callbacks is safe.
+        queue = self.queue
+        heap = queue._heap
+        recycle = queue.recycle
+        profiler = self.profiler
+        no_arg = _NO_ARG
+        pop = heappop
         try:
-            while True:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time > end_time:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    queue._dead -= 1
+                    continue
+                time = entry[0]
+                if time > end_time:
                     break
-                self.step()
+                pop(heap)
+                queue._live -= 1
+                # Heap order makes `time` non-decreasing; write the clock
+                # directly instead of re-checking monotonicity per event.
+                clock._now = time
+                self.events_executed += 1
+                callback = event.callback
+                arg = event.arg
+                if profiler is None:
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                else:
+                    started = perf_counter()
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                    profiler.record(event.label, perf_counter() - started)
+                if event.poolable:
+                    recycle(event)
                 executed += 1
         finally:
             self._running = False
-        next_time = self.queue.peek_time()
+        next_time = queue.peek_time()
         if next_time is None or next_time > end_time:
-            self.clock.advance_to(end_time)
+            clock.advance_to(end_time)
         return executed
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue is empty (or ``max_events`` is reached)."""
         executed = 0
         self._running = True
+        clock = self.clock
+        queue = self.queue
+        heap = queue._heap
+        recycle = queue.recycle
+        profiler = self.profiler
+        no_arg = _NO_ARG
+        pop = heappop
         try:
-            while self.step():
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    queue._dead -= 1
+                    continue
+                pop(heap)
+                queue._live -= 1
+                clock._now = entry[0]
+                self.events_executed += 1
+                callback = event.callback
+                arg = event.arg
+                if profiler is None:
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                else:
+                    started = perf_counter()
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                    profiler.record(event.label, perf_counter() - started)
+                if event.poolable:
+                    recycle(event)
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break

@@ -38,9 +38,23 @@ class ChunkGeometry:
         # simulator's hottest path — precompute them once.
         chunk_bytes = int(self.bitrate_bps * self.chunk_seconds / 8.0)
         object.__setattr__(self, "_chunk_bytes", chunk_bytes)
-        object.__setattr__(
-            self, "_subpieces_per_chunk",
-            max(1, math.ceil(chunk_bytes / self.subpiece_bytes)))
+        total = max(1, math.ceil(chunk_bytes / self.subpiece_bytes))
+        object.__setattr__(self, "_subpieces_per_chunk", total)
+        # Per-sub-piece size table and its prefix sums: `subpiece_size`
+        # and `range_bytes` become O(1) lookups on the data hot path.
+        sizes = []
+        for index in range(total):
+            if index < total - 1:
+                sizes.append(self.subpiece_bytes)
+            else:
+                remainder = chunk_bytes - self.subpiece_bytes * index
+                sizes.append(remainder if remainder > 0
+                             else self.subpiece_bytes)
+        object.__setattr__(self, "_sizes", tuple(sizes))
+        cumulative = [0]
+        for size in sizes:
+            cumulative.append(cumulative[-1] + size)
+        object.__setattr__(self, "_cumulative_bytes", tuple(cumulative))
 
     @property
     def chunk_bytes(self) -> int:
@@ -54,18 +68,19 @@ class ChunkGeometry:
 
     def subpiece_size(self, index: int) -> int:
         """Size in bytes of sub-piece ``index`` within a chunk."""
-        if not 0 <= index < self.subpieces_per_chunk:
+        if not 0 <= index < self._subpieces_per_chunk:
             raise IndexError(f"sub-piece {index} out of range")
-        if index < self.subpieces_per_chunk - 1:
-            return self.subpiece_bytes
-        remainder = self.chunk_bytes - self.subpiece_bytes * index
-        return remainder if remainder > 0 else self.subpiece_bytes
+        return self._sizes[index]
 
     def range_bytes(self, first: int, last: int) -> int:
         """Total bytes of sub-pieces ``first..last`` inclusive."""
         if first > last:
             raise ValueError(f"empty range {first}..{last}")
-        return sum(self.subpiece_size(i) for i in range(first, last + 1))
+        if first < 0 or last >= self._subpieces_per_chunk:
+            index = first if first < 0 else last
+            raise IndexError(f"sub-piece {index} out of range")
+        cumulative = self._cumulative_bytes
+        return cumulative[last + 1] - cumulative[first]
 
     def live_chunk(self, now: float, channel_start: float = 0.0) -> int:
         """Index of the newest *complete* chunk at simulated time ``now``.

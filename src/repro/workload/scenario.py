@@ -281,6 +281,14 @@ class SessionScenario:
         metrics = obs.metrics
         g_viewers = metrics.gauge("workload.active_viewers")
         g_online = metrics.gauge("net.online_hosts")
+        # Pre-resolved per-probe handles: no per-sample name lookups.
+        g_fill = metrics.gauge_family("proto.neighbor_fill", "probe")
+        g_backlog = metrics.gauge_family("net.uplink_backlog_seconds_last",
+                                         "probe")
+        g_continuity = metrics.gauge_family("streaming.continuity_index",
+                                            "probe")
+        g_lead = metrics.gauge_family("streaming.buffer_lead_chunks",
+                                      "probe")
 
         def sample(now: float) -> dict:
             fields = {"viewers": manager.active_count,
@@ -289,19 +297,16 @@ class SessionScenario:
             g_online.set(udp.online_count)
             neighbor_fill = []
             for name, peer in sorted(probe_peers.items()):
-                tags = {"probe": name}
                 neighbors = len(peer.neighbors)
                 neighbor_fill.append(
                     f"{neighbors}/{cfg.protocol.max_neighbors}")
-                metrics.gauge("proto.neighbor_fill", tags).set(neighbors)
+                g_fill.labeled(name).set(neighbors)
                 backlog = peer.uplink.backlog(now)
-                metrics.gauge("net.uplink_backlog_seconds_last",
-                              tags).set(round(backlog, 6))
+                g_backlog.labeled(name).set(round(backlog, 6))
                 if peer.player is not None:
                     continuity = peer.player.continuity_index
-                    metrics.gauge("streaming.continuity_index",
-                                  tags).set(round(continuity, 6))
-                    metrics.gauge("streaming.buffer_lead_chunks", tags).set(
+                    g_continuity.labeled(name).set(round(continuity, 6))
+                    g_lead.labeled(name).set(
                         peer.have_until - peer.player.playout_chunk)
                     fields[f"{name}.continuity"] = round(continuity, 3)
             if neighbor_fill:

@@ -1,0 +1,148 @@
+"""Tests for ``repro bench`` and the machine-readable perf baselines."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.bench import (CAMPAIGN_FILE, ENGINE_FILE,
+                                     SCHEMA_VERSION, _check_drift, _merged,
+                                     campaign_config, engine_config,
+                                     run_bench)
+
+ENGINE_FIELDS = {"profile", "seed", "events", "wall_seconds",
+                 "events_per_sec", "peak_rss_bytes", "golden_digest",
+                 "population", "sim_seconds"}
+CAMPAIGN_FIELDS = {"profile", "seed", "events", "wall_seconds",
+                   "events_per_sec", "peak_rss_bytes", "golden_digest",
+                   "series_digest", "days", "jobs"}
+
+
+class TestConfigs:
+    def test_quick_campaign_is_the_golden_config(self):
+        from tests.test_campaign_goldens import GOLDEN_CONFIG
+        assert campaign_config("quick") == GOLDEN_CONFIG()
+
+    def test_quick_engine_is_smaller_than_default(self):
+        quick = engine_config("quick")
+        default = engine_config("default")
+        assert quick.population < default.population
+        assert quick.warmup + quick.duration \
+            < default.warmup + default.duration
+        assert quick.seed == default.seed == 7
+
+    def test_unknown_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            engine_config("huge")
+        with pytest.raises(ValueError):
+            campaign_config("huge")
+
+
+class TestDriftCheck:
+    RECORDS = {"quick": {"golden_digest": "abc123" + "0" * 58}}
+
+    def test_matching_digest_passes(self, capsys):
+        import sys
+        baseline = {"profiles": {"quick":
+                                 {"golden_digest": "abc123" + "0" * 58}}}
+        assert _check_drift(baseline, self.RECORDS, "engine",
+                            sys.stderr) == []
+
+    def test_drifted_digest_fails(self):
+        import sys
+        baseline = {"profiles": {"quick":
+                                 {"golden_digest": "f" * 64}}}
+        failures = _check_drift(baseline, self.RECORDS, "engine",
+                                sys.stderr)
+        assert len(failures) == 1
+        assert "drifted" in failures[0]
+
+    def test_missing_baseline_fails(self):
+        import sys
+        assert _check_drift(None, self.RECORDS, "engine", sys.stderr)
+        assert _check_drift({"profiles": {}}, self.RECORDS, "engine",
+                            sys.stderr)
+
+    def test_merged_preserves_other_profiles(self, tmp_path):
+        path = tmp_path / ENGINE_FILE
+        path.write_text(json.dumps({
+            "schema": SCHEMA_VERSION, "benchmark": "engine",
+            "profiles": {"default": {"golden_digest": "d" * 64}}}))
+        merged = _merged(path, "engine", {"quick": {"golden_digest": "q"}})
+        assert set(merged["profiles"]) == {"default", "quick"}
+        assert merged["profiles"]["default"]["golden_digest"] == "d" * 64
+        assert merged["schema"] == SCHEMA_VERSION
+
+
+class TestBenchEndToEnd:
+    """One real quick engine run through the CLI, reused across asserts."""
+
+    @pytest.fixture(scope="class")
+    def bench_dir(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("bench")
+        assert main(["bench", "--quick", "--only", "engine",
+                     "--out-dir", str(out_dir)]) == 0
+        return out_dir
+
+    def test_writes_engine_file_with_required_fields(self, bench_dir):
+        data = json.loads((bench_dir / ENGINE_FILE).read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["benchmark"] == "engine"
+        record = data["profiles"]["quick"]
+        assert ENGINE_FIELDS <= set(record)
+        assert record["events"] > 0
+        assert record["events_per_sec"] > 0
+        assert len(record["golden_digest"]) == 64
+        assert not (bench_dir / CAMPAIGN_FILE).exists()
+
+    def test_check_against_own_baseline_passes(self, bench_dir, capsys):
+        assert main(["bench", "--quick", "--only", "engine",
+                     "--out-dir", str(bench_dir)]) == 0
+        assert main(["bench", "--quick", "--only", "engine", "--check",
+                     "--out-dir", str(bench_dir)]) == 0
+        assert "digest OK" in capsys.readouterr().err
+
+    def test_check_fails_on_tampered_baseline(self, bench_dir, tmp_path,
+                                              capsys):
+        tampered = json.loads((bench_dir / ENGINE_FILE).read_text())
+        tampered["profiles"]["quick"]["golden_digest"] = "0" * 64
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        (baseline_dir / ENGINE_FILE).write_text(json.dumps(tampered))
+        code = run_bench(out_dir=tmp_path, quick=True, check=True,
+                         baseline_dir=baseline_dir, only="engine")
+        assert code == 1
+
+    def test_rerun_is_deterministic(self, bench_dir, tmp_path):
+        code = run_bench(out_dir=tmp_path, quick=True, only="engine")
+        assert code == 0
+        first = json.loads((bench_dir / ENGINE_FILE).read_text())
+        second = json.loads((tmp_path / ENGINE_FILE).read_text())
+        assert (first["profiles"]["quick"]["golden_digest"]
+                == second["profiles"]["quick"]["golden_digest"])
+        assert (first["profiles"]["quick"]["events"]
+                == second["profiles"]["quick"]["events"])
+
+
+class TestCommittedBaselines:
+    """The repo-root BENCH files are real, current baselines."""
+
+    @pytest.fixture(scope="class")
+    def repo_root(self):
+        from pathlib import Path
+        return Path(__file__).resolve().parent.parent
+
+    def test_engine_baseline_committed(self, repo_root):
+        data = json.loads((repo_root / ENGINE_FILE).read_text())
+        assert data["benchmark"] == "engine"
+        assert {"quick", "default"} <= set(data["profiles"])
+
+    def test_campaign_baseline_committed_and_tied_to_goldens(self, repo_root):
+        from tests.test_campaign_goldens import (GOLDEN_SERIES_DIGEST,
+                                                 GOLDEN_TABLE_DIGEST)
+        data = json.loads((repo_root / CAMPAIGN_FILE).read_text())
+        quick = data["profiles"]["quick"]
+        # The quick campaign profile IS the golden config, so its committed
+        # digests must equal the pinned campaign goldens.
+        assert quick["golden_digest"] == GOLDEN_TABLE_DIGEST
+        assert quick["series_digest"] == GOLDEN_SERIES_DIGEST

@@ -136,6 +136,54 @@ class TestNullRegistry:
         assert len(NULL_REGISTRY) == 0
 
 
+class TestMetricFamilies:
+    """Pre-resolved handle families for tagged hot-path metrics."""
+
+    def test_counter_family_memoises_handles(self):
+        reg = MetricsRegistry()
+        family = reg.counter_family("net.messages_sent", "type")
+        a = family.labeled("ChunkData")
+        b = family.labeled("ChunkData")
+        assert a is b
+        # A family handle IS the registry's series for those tags.
+        assert a is reg.counter("net.messages_sent",
+                                tags={"type": "ChunkData"})
+        a.inc(2)
+        family.labeled("ChunkData").inc()
+        assert reg.get("net.messages_sent", {"type": "ChunkData"}).value == 3
+
+    def test_counter_family_distinct_labels_distinct_series(self):
+        reg = MetricsRegistry()
+        family = reg.counter_family("x", "kind")
+        family.labeled("a").inc()
+        family.labeled("b").inc(5)
+        assert reg.get("x", {"kind": "a"}).value == 1
+        assert reg.get("x", {"kind": "b"}).value == 5
+
+    def test_gauge_family_memoises_handles(self):
+        reg = MetricsRegistry()
+        family = reg.gauge_family("probe.fill", "probe")
+        family.labeled("tele").set(0.5)
+        assert family.labeled("tele") is reg.gauge(
+            "probe.fill", tags={"probe": "tele"})
+        assert reg.get("probe.fill", {"probe": "tele"}).value == 0.5
+
+    def test_null_registry_families_are_noops(self):
+        from repro.obs import NULL_COUNTER_FAMILY, NULL_GAUGE_FAMILY
+        counters = NULL_REGISTRY.counter_family("x", "k")
+        gauges = NULL_REGISTRY.gauge_family("y", "k")
+        a = counters.labeled("anything")
+        b = counters.labeled("else")
+        assert a is b
+        a.inc(100)
+        assert a.value == 0
+        gauges.labeled("z").set(9)
+        assert len(NULL_REGISTRY) == 0
+        # Null families are shared singletons, allocation-free per call.
+        assert NULL_REGISTRY.counter_family("q", "k") is NULL_COUNTER_FAMILY
+        assert NULL_REGISTRY.gauge_family("q", "k") is NULL_GAUGE_FAMILY
+
+
 # ----------------------------------------------------------------------
 # Trace sinks
 # ----------------------------------------------------------------------
