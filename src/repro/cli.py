@@ -10,8 +10,12 @@ Usage::
     python -m repro all --scale small
     python -m repro run fig06 --jobs 4
     python -m repro run chaos --faults examples/faults/chaos_demo.json
+    python -m repro fig06 --progress-jsonl progress.jsonl
+    python -m repro status progress.jsonl
+    python -m repro top progress.jsonl --interval 2
     python -m repro report --scale small --out scorecard.md
     python -m repro bench --quick --check
+    python -m repro bench --diff BENCH_engine.json /tmp/new/BENCH_engine.json
 
 ``all`` runs every single-session figure and Table 1 (the four canonical
 sessions are simulated once and shared); ``fig06`` runs the campaign and
@@ -37,7 +41,16 @@ range, plus engine perf numbers, written as markdown (or HTML with
 machine-readable perf baselines ``BENCH_engine.json`` /
 ``BENCH_campaign.json`` at the repo root; with ``--check`` it fails when
 a golden digest drifts from the committed baseline (the CI perf gate —
-see ``docs/PERFORMANCE.md``).
+see ``docs/PERFORMANCE.md``).  Each record now carries a per-subsystem
+wall-time attribution block; ``bench --diff OLD NEW`` compares two
+artifacts (and ``bench --diff`` with no paths diffs a fresh run against
+the committed baselines), failing on events/sec regressions beyond
+``--threshold``.
+
+``status`` and ``top`` read a ``--progress-jsonl`` artifact — live
+mid-run (a torn final line is tolerated) or finished — and print a
+one-shot summary with ETA, or a refresh-loop live view, respectively
+(see ``docs/OBSERVABILITY.md``, "Watching a live run").
 
 Observability flags (see ``docs/OBSERVABILITY.md``):
 
@@ -49,7 +62,12 @@ Observability flags (see ``docs/OBSERVABILITY.md``):
   ``chrome://tracing``), streaming JSONL otherwise,
 * ``--log-level L``   — bridge trace records into stdlib logging on
   stderr at level ``L`` (debug|info|warning|error),
-* ``--progress``      — print heartbeat progress lines to stderr.
+* ``--progress``      — print heartbeat progress lines to stderr,
+* ``--progress-jsonl PATH`` — stream the run's progress bus (run
+  start, heartbeats, per-day/per-job completions, terminal summary)
+  to PATH as append-only JSONL; readable mid-run by ``repro status``
+  / ``repro top``.  The ``run_summary`` footer is written even when
+  the run crashes or is interrupted.
 
 Without any of these flags the simulator runs completely
 uninstrumented and its output is byte-identical to earlier releases.
@@ -61,6 +79,8 @@ import argparse
 import contextlib
 import json
 import logging
+import io
+import os
 import sys
 import time
 from pathlib import Path
@@ -70,8 +90,10 @@ from . import __version__
 from .experiments import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
                           Scale, WorkloadBank, run_experiment)
 from .obs import (ChromeTraceSink, EngineProfiler, Instrumentation,
-                  JsonlSink, JsonlSpanSink, LoggingSink, TeeSink,
-                  level_from_name, write_metrics_csv, write_metrics_jsonl)
+                  JsonlSink, JsonlSpanSink, LoggingSink, ProgressBus,
+                  TeeSink, level_from_name, read_progress, render_status,
+                  summarize_progress, write_metrics_csv,
+                  write_metrics_jsonl)
 
 _LOG_LEVELS = ("debug", "info", "warning", "error")
 
@@ -89,8 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     parser.add_argument(
         "experiment",
-        help="experiment id (fig02..fig18, table1, chaos), 'all' for "
-             "every single-session experiment, 'list', or 'report'")
+        # Generated from the registry so this help can never list an
+        # experiment the registry doesn't have (or miss one it does).
+        help=f"experiment id ({', '.join(ALL_EXPERIMENT_IDS)}), 'all' "
+             f"for every single-session experiment, 'list', or 'report'")
     parser.add_argument(
         "--scale", choices=[s.value for s in Scale], default="small",
         help="workload scale (default: small; 'full' is the paper's "
@@ -131,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_group.add_argument(
         "--progress", action="store_true",
         help="print periodic heartbeat progress lines to stderr")
+    obs_group.add_argument(
+        "--progress-jsonl", metavar="PATH", default=None,
+        help="stream the live progress bus to PATH as append-only "
+             "JSONL (tail it, or point 'repro status' / 'repro top' "
+             "at it while the run executes)")
     return parser
 
 
@@ -162,18 +191,117 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--campaign-seed", type=int, default=11,
         help="campaign bench master seed (default: 11, the golden seed)")
+    parser.add_argument(
+        "--diff", nargs="*", metavar="ARTIFACT", default=None,
+        help="with two paths: compare those bench artifacts and exit "
+             "(no benches run); with no paths: run the benches and "
+             "diff the fresh numbers against the committed baselines")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="events/sec drop beyond this fraction fails --diff "
+             "(default: 0.10)")
     return parser
 
 
 def _bench(argv: List[str]) -> int:
-    from .experiments.bench import run_bench
+    from .experiments.bench import run_bench, run_bench_diff
     args = build_bench_parser().parse_args(argv)
+    if args.diff is not None and len(args.diff) == 2:
+        return run_bench_diff(Path(args.diff[0]), Path(args.diff[1]),
+                              threshold=args.threshold)
+    if args.diff is not None and args.diff:
+        print("--diff takes exactly two artifact paths, or none to "
+              "diff a fresh run against the committed baselines",
+              file=sys.stderr)
+        return 2
     return run_bench(Path(args.out_dir), quick=args.quick,
                      check=args.check,
                      baseline_dir=Path(args.baseline_dir)
                      if args.baseline_dir else None,
                      only=args.only, engine_seed=args.seed,
-                     campaign_seed=args.campaign_seed)
+                     campaign_seed=args.campaign_seed,
+                     diff_baseline=args.diff is not None,
+                     threshold=args.threshold)
+
+
+def build_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="One-shot summary of a run's --progress-jsonl "
+                    "artifact: state, sim/campaign progress, engine "
+                    "throughput, swarm composition, ETA.  Works on "
+                    "finished runs and mid-flight ones (a torn final "
+                    "line is tolerated).")
+    parser.add_argument("path",
+                        help="progress.jsonl artifact (live or finished)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the status summary as JSON")
+    return parser
+
+
+def _read_summary(path: str):
+    """Progress records -> status summary, or (None, exit_code)."""
+    try:
+        records = read_progress(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None, 2
+    except ValueError as exc:
+        print(f"corrupt progress stream {path}: {exc}", file=sys.stderr)
+        return None, 2
+    return summarize_progress(records), 0
+
+
+def _status(argv: List[str]) -> int:
+    args = build_status_parser().parse_args(argv)
+    summary, code = _read_summary(args.path)
+    if summary is None:
+        return code
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_status(summary, source=args.path))
+    return 0
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Refresh-loop live view of a run's --progress-jsonl "
+                    "artifact; exits when the run finishes (or on "
+                    "Ctrl-C).")
+    parser.add_argument("path",
+                        help="progress.jsonl artifact (live or finished)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="refresh interval (default: 2.0)")
+    parser.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (default: 0 = until the run "
+             "finishes)")
+    return parser
+
+
+def _top(argv: List[str]) -> int:
+    args = build_top_parser().parse_args(argv)
+    refreshes = 0
+    try:
+        while True:
+            summary, code = _read_summary(args.path)
+            if summary is None:
+                return code
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                print("\x1b[2J\x1b[H", end="")
+            print(render_status(summary, source=args.path))
+            sys.stdout.flush()
+            refreshes += 1
+            if args.iterations and refreshes >= args.iterations:
+                return 0
+            if summary.get("state") not in ("empty", "running"):
+                return 0  # the footer landed: nothing more will arrive
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
 
 
 def build_report_parser() -> argparse.ArgumentParser:
@@ -218,7 +346,7 @@ def build_report_parser() -> argparse.ArgumentParser:
 def build_instrumentation(args) -> Optional[Instrumentation]:
     """An enabled bundle when any obs flag was given, else ``None``."""
     if not (args.metrics or args.trace or args.spans or args.log_level
-            or args.progress):
+            or args.progress or args.progress_jsonl):
         return None
     trace_level = level_from_name(args.log_level or "info")
     sinks = []
@@ -239,9 +367,12 @@ def build_instrumentation(args) -> Optional[Instrumentation]:
     if args.spans:
         spans = ChromeTraceSink(args.spans) if args.spans.endswith(".json") \
             else JsonlSpanSink(args.spans)
+    progress_bus = ProgressBus(args.progress_jsonl) \
+        if args.progress_jsonl else None
     return Instrumentation(trace=sink, spans=spans,
                            profiler=EngineProfiler(),
-                           progress=args.progress)
+                           progress=args.progress,
+                           progress_bus=progress_bus)
 
 
 def _write_metrics(obs: Instrumentation, path: str) -> int:
@@ -265,18 +396,20 @@ def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
 
 
 def _list_experiments(as_json: bool) -> int:
+    # Strict registry lookups: an experiment id without a description
+    # is a registration bug and must fail loudly here (and in the
+    # registry/CLI sync test), not silently print an empty column.
     if as_json:
         from .experiments.collect import PAPER_TARGETS
         records = [{"id": experiment_id,
-                    "description": EXPERIMENT_DESCRIPTIONS.get(
-                        experiment_id, ""),
+                    "description": EXPERIMENT_DESCRIPTIONS[experiment_id],
                     "paper": PAPER_TARGETS.get(experiment_id, "")}
                    for experiment_id in ALL_EXPERIMENT_IDS]
         print(json.dumps(records, indent=2))
         return 0
     width = max(len(eid) for eid in ALL_EXPERIMENT_IDS) + 2
     for experiment_id in ALL_EXPERIMENT_IDS:
-        description = EXPERIMENT_DESCRIPTIONS.get(experiment_id, "")
+        description = EXPERIMENT_DESCRIPTIONS[experiment_id]
         print(f"{experiment_id:<{width}}{description}".rstrip())
     return 0
 
@@ -310,6 +443,21 @@ def _report(argv: List[str]) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        # The reader went away; reopen stdout on devnull so the
+        # interpreter's shutdown flush does not raise again (skipped
+        # when stdout has no real file descriptor, e.g. under pytest).
+        try:
+            devnull = open(os.devnull, "w")
+            os.dup2(devnull.fileno(), sys.stdout.fileno())
+        except (OSError, ValueError, io.UnsupportedOperation):
+            pass
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "run":
         argv = argv[1:]  # "repro run fig06" == "repro fig06"
@@ -317,6 +465,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _report(argv[1:])
     if argv and argv[0] == "bench":
         return _bench(argv[1:])
+    if argv and argv[0] in ("status", "top"):
+        handler = _status if argv[0] == "status" else _top
+        return handler(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _list_experiments(args.json)
@@ -338,12 +489,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
     bank = WorkloadBank(instrumentation=obs, faults=faults)
+    # Shared with the run_summary footer: the except handlers below
+    # rewrite the status before cleanup unwinds.
+    run_state = {"status": "ok"}
     # LIFO cleanup with *independent* steps: closing the sinks must
     # happen even when finalize or the metrics write raises, so a
     # crashed run still flushes its partial JSONL artifacts.
     with contextlib.ExitStack() as cleanup:
         if obs is not None:
             cleanup.callback(obs.close)
+            if obs.progress_bus is not None:
+                # Registered right after close -> runs just before it:
+                # the footer lands even on crash/Ctrl-C, after the
+                # metrics flush (so the event total is final).
+                def _footer() -> None:
+                    events = obs.metrics.get("sim.events_executed")
+                    obs.progress_bus.run_summary(
+                        run_state["status"],
+                        experiment=args.experiment,
+                        events_executed=int(events.value)
+                        if events is not None else 0)
+                    print(f"[progress ({run_state['status']}) -> "
+                          f"{args.progress_jsonl}]", file=sys.stderr)
+                cleanup.callback(_footer)
             if args.trace:
                 cleanup.callback(
                     lambda: print(f"[trace -> {args.trace}]",
@@ -359,25 +527,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                           file=sys.stderr)
                 cleanup.callback(_flush_metrics)
             cleanup.callback(obs.finalize)
+            if obs.progress_bus is not None:
+                obs.progress_bus.run_start(
+                    experiment=args.experiment, scale=args.scale,
+                    seed=args.seed, jobs=args.jobs)
 
-        if args.experiment == "all":
-            for experiment_id in ALL_EXPERIMENT_IDS:
-                if experiment_id in ("fig06", "chaos"):
-                    continue  # slower standalone runs: invoke explicitly
-                _run_one(experiment_id, bank, scale, args.seed,
-                         instrumentation=obs, jobs=args.jobs,
-                         faults=faults)
-            print("(fig06 and chaos skipped by 'all'; run them "
-                  "explicitly, e.g. 'python -m repro chaos')")
+        try:
+            if args.experiment == "all":
+                for experiment_id in ALL_EXPERIMENT_IDS:
+                    if experiment_id in ("fig06", "chaos"):
+                        continue  # slower standalone runs: invoke explicitly
+                    _run_one(experiment_id, bank, scale, args.seed,
+                             instrumentation=obs, jobs=args.jobs,
+                             faults=faults)
+                print("(fig06 and chaos skipped by 'all'; run them "
+                      "explicitly, e.g. 'python -m repro chaos')")
+                return 0
+
+            if args.experiment not in ALL_EXPERIMENT_IDS:
+                print(f"unknown experiment {args.experiment!r}; "
+                      f"try 'list'", file=sys.stderr)
+                return 2
+            _run_one(args.experiment, bank, scale, args.seed,
+                     instrumentation=obs, jobs=args.jobs, faults=faults)
             return 0
-
-        if args.experiment not in ALL_EXPERIMENT_IDS:
-            print(f"unknown experiment {args.experiment!r}; "
-                  f"try 'list'", file=sys.stderr)
-            return 2
-        _run_one(args.experiment, bank, scale, args.seed,
-                 instrumentation=obs, jobs=args.jobs, faults=faults)
-        return 0
+        except KeyboardInterrupt:
+            run_state["status"] = "interrupted"
+            raise
+        except BaseException as exc:
+            run_state["status"] = f"crashed:{type(exc).__name__}"
+            raise
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

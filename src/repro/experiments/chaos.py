@@ -186,7 +186,7 @@ def _chaos_session_job(params: ChaosParams,
                         "viewers": manager.active_count})
             state["last"] = now
 
-        sim.every(params.bin_seconds, tick)
+        sim.every(params.bin_seconds, tick, label="chaos-bin")
 
     config = ScenarioConfig(
         seed=params.seed,

@@ -176,6 +176,18 @@ class UdpNetwork:
     def online_count(self) -> int:
         return len(self._hosts)
 
+    def online_by_isp(self) -> Dict[str, int]:
+        """Online host counts per ISP name, sorted by name.
+
+        Deterministic for a fixed seed (registration is simulation
+        state); feeds the progress bus's per-ISP heartbeat field.
+        """
+        counts: Dict[str, int] = {}
+        for host in self._hosts.values():
+            name = host.isp.name
+            counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items()))
+
     # ------------------------------------------------------------------
     # Taps (capture substrate attaches here)
     # ------------------------------------------------------------------

@@ -13,16 +13,28 @@ measurement substrate.  Three facets, bundled by
 * :mod:`repro.obs.spans` — causal transaction spans (trace/parent IDs,
   status, flat attributes) with JSONL and Chrome-trace (Perfetto)
   exporters; the simulator-side analogue of the paper's
-  transaction-matching methodology.
+  transaction-matching methodology,
+* :mod:`repro.obs.live` — the streaming progress bus: constant-memory
+  ``progress.jsonl`` heartbeats plus the status/ETA readers behind
+  ``repro status`` / ``repro top``,
+* :mod:`repro.obs.attribution` — per-subsystem wall-time buckets
+  (transport / protocol / playback / faults / engine dispatch / ...)
+  derived from the profiler, embedded in the ``BENCH_*.json`` perf
+  artifacts and diffed by ``repro bench --diff``.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalog, trace schema and
 span model.
 """
 
+from .attribution import (LABEL_SUBSYSTEMS, SUBSYSTEMS, build_attribution,
+                          render_attribution, subsystem_of)
 from .export import (metrics_to_records, read_metrics_csv,
                      read_metrics_jsonl, strip_wall_metrics,
                      write_metrics_csv, write_metrics_jsonl)
 from .instrument import NULL_INSTRUMENTATION, Instrumentation, resolve
+from .live import (WALL_FIELDS, ProgressBus, deterministic_records,
+                   peak_rss_bytes, read_progress, render_status,
+                   strip_wall_fields, summarize_progress)
 from .metrics import (DEFAULT_BUCKETS, NULL_COUNTER_FAMILY,
                       NULL_GAUGE_FAMILY, NULL_REGISTRY, Counter,
                       CounterFamily, Gauge, GaugeFamily, Histogram,
@@ -51,6 +63,11 @@ __all__ = [
     "read_spans_jsonl", "read_chrome_trace", "validate_chrome_trace",
     "span_categories",
     "EngineProfiler", "EngineSample", "HeartbeatSampler",
+    "ProgressBus", "WALL_FIELDS", "read_progress", "strip_wall_fields",
+    "deterministic_records", "summarize_progress", "render_status",
+    "peak_rss_bytes",
+    "SUBSYSTEMS", "LABEL_SUBSYSTEMS", "subsystem_of",
+    "build_attribution", "render_attribution",
     "metrics_to_records", "strip_wall_metrics",
     "write_metrics_jsonl", "read_metrics_jsonl",
     "write_metrics_csv", "read_metrics_csv",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, TextIO
 
+from .live import ProgressBus
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .profiler import EngineProfiler
 from .spans import NULL_SPAN_SINK, SpanSink
@@ -31,7 +32,9 @@ class Instrumentation:
                  spans: Optional[SpanSink] = None,
                  progress: bool = False,
                  progress_stream: Optional[TextIO] = None,
-                 heartbeat_interval: float = 30.0) -> None:
+                 heartbeat_interval: float = 30.0,
+                 progress_bus: Optional[ProgressBus] = None,
+                 heartbeat: bool = True) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else NULL_SINK
         self.spans = spans if spans is not None else NULL_SPAN_SINK
@@ -39,6 +42,13 @@ class Instrumentation:
         self.progress = progress
         self.progress_stream = progress_stream
         self.heartbeat_interval = heartbeat_interval
+        #: Streaming progress.jsonl writer (``--progress-jsonl``);
+        #: parent-side only, never shipped to worker processes.
+        self.progress_bus = progress_bus
+        #: Master switch for heartbeat-sampler installation; benches
+        #: turn it off so the profiler can run without the sampler's
+        #: timer events changing ``events_executed``.
+        self.heartbeat = heartbeat
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -63,8 +73,10 @@ class Instrumentation:
     @property
     def wants_heartbeat(self) -> bool:
         """Whether a scenario should install a heartbeat sampler."""
-        return self.enabled and (self.progress or self.profiler is not None
-                                 or self.trace is not NULL_SINK)
+        return (self.enabled and self.heartbeat
+                and (self.progress or self.profiler is not None
+                     or self.trace is not NULL_SINK
+                     or self.progress_bus is not None))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -77,6 +89,8 @@ class Instrumentation:
     def close(self) -> None:
         self.trace.close()
         self.spans.close()
+        if self.progress_bus is not None:
+            self.progress_bus.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"

@@ -22,10 +22,12 @@ progress report to a stream.
 from __future__ import annotations
 
 import sys
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
+from .live import peak_rss_bytes
 from .trace import INFO
 
 
@@ -60,6 +62,9 @@ class EngineProfiler:
         self._labels: Dict[str, LabelProfile] = {}
         self.samples: List[EngineSample] = []
         self._started_at = perf_counter()
+        #: Coarse run-phase wall clocks ("setup", "sim", "analysis"):
+        #: cumulative, so multi-session runs (campaigns) accumulate.
+        self.phases: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Hot path (called by Simulator.step for every event)
@@ -70,6 +75,25 @@ class EngineProfiler:
             profile = self._labels[label] = LabelProfile()
         profile.count += 1
         profile.wall_seconds += wall_seconds
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of one run phase under ``name``.
+
+        The attribution report (:mod:`repro.obs.attribution`) uses the
+        "sim" phase to separate event-loop dispatch overhead from
+        callback time, and "setup"/"analysis" to account the work
+        outside the loop entirely.
+        """
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = (self.phases.get(name, 0.0)
+                                 + perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Sampling
@@ -161,7 +185,7 @@ class HeartbeatSampler:
         self.label = label
         self.stream = stream
         self.beats = 0
-        self._timer = sim.every(interval, self._beat)
+        self._timer = sim.every(interval, self._beat, label="obs-heartbeat")
 
     def stop(self) -> None:
         self._timer.stop()
@@ -181,6 +205,15 @@ class HeartbeatSampler:
                 # Wall-clock rate: progress/trace only, never metrics.
                 fields["events_per_sec_wall"] = round(events_per_sec, 1)
         self.obs.trace.emit(now, INFO, "heartbeat", **fields)
+        bus = self.obs.progress_bus
+        if bus is not None:
+            beat = {"t": round(now, 3)}
+            beat.update((key, value) for key, value in fields.items()
+                        if key != "events_per_sec_wall")
+            if events_per_sec is not None:
+                beat["events_per_sec"] = round(events_per_sec, 1)
+            beat["rss_bytes"] = peak_rss_bytes()
+            bus.heartbeat(**beat)
         if self.stream is not None:
             self._print_progress(now, fields, events_per_sec)
 
@@ -188,7 +221,8 @@ class HeartbeatSampler:
                         events_per_sec: Optional[float]) -> None:
         parts = [f"[{self.label or 'run'}] t={now:.0f}s"]
         for key, value in fields.items():
-            if key in ("events_per_sec_wall",):
+            # Nested structures (per-ISP census) stay in trace/bus records.
+            if key in ("events_per_sec_wall",) or isinstance(value, dict):
                 continue
             if isinstance(value, float):
                 parts.append(f"{key}={value:.2f}")

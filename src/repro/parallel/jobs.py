@@ -266,6 +266,8 @@ def execute_jobs(jobs: Sequence[Job], *, workers: int = 1,
         _record_metrics(ordered, workers, resolved)
         if resolved.spans.enabled:
             _record_spans(ordered, workers, resolved)
+        if resolved.progress_bus is not None:
+            _record_progress(ordered, resolved)
     return ordered
 
 
@@ -302,6 +304,25 @@ def _record_metrics(outcomes: Sequence[JobOutcome], workers: int,
                        jobs=len(outcomes), workers=workers,
                        **{f"jobs_{where}": count
                           for where, count in sorted(by_where.items())})
+
+
+def _record_progress(outcomes: Sequence[JobOutcome],
+                     obs: Instrumentation) -> None:
+    """Parent-side ``job_complete`` records, in merged key order.
+
+    Workers never carry the bus (unpicklable; completion order is
+    racy), so like spans these are emitted after the deterministic
+    merge — the stream reports *what finished*, not when each worker
+    happened to report in.
+    """
+    bus = obs.progress_bus
+    total = len(outcomes)
+    for index, outcome in enumerate(outcomes):
+        bus.emit("job_complete", key=str(outcome.key),
+                 index=index + 1, total=total, where=outcome.where,
+                 attempts=outcome.attempts,
+                 wall_clock=round(outcome.wall_clock, 3),
+                 queue_wait=round(outcome.queue_wait, 3))
 
 
 def _record_spans(outcomes: Sequence[JobOutcome], workers: int,

@@ -161,7 +161,8 @@ class PPLivePeer(Host):
                 actor=self.address, peer=self.address, isp=self.isp.name)
         self._transmit(self.bootstrap_address, m.ChannelListRequest())
         self._bootstrap_timer = self.sim.every(
-            self.config.bootstrap_retry_interval, self._bootstrap_retry)
+            self.config.bootstrap_retry_interval, self._bootstrap_retry,
+            label="bootstrap-retry")
         self._timers.append(self._bootstrap_timer)
 
     def _bootstrap_retry(self) -> None:
@@ -334,14 +335,20 @@ class PPLivePeer(Host):
         jitter = self.config.gossip_jitter
         self._timers.append(self.sim.every(
             self.config.gossip_interval, self._gossip_round,
-            jitter_fn=lambda: self._rng.uniform(-jitter, jitter)))
+            jitter_fn=lambda: self._rng.uniform(-jitter, jitter),
+            label="gossip-round"))
         self._timers.append(self.sim.every(
-            self.config.scheduler_interval, self._scheduler_tick))
+            self.config.scheduler_interval, self._scheduler_tick,
+            label="sched-tick"))
         self._timers.append(self.sim.every(
             self.config.buffermap_interval, self._buffermap_round,
-            jitter_fn=lambda: self._rng.uniform(-0.3, 0.3)))
+            jitter_fn=lambda: self._rng.uniform(-0.3, 0.3),
+            label="buffermap-round"))
+        # Maintenance clocks playback (player.tick) plus the neighbor
+        # silence sweep; attribution buckets it under "playback".
         self._timers.append(self.sim.every(
-            self.MAINTENANCE_INTERVAL, self._maintenance))
+            self.MAINTENANCE_INTERVAL, self._maintenance,
+            label="playback-maintenance"))
 
     # -- tracker interaction ---------------------------------------------
     def _open_tracker_span(self, tracker: str) -> None:

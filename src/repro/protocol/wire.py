@@ -64,7 +64,10 @@ def _unpack_string(data: bytes, offset: int) -> Tuple[str, int]:
     raw = data[offset:offset + length]
     if len(raw) != length:
         raise WireError("truncated string")
-    return raw.decode("utf-8"), offset + length
+    try:
+        return raw.decode("utf-8"), offset + length
+    except UnicodeDecodeError as exc:
+        raise WireError(f"invalid utf-8 string {raw!r}") from exc
 
 
 def _pack_addresses(addresses) -> bytes:

@@ -38,17 +38,19 @@ class Timer:
     """
 
     __slots__ = ("_sim", "_period", "_callback", "_jitter_fn",
-                 "_event", "_stopped")
+                 "_label", "_event", "_stopped")
 
     def __init__(self, sim: "Simulator", period: float,
                  callback: Callable[[], Any],
-                 jitter_fn: Optional[Callable[[], float]] = None) -> None:
+                 jitter_fn: Optional[Callable[[], float]] = None,
+                 label: str = "timer") -> None:
         if period <= 0:
             raise SchedulingError(f"timer period must be positive: {period}")
         self._sim = sim
         self._period = period
         self._callback = callback
         self._jitter_fn = jitter_fn
+        self._label = label
         self._event: Optional[Event] = None
         self._stopped = False
         self._arm()
@@ -69,7 +71,7 @@ class Timer:
         if self._jitter_fn is not None:
             delay = max(1e-9, delay + self._jitter_fn())
         self._event = self._sim.call_after(delay, self._fire,
-                                           label="timer")
+                                           label=self._label)
 
     def _fire(self) -> None:
         if self._stopped:
@@ -141,9 +143,15 @@ class Simulator:
         self.queue.schedule_pooled(time, callback, arg, label)
 
     def every(self, period: float, callback: Callable[[], Any],
-              jitter_fn: Optional[Callable[[], float]] = None) -> Timer:
-        """Create a repeating :class:`Timer` firing every ``period`` seconds."""
-        return Timer(self, period, callback, jitter_fn)
+              jitter_fn: Optional[Callable[[], float]] = None,
+              label: str = "timer") -> Timer:
+        """Create a repeating :class:`Timer` firing every ``period`` seconds.
+
+        ``label`` tags the timer's events for the profiler's
+        per-subsystem time attribution (``repro.obs.attribution``); it
+        never affects event order.
+        """
+        return Timer(self, period, callback, jitter_fn, label)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event."""

@@ -29,6 +29,7 @@ from ..faults import FaultSchedule
 from ..network.isp import ISPCategory
 from ..obs import INFO, Instrumentation
 from ..obs import resolve as resolve_obs
+from ..obs.live import KIND_CAMPAIGN_START, KIND_DAY_COMPLETE
 from ..parallel.jobs import Job, run_jobs
 from ..sim.random import RandomRouter
 from ..streaming.chunks import ChunkGeometry
@@ -190,6 +191,15 @@ def _emit_day(config: CampaignConfig, obs: Instrumentation,
                    popularity=popularity.value,
                    population=daily.population,
                    locality_by_isp=daily.locality_by_isp)
+    bus = obs.progress_bus
+    if bus is not None:
+        bus.emit(KIND_DAY_COMPLETE,
+                 day=daily.day + 1, days=config.days,
+                 popularity=popularity.value,
+                 population=daily.population,
+                 locality_by_isp={label: round(value, 3)
+                                  for label, value
+                                  in sorted(daily.locality_by_isp.items())})
     if obs.spans.enabled:
         obs.spans.instant("campaign_day", "workload", float(daily.day),
                           actor="campaign", day=daily.day + 1,
@@ -261,6 +271,13 @@ def run_campaign(config: Optional[CampaignConfig] = None, *,
     """
     config = config if config is not None else CampaignConfig()
     obs = resolve_obs(config.instrumentation)
+    bus = obs.progress_bus
+    if bus is not None:
+        # ``jobs`` is mode metadata; the deterministic cross-mode view
+        # strips it (MODE_FIELDS) so serial and --jobs N streams match.
+        bus.emit(KIND_CAMPAIGN_START, days=config.days,
+                 total_units=2 * config.days, seed=config.seed,
+                 jobs=jobs)
 
     if jobs > 1:
         merged = run_jobs(campaign_jobs(config), workers=jobs,

@@ -17,6 +17,7 @@ layer needs.
 from __future__ import annotations
 
 import sys
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -271,11 +272,15 @@ class SessionScenario:
     def _install_heartbeat(self, obs: Instrumentation, sim: Simulator,
                            deployment: Deployment,
                            manager: "PopulationManager",
-                           probe_peers: Dict[str, PPLivePeer]
+                           probe_peers: Dict[str, PPLivePeer],
+                           injector: Optional[FaultInjector] = None,
+                           sim_end: Optional[float] = None
                            ) -> HeartbeatSampler:
         """Periodic progress beacon: swarm size, neighbor fill, uplink
         backlog and playback health, as trace records, gauges and
-        (optionally) stderr progress lines."""
+        (optionally) stderr progress lines.  ``sim_end`` and the per-ISP
+        peer census ride along so the progress bus can extrapolate an
+        ETA and ``repro top`` can show swarm composition."""
         cfg = self.config
         udp = deployment.internet.udp
         metrics = obs.metrics
@@ -293,6 +298,11 @@ class SessionScenario:
         def sample(now: float) -> dict:
             fields = {"viewers": manager.active_count,
                       "online_hosts": udp.online_count}
+            if sim_end is not None:
+                fields["sim_end"] = sim_end
+            fields["peers_by_isp"] = udp.online_by_isp()
+            if injector is not None:
+                fields["faults_active"] = len(injector.active)
             g_viewers.set(manager.active_count)
             g_online.set(udp.online_count)
             neighbor_fill = []
@@ -328,89 +338,104 @@ class SessionScenario:
     def run(self) -> SessionResult:
         cfg = self.config
         obs = resolve_obs(cfg.instrumentation)
-        sim = Simulator(seed=cfg.seed, profiler=obs.profiler)
-        deployment = self.build_deployment(sim)
-        if obs.trace.enabled_for(INFO):
-            obs.trace.emit(sim.now, INFO, "session_start", seed=cfg.seed,
-                           population=cfg.population,
-                           popularity=cfg.popularity.value,
-                           warmup=cfg.warmup, duration=cfg.duration,
-                           probes=[spec.name for spec in cfg.probes])
-        session_span = None
-        if obs.spans.enabled:
-            session_span = obs.spans.start_span(
-                "session", "workload", sim.now, actor="session",
-                seed=cfg.seed, population=cfg.population,
-                popularity=cfg.popularity.value)
+        profiler = obs.profiler
 
-        population_policy = cfg.policy_factory(deployment)
-        manager = PopulationManager(
-            sim, cfg.population,
-            spawn_viewer=lambda: self._make_viewer(deployment,
-                                                   population_policy),
-            churn=cfg.churn,
-            replace_departures=cfg.replace_departures)
-        manager.start()
+        def phase(name: str):
+            # Phase clocks feed the attribution report; without a
+            # profiler they cost nothing.
+            return (profiler.phase(name) if profiler is not None
+                    else nullcontext())
 
-        injector = None
-        if cfg.faults is not None and len(cfg.faults):
-            injector = FaultInjector(
-                sim, cfg.faults,
-                network=deployment.internet.udp,
-                latency=deployment.internet.latency,
-                bootstrap=deployment.bootstrap,
-                trackers=deployment.trackers,
-                source=deployment.source,
-                population=manager,
-                master_seed=cfg.seed,
-                obs=cfg.instrumentation)
-            injector.arm()
-
-        # Probes join after the warm-up, with sniffers already attached so
-        # the very first bootstrap packets are captured, as with Wireshark.
-        probe_peers: Dict[str, PPLivePeer] = {}
-        sniffers: Dict[str, ProbeSniffer] = {}
-
-        def launch_probe(spec: ProbeSpec) -> None:
-            peer = self._make_probe(deployment, spec)
-            sniffer = ProbeSniffer(deployment.internet.udp, peer.address)
-            sniffer.start()
-            probe_peers[spec.name] = peer
-            sniffers[spec.name] = sniffer
-            peer.join()
-
-        for spec in cfg.probes:
-            sim.call_after(cfg.warmup,
-                           lambda s=spec: launch_probe(s),
-                           label="probe-join")
-
-        heartbeat = None
-        if obs.wants_heartbeat:
-            heartbeat = self._install_heartbeat(obs, sim, deployment,
-                                                manager, probe_peers)
-
-        if cfg.run_hook is not None:
-            cfg.run_hook(sim, deployment, manager, probe_peers)
-
+        sim = Simulator(seed=cfg.seed, profiler=profiler)
         end_time = cfg.warmup + cfg.duration
-        sim.run_until(end_time)
+        with phase("setup"):
+            deployment = self.build_deployment(sim)
+            if obs.trace.enabled_for(INFO):
+                obs.trace.emit(sim.now, INFO, "session_start",
+                               seed=cfg.seed,
+                               population=cfg.population,
+                               popularity=cfg.popularity.value,
+                               warmup=cfg.warmup, duration=cfg.duration,
+                               probes=[spec.name for spec in cfg.probes])
+            session_span = None
+            if obs.spans.enabled:
+                session_span = obs.spans.start_span(
+                    "session", "workload", sim.now, actor="session",
+                    seed=cfg.seed, population=cfg.population,
+                    popularity=cfg.popularity.value)
+
+            population_policy = cfg.policy_factory(deployment)
+            manager = PopulationManager(
+                sim, cfg.population,
+                spawn_viewer=lambda: self._make_viewer(deployment,
+                                                       population_policy),
+                churn=cfg.churn,
+                replace_departures=cfg.replace_departures)
+            manager.start()
+
+            injector = None
+            if cfg.faults is not None and len(cfg.faults):
+                injector = FaultInjector(
+                    sim, cfg.faults,
+                    network=deployment.internet.udp,
+                    latency=deployment.internet.latency,
+                    bootstrap=deployment.bootstrap,
+                    trackers=deployment.trackers,
+                    source=deployment.source,
+                    population=manager,
+                    master_seed=cfg.seed,
+                    obs=cfg.instrumentation)
+                injector.arm()
+
+            # Probes join after the warm-up, with sniffers already
+            # attached so the very first bootstrap packets are captured,
+            # as with Wireshark.
+            probe_peers: Dict[str, PPLivePeer] = {}
+            sniffers: Dict[str, ProbeSniffer] = {}
+
+            def launch_probe(spec: ProbeSpec) -> None:
+                peer = self._make_probe(deployment, spec)
+                sniffer = ProbeSniffer(deployment.internet.udp,
+                                       peer.address)
+                sniffer.start()
+                probe_peers[spec.name] = peer
+                sniffers[spec.name] = sniffer
+                peer.join()
+
+            for spec in cfg.probes:
+                sim.call_after(cfg.warmup,
+                               lambda s=spec: launch_probe(s),
+                               label="probe-join")
+
+            heartbeat = None
+            if obs.wants_heartbeat:
+                heartbeat = self._install_heartbeat(
+                    obs, sim, deployment, manager, probe_peers,
+                    injector=injector, sim_end=end_time)
+
+            if cfg.run_hook is not None:
+                cfg.run_hook(sim, deployment, manager, probe_peers)
+
+        with phase("sim"):
+            sim.run_until(end_time)
 
         if heartbeat is not None:
             heartbeat.stop()
-        if obs.enabled:
-            obs.metrics.counter("sim.events_executed").inc(
-                sim.events_executed)
-            obs.metrics.counter("sim.sessions_run").inc()
-            obs.finalize()
-        manager.stop()
-        probes: Dict[str, ProbeResult] = {}
-        for spec in cfg.probes:
-            peer = probe_peers[spec.name]
-            peer.leave()
-            trace = sniffers[spec.name].stop()
-            probes[spec.name] = ProbeResult(
-                spec=spec, peer=peer, trace=trace,
-                report=match_all(trace))
+        with phase("analysis"):
+            if obs.enabled:
+                obs.metrics.counter("sim.events_executed").inc(
+                    sim.events_executed)
+                obs.metrics.counter("sim.sessions_run").inc()
+                obs.finalize()
+            manager.stop()
+            probes: Dict[str, ProbeResult] = {}
+            for spec in cfg.probes:
+                peer = probe_peers[spec.name]
+                peer.leave()
+                trace = sniffers[spec.name].stop()
+                probes[spec.name] = ProbeResult(
+                    spec=spec, peer=peer, trace=trace,
+                    report=match_all(trace))
         if obs.trace.enabled_for(INFO):
             obs.trace.emit(sim.now, INFO, "session_end", seed=cfg.seed,
                            events_executed=sim.events_executed,

@@ -1,0 +1,137 @@
+"""Tests for bench attribution blocks and perf regression diffing."""
+
+import copy
+import io
+import json
+
+import pytest
+
+from repro.experiments.bench import (MIN_ATTRIBUTION_COVERAGE,
+                                     diff_records, load_bench,
+                                     run_bench_diff, run_engine_bench)
+
+
+def _artifact(rate=1000.0, digest="abc", wall=2.0, attribution=True):
+    record = {"events_per_sec": rate, "wall_seconds": wall,
+              "golden_digest": digest}
+    if attribution:
+        record["attribution"] = {
+            "total_wall_seconds": wall,
+            "coverage": 0.98,
+            "buckets": {
+                "transport": {"wall_seconds": wall * 0.4, "share": 0.4,
+                              "events": 100},
+                "protocol": {"wall_seconds": wall * 0.5, "share": 0.5,
+                             "events": 50},
+            },
+        }
+    return {"schema": 1, "benchmark": "engine",
+            "profiles": {"quick": record}}
+
+
+class TestDiffRecords:
+    def test_regression_beyond_threshold_fails(self):
+        out = io.StringIO()
+        failures = diff_records(_artifact(1000.0), _artifact(800.0),
+                                threshold=0.10, name="engine", out=out)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+        assert "** REGRESSION **" in out.getvalue()
+
+    def test_drop_within_threshold_passes(self):
+        out = io.StringIO()
+        failures = diff_records(_artifact(1000.0), _artifact(950.0),
+                                threshold=0.10, name="engine", out=out)
+        assert failures == []
+        assert "-5.0%" in out.getvalue()
+
+    def test_improvement_never_fails(self):
+        failures = diff_records(_artifact(1000.0), _artifact(2000.0),
+                                threshold=0.10, name="engine",
+                                out=io.StringIO())
+        assert failures == []
+
+    def test_attribution_deltas_are_reported(self):
+        out = io.StringIO()
+        slow = _artifact(700.0, wall=3.0)
+        diff_records(_artifact(1000.0), slow, threshold=0.5,
+                     name="engine", out=out)
+        text = out.getvalue()
+        assert "transport" in text
+        assert "protocol" in text
+
+    def test_digest_mismatch_is_flagged_not_failed(self):
+        out = io.StringIO()
+        failures = diff_records(_artifact(1000.0, digest="aaa"),
+                                _artifact(1000.0, digest="bbb"),
+                                threshold=0.10, name="engine", out=out)
+        assert failures == []
+        assert "golden digest differs" in out.getvalue()
+
+    def test_one_sided_profiles_are_skipped(self):
+        out = io.StringIO()
+        base = _artifact(1000.0)
+        new = copy.deepcopy(base)
+        new["profiles"]["default"] = new["profiles"].pop("quick")
+        failures = diff_records(base, new, threshold=0.10,
+                                name="engine", out=out)
+        assert failures == []
+        assert "only in" in out.getvalue()
+
+
+class TestRunBenchDiff:
+    def test_two_files_synthetic_regression_exits_nonzero(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_artifact(1000.0)))
+        new.write_text(json.dumps(_artifact(500.0)))
+        out = io.StringIO()
+        assert run_bench_diff(old, new, threshold=0.10, out=out) == 1
+        assert "FAIL" in out.getvalue()
+
+    def test_identical_files_exit_zero(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_artifact(1000.0)))
+        assert run_bench_diff(path, path, out=io.StringIO()) == 0
+
+    def test_load_bench_rejects_non_artifacts(self, tmp_path):
+        bogus = tmp_path / "b.json"
+        bogus.write_text("{}")
+        with pytest.raises(ValueError):
+            load_bench(bogus)
+        with pytest.raises(ValueError):
+            load_bench(tmp_path / "missing.json")
+
+
+class TestEngineBenchAttribution:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return run_engine_bench("quick", seed=7)
+
+    def test_attribution_block_present_with_coverage(self, record):
+        attribution = record["attribution"]
+        assert attribution["coverage"] >= MIN_ATTRIBUTION_COVERAGE
+        buckets = attribution["buckets"]
+        # The known hot subsystems of a live-streaming session.
+        assert {"engine", "transport", "protocol"} <= set(buckets)
+        for entry in buckets.values():
+            assert entry["wall_seconds"] >= 0.0
+            assert 0.0 <= entry["share"] <= 1.0
+
+    def test_buckets_explain_at_least_90pct_of_wall(self, record):
+        attribution = record["attribution"]
+        covered = sum(entry["wall_seconds"]
+                      for entry in attribution["buckets"].values())
+        assert covered >= 0.9 * attribution["total_wall_seconds"]
+
+    def test_timing_pass_semantics_unchanged(self, record):
+        # The timing fields come from the *uninstrumented* pass: the
+        # attribution pass cross-checks its digest against this one
+        # inside run_engine_bench (a divergence raises there).
+        assert record["golden_digest"]
+        assert record["events_per_sec"] > 0
+        assert record["events"] > 0
+
+    def test_attribution_can_be_disabled(self):
+        record = run_engine_bench("quick", seed=7, attribution=False)
+        assert "attribution" not in record

@@ -1,12 +1,15 @@
 """Tests for the command-line interface."""
 
+import io
 import json
+import sys
 
 import pytest
 
 from repro import __version__
-from repro.cli import (build_instrumentation, build_parser,
-                       build_report_parser, main)
+from repro.cli import (build_bench_parser, build_instrumentation,
+                       build_parser, build_report_parser,
+                       build_status_parser, build_top_parser, main)
 from repro.experiments import ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS
 
 
@@ -66,6 +69,67 @@ class TestParser:
         assert args.format is None
         assert args.trend == "benchmarks/results/trend.jsonl"
         assert args.no_trend is False
+
+    def test_progress_jsonl_flag(self):
+        args = build_parser().parse_args(
+            ["fig06", "--progress-jsonl", "p.jsonl"])
+        assert args.progress_jsonl == "p.jsonl"
+        assert build_parser().parse_args(["fig06"]).progress_jsonl is None
+
+    def test_bench_parser_diff_and_threshold(self):
+        parser = build_bench_parser()
+        args = parser.parse_args(["--diff", "a.json", "b.json"])
+        assert args.diff == ["a.json", "b.json"]
+        assert args.threshold == 0.10
+        args = parser.parse_args(["--diff"])
+        assert args.diff == []
+        args = parser.parse_args(["--threshold", "0.25"])
+        assert args.diff is None
+        assert args.threshold == 0.25
+
+    def test_status_and_top_parsers(self):
+        args = build_status_parser().parse_args(["p.jsonl", "--json"])
+        assert args.path == "p.jsonl"
+        assert args.json is True
+        args = build_top_parser().parse_args(
+            ["p.jsonl", "--interval", "0.5", "--iterations", "3"])
+        assert args.interval == 0.5
+        assert args.iterations == 3
+
+    def test_experiment_help_lists_every_registered_id(self):
+        # The help string is generated from the registry; drift between
+        # the two is impossible by construction, and this pins it.
+        help_text = build_parser().format_help()
+        for experiment_id in ALL_EXPERIMENT_IDS:
+            assert experiment_id in help_text
+
+
+class TestRegistryCliSync:
+    def test_every_experiment_has_a_description(self):
+        assert set(EXPERIMENT_DESCRIPTIONS) == set(ALL_EXPERIMENT_IDS)
+        for experiment_id, description in EXPERIMENT_DESCRIPTIONS.items():
+            assert description.strip(), f"{experiment_id} undescribed"
+
+    def test_list_outputs_cover_the_registry(self, capsys):
+        assert main(["list"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["list", "--json"]) == 0
+        as_json = {r["id"] for r in json.loads(capsys.readouterr().out)}
+        listed = {line.split()[0] for line
+                  in plain.strip().splitlines()}
+        assert listed == as_json == set(ALL_EXPERIMENT_IDS)
+
+    def test_broken_pipe_exits_cleanly(self, monkeypatch):
+        # `repro list | head` must not traceback when head exits.
+        class _GonePipe:
+            def write(self, data):
+                raise BrokenPipeError
+            def flush(self):
+                raise BrokenPipeError
+            def fileno(self):
+                raise io.UnsupportedOperation("fileno")
+        monkeypatch.setattr(sys, "stdout", _GonePipe())
+        assert main(["list"]) == 0
 
 
 class TestInstrumentationFromFlags:
@@ -261,3 +325,134 @@ class TestReportCommand:
         capsys.readouterr()
         text = (tmp_path / "card.md").read_text()
         assert "spans recorded: 1" in text
+
+
+class TestProgressTelemetry:
+    def test_run_emits_wellformed_progress_stream(self, tmp_path, capsys):
+        from repro.obs.live import read_progress
+        path = tmp_path / "progress.jsonl"
+        assert main(["fig15", "--scale", "small", "--seed", "3",
+                     "--progress-jsonl", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "[progress (ok)" in err
+        records = read_progress(str(path))
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_summary"
+        assert "heartbeat" in kinds
+        start = records[0]
+        assert start["experiment"] == "fig15"
+        assert start["seed"] == 3
+        footer = records[-1]
+        assert footer["status"] == "ok"
+        assert footer["events_executed"] > 0
+        assert footer["peak_rss_bytes"] > 0
+        beat = next(r for r in records if r["kind"] == "heartbeat")
+        assert beat["sim_end"] > beat["t"] > 0
+        assert beat["peers_by_isp"]
+        assert beat["rss_bytes"] > 0
+
+    def test_footer_lands_on_crash(self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli_module
+        from repro.obs.live import read_progress
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-run crash")
+
+        monkeypatch.setattr(cli_module, "run_experiment", boom)
+        path = tmp_path / "progress.jsonl"
+        with pytest.raises(RuntimeError):
+            main(["fig15", "--progress-jsonl", str(path)])
+        capsys.readouterr()
+        footer = read_progress(str(path))[-1]
+        assert footer["kind"] == "run_summary"
+        assert footer["status"] == "crashed:RuntimeError"
+
+    def test_footer_lands_on_keyboard_interrupt(self, tmp_path,
+                                                monkeypatch, capsys):
+        import repro.cli as cli_module
+        from repro.obs.live import read_progress
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "run_experiment", interrupted)
+        path = tmp_path / "progress.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            main(["fig15", "--progress-jsonl", str(path)])
+        capsys.readouterr()
+        footer = read_progress(str(path))[-1]
+        assert footer["status"] == "interrupted"
+
+
+class TestStatusCommand:
+    def _write_stream(self, path, footer=True):
+        lines = [
+            {"kind": "run_start", "experiment": "fig02", "scale": "small",
+             "seed": 7, "jobs": 1, "unix": 1000.0, "wall_seconds": 0.0},
+            {"kind": "heartbeat", "t": 60.0, "sim_end": 240.0,
+             "viewers": 9, "events_executed": 1200,
+             "peers_by_isp": {"ChinaTelecom": 5}, "wall_seconds": 1.0},
+        ]
+        if footer:
+            lines.append({"kind": "run_summary", "status": "ok",
+                          "events_executed": 4800,
+                          "peak_rss_bytes": 1 << 26, "wall_seconds": 4.0})
+        path.write_text("".join(json.dumps(line) + "\n"
+                                for line in lines))
+
+    def test_status_on_finished_run(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        self._write_stream(path)
+        assert main(["status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "state=finished" in out
+        assert "experiment=fig02" in out
+
+    def test_status_json(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        self._write_stream(path)
+        assert main(["status", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["state"] == "finished"
+        assert summary["events_executed"] == 4800
+
+    def test_status_on_midflight_run_with_torn_tail(self, tmp_path,
+                                                    capsys):
+        # A live run flushing mid-record: the artifact ends in a torn
+        # line and carries no footer.  status must still work and show
+        # a running state with an ETA.
+        path = tmp_path / "p.jsonl"
+        self._write_stream(path, footer=False)
+        with open(path, "a") as handle:
+            handle.write('{"kind":"heartbeat","t":90.0,"wal')
+        assert main(["status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "state=running" in out
+        assert "ETA" in out
+        assert "60s / 240s" in out  # the torn record was ignored
+
+    def test_status_missing_file(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_status_corrupt_stream(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        path.write_text('not json\n{"kind":"heartbeat"}\n')
+        assert main(["status", str(path)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_top_bounded_iterations(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        self._write_stream(path, footer=False)
+        assert main(["top", str(path), "--interval", "0.01",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("state=running") == 2
+
+    def test_top_exits_when_the_run_finishes(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        self._write_stream(path, footer=True)
+        # No --iterations bound needed: the footer ends the loop.
+        assert main(["top", str(path), "--interval", "0.01"]) == 0
+        assert "state=finished" in capsys.readouterr().out

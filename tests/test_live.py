@@ -1,0 +1,206 @@
+"""Tests for the streaming progress bus and its readers (obs.live)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.live import (KIND_CAMPAIGN_START, KIND_DAY_COMPLETE,
+                            KIND_HEARTBEAT, KIND_JOB_COMPLETE,
+                            KIND_RUN_START, KIND_RUN_SUMMARY, MODE_FIELDS,
+                            WALL_FIELDS, ProgressBus, deterministic_records,
+                            peak_rss_bytes, read_progress, render_status,
+                            strip_wall_fields, summarize_progress)
+
+
+class TestProgressBus:
+    def test_emits_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        bus = ProgressBus(str(path))
+        bus.run_start(experiment="fig02", seed=7)
+        bus.heartbeat(t=30.0, events_executed=100)
+        bus.run_summary("ok", events_executed=200)
+        bus.close()
+        records = [json.loads(line) for line
+                   in path.read_text().splitlines()]
+        assert [r["kind"] for r in records] == [
+            KIND_RUN_START, KIND_HEARTBEAT, KIND_RUN_SUMMARY]
+        for record in records:
+            assert "wall_seconds" in record
+
+    def test_run_start_carries_absolute_time(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        with ProgressBus(str(path)) as bus:
+            bus.run_start(experiment="fig02")
+        (record,) = [json.loads(line) for line
+                     in path.read_text().splitlines()]
+        assert record["unix"] > 1_500_000_000
+
+    def test_run_summary_carries_peak_rss(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        with ProgressBus(str(path)) as bus:
+            bus.run_summary("ok")
+        (record,) = read_progress(str(path))
+        assert record["status"] == "ok"
+        assert record["peak_rss_bytes"] >= peak_rss_bytes() // 2
+
+    def test_every_record_is_flushed_immediately(self, tmp_path):
+        # The whole point: a reader tailing the file mid-run sees every
+        # completed record without waiting for close().
+        path = tmp_path / "p.jsonl"
+        bus = ProgressBus(str(path))
+        bus.heartbeat(t=1.0)
+        assert len(read_progress(str(path))) == 1
+        bus.close()
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        bus = ProgressBus(str(path))
+        bus.heartbeat(t=1.0)
+        bus.close()
+        bus.heartbeat(t=2.0)  # must not raise, must not write
+        assert len(read_progress(str(path))) == 1
+        assert bus.records_written == 1
+
+    def test_accepts_an_open_file_object(self):
+        buffer = io.StringIO()
+        bus = ProgressBus(buffer)
+        bus.heartbeat(t=1.0)
+        bus.close()  # must not close a caller-owned file
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["t"] == 1.0
+
+
+class TestReadProgress:
+    def test_tolerates_a_torn_final_line(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start","wall_seconds":0.0}\n'
+                        '{"kind":"heartbeat","t":30.0,"wall_s')
+        records = read_progress(str(path))
+        assert [r["kind"] for r in records] == ["run_start"]
+
+    def test_rejects_mid_stream_corruption(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start"}\n'
+                        'garbage not json\n'
+                        '{"kind":"heartbeat","t":30.0}\n')
+        with pytest.raises(ValueError):
+            read_progress(str(path))
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start"}\n\n{"kind":"heartbeat"}\n')
+        assert len(read_progress(str(path))) == 2
+
+
+class TestDeterministicView:
+    def test_strip_wall_fields(self):
+        record = {"kind": "heartbeat", "t": 30.0, "events_executed": 5,
+                  "wall_seconds": 1.2, "rss_bytes": 100,
+                  "events_per_sec": 9.9, "unix": 1.0}
+        stripped = strip_wall_fields(record)
+        assert stripped == {"kind": "heartbeat", "t": 30.0,
+                            "events_executed": 5}
+        assert not (set(stripped) & WALL_FIELDS)
+
+    def test_drops_mode_dependent_kinds_and_fields(self):
+        records = [
+            {"kind": KIND_RUN_START, "experiment": "fig06", "jobs": 2,
+             "unix": 1.0, "wall_seconds": 0.0},
+            {"kind": KIND_HEARTBEAT, "t": 30.0, "wall_seconds": 0.1},
+            {"kind": KIND_CAMPAIGN_START, "days": 2, "jobs": 2,
+             "wall_seconds": 0.2},
+            {"kind": KIND_JOB_COMPLETE, "key": "('popular', 0)",
+             "wall_seconds": 0.3},
+            {"kind": KIND_DAY_COMPLETE, "day": 1, "wall_seconds": 0.4},
+        ]
+        view = deterministic_records(records)
+        assert [r["kind"] for r in view] == [
+            KIND_RUN_START, KIND_CAMPAIGN_START, KIND_DAY_COMPLETE]
+        for record in view:
+            assert not (set(record) & (WALL_FIELDS | MODE_FIELDS))
+
+
+def _session_stream(with_footer=True, status="ok"):
+    records = [
+        {"kind": KIND_RUN_START, "experiment": "fig02", "scale": "small",
+         "seed": 7, "jobs": 1, "unix": 1000.0, "wall_seconds": 0.0},
+        {"kind": KIND_HEARTBEAT, "t": 100.0, "sim_end": 400.0,
+         "viewers": 12, "events_executed": 5000, "events_per_sec": 2500.0,
+         "rss_bytes": 50 << 20,
+         "peers_by_isp": {"ChinaTelecom": 8, "CERNET": 4},
+         "faults_active": 1, "wall_seconds": 2.0},
+    ]
+    if with_footer:
+        records.append({"kind": KIND_RUN_SUMMARY, "status": status,
+                        "events_executed": 20000,
+                        "peak_rss_bytes": 60 << 20, "wall_seconds": 8.0})
+    return records
+
+
+class TestSummarize:
+    def test_empty_stream(self):
+        summary = summarize_progress([])
+        assert summary["state"] == "empty"
+        assert "no records yet" in render_status(summary, "x.jsonl")
+
+    def test_running_session_extrapolates_eta(self):
+        summary = summarize_progress(_session_stream(with_footer=False),
+                                     now_unix=1002.0)
+        assert summary["state"] == "running"
+        assert summary["experiment"] == "fig02"
+        assert summary["sim_time"] == 100.0
+        assert summary["sim_end"] == 400.0
+        assert summary["faults_active"] == 1
+        # 100 sim-seconds took 2 wall-seconds -> 300 more take ~6.
+        assert summary["eta_seconds"] == pytest.approx(6.0)
+        assert summary["last_record_age_seconds"] == 0.0
+
+    def test_finished_run_prefers_the_footer(self):
+        summary = summarize_progress(_session_stream())
+        assert summary["state"] == "finished"
+        assert summary["status"] == "ok"
+        assert summary["events_executed"] == 20000
+        assert summary["peak_rss_bytes"] == 60 << 20
+        assert "eta_seconds" not in summary
+
+    def test_crashed_status_becomes_the_state(self):
+        summary = summarize_progress(
+            _session_stream(status="crashed:RuntimeError"))
+        assert summary["state"] == "crashed:RuntimeError"
+
+    def test_staleness_from_unix_anchor(self):
+        summary = summarize_progress(_session_stream(with_footer=False),
+                                     now_unix=1032.0)
+        # Last record landed at unix 1000 + 2.0 wall -> 30s ago.
+        assert summary["last_record_age_seconds"] == pytest.approx(30.0)
+
+    def test_campaign_progress_and_eta(self):
+        records = [
+            {"kind": KIND_RUN_START, "experiment": "fig06",
+             "unix": 1000.0, "wall_seconds": 0.0},
+            {"kind": KIND_CAMPAIGN_START, "days": 3, "total_units": 6,
+             "seed": 11, "jobs": 1, "wall_seconds": 0.1},
+            {"kind": KIND_DAY_COMPLETE, "day": 1, "days": 3,
+             "popularity": "popular",
+             "locality_by_isp": {"TELE": 80.0}, "wall_seconds": 10.1},
+            {"kind": KIND_DAY_COMPLETE, "day": 2, "days": 3,
+             "popularity": "popular",
+             "locality_by_isp": {"TELE": 82.0}, "wall_seconds": 20.1},
+        ]
+        summary = summarize_progress(records, now_unix=1020.1)
+        campaign = summary["campaign"]
+        assert campaign["units_total"] == 6
+        assert campaign["units_done"] == 2
+        assert campaign["last_day"]["locality_by_isp"] == {"TELE": 82.0}
+        # 2 units in 20s -> 4 more take ~40s.
+        assert summary["eta_seconds"] == pytest.approx(40.0)
+
+    def test_render_status_mentions_the_essentials(self):
+        summary = summarize_progress(_session_stream())
+        text = render_status(summary, source="p.jsonl")
+        assert "state=finished" in text
+        assert "experiment=fig02" in text
+        assert "sim t=100s / 400s" in text
+        assert "ChinaTelecom=8" in text
+        assert "summary:" in text
