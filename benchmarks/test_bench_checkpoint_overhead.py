@@ -1,0 +1,77 @@
+"""Benchmark: checkpointing overhead on the fig06 campaign loop.
+
+Checkpointing exists so month-scale campaigns can be killed and resumed
+byte-identically — but it rides the same serial loop every run uses, so
+its cost must be negligible.  Each campaign unit's snapshot is a small
+JSON artifact (one locality table and a couple of counters), written
+atomically after the unit completes; the write is O(result size), not
+O(events), so the events/sec cost should vanish against the simulation
+itself.  This bench pins that claim: the most aggressive policy
+(``--checkpoint-every 1``, an fsync'd artifact after every unit) must
+cost under 3% of throughput versus no checkpointing at all.
+
+Timings use min-of-N wall clock (min is the low-noise estimator for
+repeated identical work); throughput is true simulated events per
+second, summed from the per-day event counters the campaign records.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.checkpoint import CheckpointPolicy
+from repro.workload.campaign import CampaignConfig, run_campaign
+
+from conftest import bench_seed
+
+ROUNDS = 2
+
+
+def _config() -> CampaignConfig:
+    return CampaignConfig(seed=bench_seed(), days=3,
+                          popular_population=10, unpopular_population=6,
+                          session_duration=120.0, warmup=60.0)
+
+
+def _campaign_events(result) -> int:
+    return sum(d.events_executed for d in result.popular + result.unpopular)
+
+
+def _min_wall(policy_factory):
+    best, events = float("inf"), 0
+    for _ in range(ROUNDS):
+        workdir = Path(tempfile.mkdtemp(prefix="ckpt-bench-"))
+        try:
+            started = time.perf_counter()
+            result = run_campaign(_config(),
+                                  checkpoint=policy_factory(workdir))
+            best = min(best, time.perf_counter() - started)
+            events = _campaign_events(result)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return best, events
+
+
+def test_bench_checkpoint_every_unit_is_cheap(benchmark, save_result):
+    plain, events = benchmark.pedantic(
+        lambda: _min_wall(lambda workdir: None), rounds=1, iterations=1)
+    checkpointed, ckpt_events = _min_wall(
+        lambda workdir: CheckpointPolicy(path=str(workdir / "ckpt"),
+                                         every=1))
+    assert ckpt_events == events  # checkpointing must not change results
+
+    overhead = checkpointed / plain - 1.0
+    save_result(
+        "checkpoint_overhead",
+        f"checkpoint overhead (3-day campaign, min of {ROUNDS}):\n"
+        f"  plain:        {plain:.2f} s  "
+        f"({events / plain:,.0f} events/s)\n"
+        f"  every-unit:   {checkpointed:.2f} s  "
+        f"({events / checkpointed:,.0f} events/s)\n"
+        f"  checkpointed/plain - 1 = {overhead:+.2%}")
+
+    # The contract documented in docs/CHECKPOINT.md: worst-case policy
+    # costs < 3% throughput (plus a small absolute floor for timing
+    # noise on short benches).
+    assert checkpointed <= plain * 1.03 + 0.10

@@ -1,0 +1,142 @@
+"""The on-disk checkpoint artifact format.
+
+Every artifact — the campaign manifest, the per-unit day results, the
+standalone session-metrics records — shares one envelope::
+
+    {"schema": 1, "kind": "<artifact kind>",
+     "payload": {...}, "digest": "<sha256 of canonical payload JSON>"}
+
+The properties the resume contract needs all live here:
+
+* **atomic**: :func:`write_artifact` writes to a temporary file in the
+  same directory, flushes, fsyncs and ``os.replace``\\ s it into place —
+  a SIGKILL at any instant leaves either the previous artifact or the
+  new one, never a torn hybrid;
+* **digest-stamped**: the payload digest is computed over the canonical
+  JSON serialisation (sorted keys, no whitespace), so any bit of
+  corruption — truncation aside, which already fails JSON parsing — is
+  caught before a resume can silently diverge;
+* **versioned**: ``schema`` is checked on read; an artifact written by
+  a different format generation fails loudly with
+  :class:`CheckpointError` instead of being reinterpreted.
+
+JSON is deliberate: Python floats round-trip exactly through
+``repr``-based JSON serialisation, so a restored locality percentage is
+bit-for-bit the float the killed run computed — the foundation of the
+byte-identical resume guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+#: Format generation.  Bump on any envelope or payload layout change;
+#: readers refuse other generations.
+SCHEMA_VERSION = 1
+
+#: Suffix of in-flight temporary files (ignored by directory scans).
+TMP_SUFFIX = ".tmp"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint artifact is missing, corrupt, stale or incompatible.
+
+    Raised instead of ever resuming from questionable state: a failed
+    resume costs a re-run, a silently wrong one costs the campaign.
+    """
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical serialisation the digest is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def payload_digest(payload: dict) -> str:
+    """sha256 hex digest of the canonical payload JSON."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")) \
+        .hexdigest()
+
+
+def write_artifact(path: Union[str, Path], kind: str,
+                   payload: dict) -> None:
+    """Atomically write one digest-stamped artifact to ``path``."""
+    path = Path(path)
+    try:
+        body = json.dumps(
+            {"schema": SCHEMA_VERSION, "kind": kind, "payload": payload,
+             "digest": payload_digest(payload)},
+            sort_keys=True, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"unserialisable checkpoint payload for {path}: {exc}") \
+            from exc
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=TMP_SUFFIX, dir=path.parent)
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            tmp.write(body + "\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+
+
+def read_artifact(path: Union[str, Path], kind: str) -> dict:
+    """Read and strictly validate one artifact; return its payload.
+
+    Raises :class:`CheckpointError` on a missing or unreadable file,
+    truncated/malformed JSON, a missing envelope field, a schema-version
+    skew, a kind mismatch, or a payload-digest mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint artifact {path}: {exc}") from exc
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint artifact {path} (truncated or "
+            f"malformed JSON): {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint artifact {path}: expected a JSON "
+            f"object, got {type(envelope).__name__}")
+    for field in ("schema", "kind", "payload", "digest"):
+        if field not in envelope:
+            raise CheckpointError(
+                f"corrupt checkpoint artifact {path}: missing "
+                f"{field!r} field")
+    if envelope["schema"] != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint schema skew in {path}: artifact is "
+            f"generation {envelope['schema']!r}, this build reads "
+            f"generation {SCHEMA_VERSION} — re-run without --resume")
+    if envelope["kind"] != kind:
+        raise CheckpointError(
+            f"checkpoint kind mismatch in {path}: expected {kind!r}, "
+            f"found {envelope['kind']!r}")
+    payload = envelope["payload"]
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint artifact {path}: payload is not an "
+            f"object")
+    if payload_digest(payload) != envelope["digest"]:
+        raise CheckpointError(
+            f"checkpoint digest mismatch in {path}: the payload does "
+            f"not match its stamp (corrupt or hand-edited artifact)")
+    return payload

@@ -9,6 +9,8 @@ Usage::
     python -m repro table1
     python -m repro all --scale small
     python -m repro run fig06 --jobs 4
+    python -m repro run fig06 --checkpoint ckpt/ --checkpoint-every 4
+    python -m repro run fig06 --resume ckpt/
     python -m repro run chaos --faults examples/faults/chaos_demo.json
     python -m repro fig06 --progress-jsonl progress.jsonl
     python -m repro status progress.jsonl
@@ -23,6 +25,12 @@ is therefore much slower.  A leading ``run`` token is accepted and
 ignored (``repro run fig06`` == ``repro fig06``); ``--jobs N`` fans
 parallelisable experiments — currently the fig06 campaign — out to N
 worker processes with byte-identical output (see ``docs/PARALLEL.md``).
+
+``--checkpoint DIR`` persists each completed campaign (program, day)
+unit to DIR as an atomic, digest-stamped artifact; ``--resume DIR``
+restarts a killed campaign from those artifacts, simulating only the
+missing days, with output byte-identical to an uninterrupted run
+(fig06 only — see ``docs/CHECKPOINT.md``).
 
 ``chaos`` runs the fault-injection study (see ``docs/ROBUSTNESS.md``):
 a clean and a faulted session from the same seed, with recovery
@@ -87,6 +95,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
+from .checkpoint import CheckpointError
 from .experiments import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
                           Scale, WorkloadBank, run_experiment)
 from .obs import (ChromeTraceSink, EngineProfiler, Instrumentation,
@@ -135,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true",
         help="with 'list': emit the experiment registry as JSON")
+    ckpt_group = parser.add_argument_group(
+        "checkpointing (fig06 campaign; see docs/CHECKPOINT.md)")
+    ckpt_group.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist completed campaign (program, day) units to DIR "
+             "as atomic, digest-stamped artifacts; a killed run "
+             "restarts from them with --resume")
+    ckpt_group.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume a campaign from the checkpoint in DIR (and keep "
+             "checkpointing new units there); the result is "
+             "byte-identical to an uninterrupted run")
+    ckpt_group.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="flush completed units to the checkpoint in batches of N "
+             "(default: 1 = after every unit; larger N trades re-work "
+             "after a kill for fewer fsyncs)")
     obs_group = parser.add_argument_group("observability")
     obs_group.add_argument(
         "--metrics", metavar="PATH", default=None,
@@ -384,11 +410,12 @@ def _write_metrics(obs: Instrumentation, path: str) -> int:
 def _run_one(experiment_id: str, bank: WorkloadBank, scale: Scale,
              seed: int,
              instrumentation: Optional[Instrumentation] = None,
-             jobs: int = 1, faults=None) -> None:
+             jobs: int = 1, faults=None, checkpoint=None) -> None:
     started = time.time()
     result = run_experiment(experiment_id, bank=bank, scale=scale,
                             seed=seed, instrumentation=instrumentation,
-                            jobs=jobs, faults=faults)
+                            jobs=jobs, faults=faults,
+                            checkpoint=checkpoint)
     elapsed = time.time() - started
     print(result.render())
     print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
@@ -477,6 +504,30 @@ def _main(argv: Optional[List[str]] = None) -> int:
         forwarded = ["--scale", args.scale, "--seed", str(args.seed)]
         return _report(forwarded)
 
+    checkpoint = None
+    if args.checkpoint and args.resume:
+        print("--checkpoint starts a fresh checkpoint and --resume "
+              "continues an existing one; pass exactly one of them",
+              file=sys.stderr)
+        return 2
+    if args.checkpoint or args.resume:
+        if args.experiment != "fig06":
+            print(f"--checkpoint/--resume only apply to the fig06 "
+                  f"campaign, not {args.experiment!r}", file=sys.stderr)
+            return 2
+        if args.checkpoint_every < 1:
+            print(f"--checkpoint-every must be >= 1, got "
+                  f"{args.checkpoint_every}", file=sys.stderr)
+            return 2
+        from .checkpoint import CheckpointPolicy
+        checkpoint = CheckpointPolicy(
+            path=args.resume or args.checkpoint,
+            every=args.checkpoint_every, resume=bool(args.resume))
+    elif args.checkpoint_every != 1:
+        print("--checkpoint-every needs --checkpoint or --resume",
+              file=sys.stderr)
+        return 2
+
     obs = build_instrumentation(args)
     scale = Scale(args.scale)
     faults = None
@@ -549,11 +600,16 @@ def _main(argv: Optional[List[str]] = None) -> int:
                       f"try 'list'", file=sys.stderr)
                 return 2
             _run_one(args.experiment, bank, scale, args.seed,
-                     instrumentation=obs, jobs=args.jobs, faults=faults)
+                     instrumentation=obs, jobs=args.jobs, faults=faults,
+                     checkpoint=checkpoint)
             return 0
         except KeyboardInterrupt:
             run_state["status"] = "interrupted"
             raise
+        except CheckpointError as exc:
+            run_state["status"] = "error:checkpoint"
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 2
         except BaseException as exc:
             run_state["status"] = f"crashed:{type(exc).__name__}"
             raise

@@ -88,7 +88,8 @@ class Figure6:
 
 
 def figure6(config: Optional[CampaignConfig] = None,
-            instrumentation=None, jobs: int = 1) -> Figure6:
+            instrumentation=None, jobs: int = 1,
+            checkpoint=None) -> Figure6:
     """Run the campaign and wrap it as Figure 6.
 
     ``instrumentation`` (a :class:`repro.obs.Instrumentation`) is
@@ -96,10 +97,14 @@ def figure6(config: Optional[CampaignConfig] = None,
     on ``config`` — via a copy, so the caller's config object is never
     mutated and can be reused.  ``jobs`` fans the daily sessions out to
     worker processes; the figure is identical for every ``jobs`` value.
+    ``checkpoint`` (a :class:`repro.checkpoint.CheckpointPolicy`) makes
+    the campaign resumable; a resumed figure is byte-identical to an
+    uninterrupted one (``docs/CHECKPOINT.md``).
     """
     if instrumentation is not None:
         config = config if config is not None else CampaignConfig()
         if config.instrumentation is None:
             config = dataclasses.replace(config,
                                          instrumentation=instrumentation)
-    return Figure6(result=run_campaign(config, jobs=jobs))
+    return Figure6(result=run_campaign(config, jobs=jobs,
+                                       checkpoint=checkpoint))

@@ -92,7 +92,8 @@ def run_experiment(experiment_id: str,
                    seed: int = 7,
                    instrumentation=None,
                    jobs: int = 1,
-                   faults=None):
+                   faults=None,
+                   checkpoint=None):
     """Reproduce one table/figure; returns its result object.
 
     ``experiment_id`` is "fig02".."fig18", "table1", "fig06" (the
@@ -107,8 +108,14 @@ def run_experiment(experiment_id: str,
     session figures and fig06 then show behaviour *under* it).  fig06
     scales with ``scale`` but keeps the campaign's canonical seed (11)
     rather than ``seed``, so its reproduction stays pinned to the
-    paper's protocol.
+    paper's protocol.  ``checkpoint`` (a
+    :class:`repro.checkpoint.CheckpointPolicy`) makes the fig06
+    campaign resumable; other experiments reject it.
     """
+    if checkpoint is not None and experiment_id != "fig06":
+        raise ValueError(
+            f"--checkpoint/--resume only apply to the fig06 campaign, "
+            f"not {experiment_id!r}")
     if bank is None:
         bank = WorkloadBank(instrumentation=instrumentation,
                             faults=faults) \
@@ -147,7 +154,8 @@ def run_experiment(experiment_id: str,
         config = campaign_config(scale)
         config.faults = faults
         return figure6(config=config,
-                       instrumentation=instrumentation, jobs=jobs)
+                       instrumentation=instrumentation, jobs=jobs,
+                       checkpoint=checkpoint)
     if experiment_id == "chaos":
         from .chaos import run_chaos
         return run_chaos(schedule=faults, scale=scale, seed=seed,

@@ -21,6 +21,7 @@ the peerlist/data/playback chains.
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from ..network.latency import LatencyModel, PairClass, PathOverride
@@ -93,6 +94,29 @@ class FaultInjector:
         return len(self.schedule.events)
 
     # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of the injector's mutable state: the
+        begin/end counters, the armed flag and which windowed faults are
+        currently active.  The begin/end *callbacks* themselves are
+        pending engine events (bound methods of this injector) and are
+        captured by ``Simulator.snapshot_state``."""
+        return {"faults_begun": self.faults_begun,
+                "faults_ended": self.faults_ended,
+                "armed": self._armed,
+                "active": list(self.active)}
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the injector's mutable state in place from
+        :meth:`snapshot_state`."""
+        self.faults_begun = state["faults_begun"]
+        self.faults_ended = state["faults_ended"]
+        self._armed = state["armed"]
+        self.active = list(state["active"])
+        self._g_active.set(len(self.active))
+
+    # ------------------------------------------------------------------
     # Observability helpers
     # ------------------------------------------------------------------
     def _begin(self, name: str, event, **details) -> None:
@@ -160,21 +184,28 @@ class FaultInjector:
 
     def _arm_outage(self, name: str, event: ServerOutage,
                     rng: random.Random) -> None:
-        def begin() -> None:
-            hosts = self._outage_hosts(event.target)
-            for host in hosts:
-                host.install_fault_filter(event.drop_probability, rng)
-            self._begin(name, event, target=event.target,
-                        servers=len(hosts),
-                        drop_probability=event.drop_probability)
+        # partial-of-bound-method, not a closure: the scheduled events
+        # must stay snapshot-serializable (closures cannot pickle).
+        self.sim.call_at(event.start,
+                         partial(self._outage_begin, name, event, rng),
+                         label="fault-begin")
+        self.sim.call_at(event.end,
+                         partial(self._outage_end, name, event),
+                         label="fault-end")
 
-        def end() -> None:
-            for host in self._outage_hosts(event.target):
-                host.clear_fault_filter()
-            self._end(name, event, target=event.target)
+    def _outage_begin(self, name: str, event: ServerOutage,
+                      rng: random.Random) -> None:
+        hosts = self._outage_hosts(event.target)
+        for host in hosts:
+            host.install_fault_filter(event.drop_probability, rng)
+        self._begin(name, event, target=event.target,
+                    servers=len(hosts),
+                    drop_probability=event.drop_probability)
 
-        self.sim.call_at(event.start, begin, label="fault-begin")
-        self.sim.call_at(event.end, end, label="fault-end")
+    def _outage_end(self, name: str, event: ServerOutage) -> None:
+        for host in self._outage_hosts(event.target):
+            host.clear_fault_filter()
+        self._end(name, event, target=event.target)
 
     # ------------------------------------------------------------------
     # Link degradation
@@ -186,42 +217,53 @@ class FaultInjector:
             extra_loss=event.extra_loss,
             latency_multiplier=event.latency_multiplier,
             bandwidth_multiplier=event.bandwidth_multiplier)
+        self.sim.call_at(event.start,
+                         partial(self._degradation_begin, name, event,
+                                 pair_class, override),
+                         label="fault-begin")
+        self.sim.call_at(event.end,
+                         partial(self._degradation_end, name, event,
+                                 pair_class, override),
+                         label="fault-end")
 
-        def begin() -> None:
-            self.latency.push_override(pair_class, override)
-            self._begin(name, event, pair_class=event.pair_class,
-                        loss_multiplier=event.loss_multiplier,
-                        extra_loss=event.extra_loss,
-                        latency_multiplier=event.latency_multiplier,
-                        bandwidth_multiplier=event.bandwidth_multiplier)
+    def _degradation_begin(self, name: str, event: LinkDegradation,
+                           pair_class: PairClass,
+                           override: PathOverride) -> None:
+        self.latency.push_override(pair_class, override)
+        self._begin(name, event, pair_class=event.pair_class,
+                    loss_multiplier=event.loss_multiplier,
+                    extra_loss=event.extra_loss,
+                    latency_multiplier=event.latency_multiplier,
+                    bandwidth_multiplier=event.bandwidth_multiplier)
 
-        def end() -> None:
-            self.latency.pop_override(pair_class, override)
-            self._end(name, event, pair_class=event.pair_class)
-
-        self.sim.call_at(event.start, begin, label="fault-begin")
-        self.sim.call_at(event.end, end, label="fault-end")
+    def _degradation_end(self, name: str, event: LinkDegradation,
+                         pair_class: PairClass,
+                         override: PathOverride) -> None:
+        self.latency.pop_override(pair_class, override)
+        self._end(name, event, pair_class=event.pair_class)
 
     # ------------------------------------------------------------------
     # Correlated peer failure
     # ------------------------------------------------------------------
     def _arm_blackout(self, name: str, event: PeerBlackout,
                       rng: random.Random) -> None:
-        def strike() -> None:
-            if self.population is None:
-                raise ValueError(
-                    "peer_blackout needs a population manager")
-            victims = [viewer for viewer in self.population.active
-                       if getattr(viewer, "isp", None) is not None
-                       and viewer.isp.name == event.isp_name]
-            count = int(len(victims) * event.fraction + 0.5)
-            chosen = rng.sample(victims, count) if count else []
-            for viewer in chosen:
-                self.population.crash_viewer(viewer)
-            self._instant(name, event, isp=event.isp_name,
-                          crashed=len(chosen), eligible=len(victims))
+        self.sim.call_at(event.start,
+                         partial(self._blackout_strike, name, event, rng),
+                         label="fault-begin")
 
-        self.sim.call_at(event.start, strike, label="fault-begin")
+    def _blackout_strike(self, name: str, event: PeerBlackout,
+                         rng: random.Random) -> None:
+        if self.population is None:
+            raise ValueError("peer_blackout needs a population manager")
+        victims = [viewer for viewer in self.population.active
+                   if getattr(viewer, "isp", None) is not None
+                   and viewer.isp.name == event.isp_name]
+        count = int(len(victims) * event.fraction + 0.5)
+        chosen = rng.sample(victims, count) if count else []
+        for viewer in chosen:
+            self.population.crash_viewer(viewer)
+        self._instant(name, event, isp=event.isp_name,
+                      crashed=len(chosen), eligible=len(victims))
 
     # ------------------------------------------------------------------
     # Flash crowds
@@ -232,21 +274,24 @@ class FaultInjector:
         # own stream: a fixed draw count per event.
         offsets = sorted(rng.uniform(0.0, event.duration)
                          for _ in range(event.arrivals))
-
-        def begin() -> None:
-            self._begin(name, event, arrivals=event.arrivals,
-                        duration=event.duration)
-
-        def arrive() -> None:
-            if self.population is None:
-                raise ValueError("flash_crowd needs a population manager")
-            self.population.inject_arrival()
-
-        def end() -> None:
-            self._end(name, event, arrivals=event.arrivals)
-
-        self.sim.call_at(event.start, begin, label="fault-begin")
+        self.sim.call_at(event.start,
+                         partial(self._crowd_begin, name, event),
+                         label="fault-begin")
         for offset in offsets:
-            self.sim.call_at(event.start + offset, arrive,
+            self.sim.call_at(event.start + offset, self._crowd_arrive,
                              label="fault-arrival")
-        self.sim.call_at(event.end, end, label="fault-end")
+        self.sim.call_at(event.end,
+                         partial(self._crowd_end, name, event),
+                         label="fault-end")
+
+    def _crowd_begin(self, name: str, event: FlashCrowd) -> None:
+        self._begin(name, event, arrivals=event.arrivals,
+                    duration=event.duration)
+
+    def _crowd_arrive(self) -> None:
+        if self.population is None:
+            raise ValueError("flash_crowd needs a population manager")
+        self.population.inject_arrival()
+
+    def _crowd_end(self, name: str, event: FlashCrowd) -> None:
+        self._end(name, event, arrivals=event.arrivals)

@@ -54,9 +54,10 @@ MODE_DEPENDENT_KINDS = frozenset({KIND_HEARTBEAT, KIND_JOB_COMPLETE})
 
 #: Fields that describe the execution mode, not the workload (a serial
 #: run and a ``--jobs 4`` run of the same seed differ here by
-#: construction).  Stripped alongside :data:`WALL_FIELDS` by
-#: :func:`deterministic_records`.
-MODE_FIELDS = frozenset({"jobs"})
+#: construction; so does a ``--resume`` run, which replays checkpointed
+#: days instead of simulating them).  Stripped alongside
+#: :data:`WALL_FIELDS` by :func:`deterministic_records`.
+MODE_FIELDS = frozenset({"jobs", "restored", "resumed_units"})
 
 
 def peak_rss_bytes() -> int:
@@ -251,6 +252,9 @@ def summarize_progress(records: List[dict],
             "units_total": total,
             "units_done": done,
         }
+        restored = sum(1 for r in days_done if r.get("restored"))
+        if restored:
+            summary["campaign"]["units_restored"] = restored
         if days_done:
             latest = days_done[-1]
             summary["campaign"]["last_day"] = {
@@ -281,19 +285,30 @@ def _extrapolate_eta(summary: dict, campaign: Optional[dict],
 
     Campaigns extrapolate from completed (program, day) units — the
     units are near-identical simulations, so wall-per-unit is the right
-    rate.  Single sessions extrapolate from sim-time progress against
-    the session's known end.
+    rate.  Units replayed from a checkpoint (``restored``) complete in
+    ~zero wall time and would wreck that rate on a ``--resume`` run, so
+    only freshly simulated units contribute to it (they still count as
+    progress).  Single sessions extrapolate from sim-time progress
+    against the session's known end.
     """
     if campaign is not None and units_done:
         total = campaign.get("total_units")
         done = len(units_done)
         if not total or done <= 0 or done >= total:
             return None
-        last_wall = units_done[-1].get("wall_seconds")
-        first_wall = campaign.get("wall_seconds", 0.0)
+        fresh = [r for r in units_done if not r.get("restored")]
+        if not fresh:
+            return None  # only checkpoint replays so far: no rate signal
+        last_wall = fresh[-1].get("wall_seconds")
         if last_wall is None:
             return None
-        per_unit = (last_wall - first_wall) / done
+        first_index = units_done.index(fresh[0])
+        if first_index > 0:
+            base_wall = units_done[first_index - 1].get(
+                "wall_seconds") or 0.0
+        else:
+            base_wall = campaign.get("wall_seconds", 0.0)
+        per_unit = (last_wall - base_wall) / len(fresh)
         return round(max(0.0, per_unit * (total - done)), 1)
     if beat is not None:
         t_sim = beat.get("t")

@@ -227,6 +227,77 @@ class PPLivePeer(Host):
         self.go_offline()
 
     # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of the peer's protocol state.
+
+        Captures everything that decides the peer's *future protocol
+        behaviour* — lifecycle phase, tracker bookkeeping, candidate
+        pool, neighbor table, both private RNG streams — plus its
+        accounting counters.  In-flight timers/handshakes are engine
+        state and are captured by ``Simulator.snapshot_state`` (the
+        events hold bound methods of this peer).  The
+        snapshot→restore→snapshot round-trip is a fixed point
+        (``tests/test_snapshot_properties.py``).
+        """
+        return {
+            "phase": self.phase.value,
+            "trackers": list(self.trackers),
+            "tracker_rotation": self._tracker_rotation,
+            "tracker_pending": dict(self._tracker_pending),
+            "tracker_failures": dict(self._tracker_failures),
+            "last_rebootstrap": self._last_rebootstrap,
+            "rebootstrap_pending": self._rebootstrap_pending,
+            "peerlist_request_id": self._peerlist_request_id,
+            "rng": self._rng.getstate(),
+            "scheduler_rng": self._scheduler_rng.getstate(),
+            "pool": self.pool.snapshot_state(),
+            "neighbors": self.neighbors.snapshot_state(),
+            "counters": {
+                "peer_lists_sent": self.peer_lists_sent,
+                "peer_list_requests_received":
+                    self.peer_list_requests_received,
+                "data_requests_served": self.data_requests_served,
+                "data_misses_sent": self.data_misses_sent,
+                "bytes_uploaded": self.bytes_uploaded,
+                "hello_rejects": self.hello_rejects,
+                "resyncs": self.resyncs,
+                "rebootstraps": self.rebootstraps,
+                "joined_at": self.joined_at,
+                "departed_at": self.departed_at,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the peer's protocol state in place from
+        :meth:`snapshot_state`."""
+        self.phase = PeerPhase(state["phase"])
+        self.trackers = list(state["trackers"])
+        self._tracker_rotation = state["tracker_rotation"]
+        self._tracker_pending = dict(state["tracker_pending"])
+        self._tracker_failures = dict(state["tracker_failures"])
+        self._last_rebootstrap = state["last_rebootstrap"]
+        self._rebootstrap_pending = state["rebootstrap_pending"]
+        self._peerlist_request_id = state["peerlist_request_id"]
+        self._rng.setstate(state["rng"])
+        self._scheduler_rng.setstate(state["scheduler_rng"])
+        self.pool.restore_state(state["pool"])
+        self.neighbors.restore_state(state["neighbors"])
+        counters = state["counters"]
+        self.peer_lists_sent = counters["peer_lists_sent"]
+        self.peer_list_requests_received = \
+            counters["peer_list_requests_received"]
+        self.data_requests_served = counters["data_requests_served"]
+        self.data_misses_sent = counters["data_misses_sent"]
+        self.bytes_uploaded = counters["bytes_uploaded"]
+        self.hello_rejects = counters["hello_rejects"]
+        self.resyncs = counters["resyncs"]
+        self.rebootstraps = counters["rebootstraps"]
+        self.joined_at = counters["joined_at"]
+        self.departed_at = counters["departed_at"]
+
+    # ------------------------------------------------------------------
     # Introspection used by policies and experiments
     # ------------------------------------------------------------------
     @property

@@ -186,6 +186,11 @@ class Simulator:
                 profiler.record(event.label, perf_counter() - started)
         if event.poolable:
             queue.recycle(event)
+        else:
+            # Mark consumed: a later cancel() of this handle (a Timer
+            # stopping itself from its own callback, a timeout cleared
+            # after it fired) must not decrement the live count again.
+            event.cancel()
         return True
 
     def run_until(self, end_time: float,
@@ -249,6 +254,10 @@ class Simulator:
                     profiler.record(event.label, perf_counter() - started)
                 if event.poolable:
                     recycle(event)
+                else:
+                    # Consumed: a later cancel() of this handle must
+                    # not decrement the live count again.
+                    event.cancel()
                 executed += 1
         finally:
             self._running = False
@@ -296,6 +305,9 @@ class Simulator:
                     profiler.record(event.label, perf_counter() - started)
                 if event.poolable:
                     recycle(event)
+                else:
+                    # Consumed: see run_until.
+                    event.cancel()
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
@@ -307,6 +319,38 @@ class Simulator:
         """Permanently stop the engine and drop all pending events."""
         self._stopped = True
         self.queue.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of the engine: clock, event counter,
+        queue contents and the RNG router's stream states.
+
+        Restoring it (:meth:`restore_state`) yields an engine that
+        executes the exact same future event sequence — same order,
+        same sequence numbers, same random draws — as the snapshotted
+        one.  Callbacks are captured by reference (see
+        ``EventQueue.snapshot_state`` for the picklability contract).
+        """
+        return {
+            "now": self.clock._now,
+            "events_executed": self.events_executed,
+            "seed": self.seed,
+            "stopped": self._stopped,
+            "queue": self.queue.snapshot_state(),
+            "random": self.random.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild this engine in place from :meth:`snapshot_state`."""
+        self.clock._now = state["now"]
+        self.events_executed = state["events_executed"]
+        self.seed = state["seed"]
+        self._stopped = state["stopped"]
+        self._running = False
+        self.queue.restore_state(state["queue"])
+        self.random.restore_state(state["random"])
 
     @property
     def stopped(self) -> bool:

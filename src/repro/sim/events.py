@@ -35,7 +35,6 @@ without allocating a closure per datagram.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Optional
 
 
@@ -46,6 +45,16 @@ class _NoArg:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<NO_ARG>"
+
+    def __reduce__(self):
+        # The engine dispatches on ``arg is _NO_ARG`` identity, so a
+        # snapshot that crosses a process boundary must unpickle back
+        # to the module singleton, not a fresh instance.
+        return (_restore_no_arg, ())
+
+
+def _restore_no_arg() -> "_NoArg":
+    return _NO_ARG
 
 
 #: Shared sentinel distinguishing "no argument" from "argument is None".
@@ -107,7 +116,11 @@ class EventQueue:
         # this list directly, so mutation must always be in place (the
         # list object is never rebound after construction).
         self._heap: list = []
-        self._counter = itertools.count()
+        # A plain int, not itertools.count(): the sequence counter is
+        # part of the deterministic execution order, so it must be
+        # snapshot-serializable (a resumed queue continues the exact
+        # FIFO tie-breaking the killed run would have used).
+        self._seq = 0
         self._live = 0
         self._dead = 0
         self._pool: list = []
@@ -122,8 +135,10 @@ class EventQueue:
     def schedule(self, time: float, callback: Callable[[], Any],
                  label: str = "") -> Event:
         """Enqueue ``callback`` to fire at absolute ``time``."""
-        event = Event(time, next(self._counter), callback, label)
-        heapq.heappush(self._heap, (time, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -135,7 +150,8 @@ class EventQueue:
         is exactly what makes recycling safe.  ``arg``, when given, is
         passed positionally to ``callback`` at fire time.
         """
-        seq = next(self._counter)
+        seq = self._seq
+        self._seq = seq + 1
         pool = self._pool
         if pool:
             event = pool.pop()
@@ -207,3 +223,64 @@ class EventQueue:
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
             self._dead -= 1
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data snapshot of the queue: heap entries, counters,
+        free-list size.
+
+        Callbacks and args are captured as-is; whether the snapshot can
+        cross a process boundary therefore depends on *them* being
+        picklable (bound methods of picklable model objects, or
+        module-level functions).  ``restore_state`` of this snapshot
+        reproduces the exact pop order, sequence numbering and pooling
+        behaviour of the original queue — the round-trip is a fixed
+        point (see ``tests/test_snapshot_properties.py``).
+        """
+        return {
+            "entries": [
+                (event.time, event.seq, event.callback, event.arg,
+                 event.label, event.poolable, event.cancelled)
+                for _time, _seq, event in self._heap],
+            "next_seq": self._seq,
+            "pool_size": len(self._pool),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild this queue in place from :meth:`snapshot_state`."""
+        heap = []
+        live = 0
+        dead = 0
+        for time, seq, callback, arg, label, poolable, cancelled \
+                in state["entries"]:
+            event = Event(time, seq, callback, label)
+            event.arg = arg
+            event.poolable = poolable
+            if cancelled:
+                # Re-cancel through the same path the live queue used,
+                # so callback/arg are dropped identically.
+                event.cancel()
+                dead += 1
+            else:
+                live += 1
+            heap.append((time, seq, event))
+        heapq.heapify(heap)
+        # In-place: engine fast loops may hold an alias to the list.
+        self._heap[:] = heap
+        self._seq = state["next_seq"]
+        self._live = live
+        self._dead = dead
+        pool_size = min(state["pool_size"], _POOL_MAX)
+        pool = []
+        for _ in range(pool_size):
+            blank = Event(0.0, 0, _blank_callback)
+            blank.callback = None
+            blank.poolable = True
+            pool.append(blank)
+        self._pool[:] = pool
+
+
+def _blank_callback() -> None:  # pragma: no cover - never fires
+    """Placeholder for rebuilt free-list events (immediately cleared)."""

@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
+import signal
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.locality import traffic_locality
+from ..checkpoint import (CampaignCheckpointStore, CheckpointError,
+                          CheckpointPolicy, config_digest_of)
 from ..faults import FaultSchedule
 from ..network.isp import ISPCategory
 from ..obs import INFO, Instrumentation
@@ -81,6 +85,10 @@ class DailyLocality:
     population: int
     #: ISP label -> average traffic locality across that ISP's probes.
     locality_by_isp: Dict[str, float]
+    #: Simulator events executed by this day's session; carried in
+    #: checkpoint artifacts so a resumed run's ``run_summary`` footer
+    #: matches the uninterrupted run.
+    events_executed: int = 0
 
 
 @dataclass
@@ -125,6 +133,91 @@ def _probe_specs(probe_isps: Sequence[str]) -> Tuple[ProbeSpec, ...]:
     return tuple(specs)
 
 
+def campaign_config_digest(config: CampaignConfig) -> str:
+    """Digest of every result-affecting campaign knob.
+
+    Instrumentation is deliberately excluded: telemetry on/off never
+    changes simulation results (the determinism contract), so a campaign
+    checkpointed with ``--live`` resumes cleanly without it and vice
+    versa.  Everything else — seed, shape, populations, noise models,
+    chunk geometry, fault schedule — is in, so resuming under a
+    different configuration fails loudly instead of splicing
+    incompatible days together.
+    """
+    return config_digest_of({
+        "seed": config.seed,
+        "days": config.days,
+        "popular_population": config.popular_population,
+        "unpopular_population": config.unpopular_population,
+        "session_duration": config.session_duration,
+        "warmup": config.warmup,
+        "probe_isps": list(config.probe_isps),
+        "audience_noise_sigma": config.audience_noise_sigma,
+        "foreign_swing_sigma": config.foreign_swing_sigma,
+        "diurnal": dataclasses.asdict(config.diurnal),
+        "geometry": dataclasses.asdict(config.geometry),
+        "faults": (config.faults.to_dict()
+                   if config.faults is not None else None),
+    })
+
+
+def _unit_payload(daily: DailyLocality) -> dict:
+    """The JSON body persisted for one completed (program, day) unit.
+
+    Locality values are stored at full float precision — JSON floats
+    round-trip exactly in CPython, which is what makes a resumed
+    campaign byte-identical to an uninterrupted one at the golden-digest
+    level."""
+    return {"population": daily.population,
+            "locality_by_isp": dict(daily.locality_by_isp),
+            "events_executed": daily.events_executed}
+
+
+def _daily_from_payload(key: Tuple[str, int],
+                        payload: dict) -> DailyLocality:
+    """Rebuild a :class:`DailyLocality` from a checkpoint unit artifact."""
+    popularity, day = key
+    return DailyLocality(
+        day=day, popularity=Popularity(popularity),
+        population=payload["population"],
+        locality_by_isp=dict(payload["locality_by_isp"]),
+        events_executed=payload.get("events_executed", 0))
+
+
+#: ``popularity:day:events`` — when set, the matching campaign unit
+#: SIGKILLs its own process once the simulator has executed that many
+#: events.  Test-only seam for the kill/resume chaos suite: the check
+#: runs at simulated-time boundaries, so the kill point is deterministic
+#: in event count (the killed, un-checkpointed day is simply re-run from
+#: scratch on resume).
+KILL_SWITCH_ENV = "REPRO_CAMPAIGN_SIGKILL"
+
+
+def _kill_switch_hook(day: int,
+                      popularity: Popularity) -> Optional[Callable]:
+    spec = os.environ.get(KILL_SWITCH_ENV)
+    if not spec:
+        return None
+    try:
+        pop_value, day_text, events_text = spec.split(":")
+        target_day = int(day_text)
+        threshold = int(events_text)
+    except ValueError:
+        raise ValueError(
+            f"{KILL_SWITCH_ENV} must be 'popularity:day:events', "
+            f"got {spec!r}")
+    if pop_value != popularity.value or target_day != day:
+        return None
+
+    def hook(sim, deployment, manager, probe_peers) -> None:
+        def check() -> None:
+            if sim.events_executed >= threshold:
+                os.kill(os.getpid(), signal.SIGKILL)
+        sim.every(1.0, check, label="kill-switch")
+
+    return hook
+
+
 def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
              router: RandomRouter) -> DailyLocality:
     rng = router.fork(f"day:{day}:{popularity.value}").stream("campaign")
@@ -158,6 +251,7 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
         churn=ChurnModel(),
         instrumentation=config.instrumentation,
         faults=config.faults,
+        run_hook=_kill_switch_hook(day, popularity),
     )
     result = SessionScenario(scenario_config).run()
 
@@ -173,24 +267,32 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
 
     averaged = {label: 100.0 * sum(vals) / len(vals)
                 for label, vals in per_isp.items()}
-    return DailyLocality(day=day, popularity=popularity,
-                         population=population, locality_by_isp=averaged)
+    return DailyLocality(
+        day=day, popularity=popularity, population=population,
+        locality_by_isp=averaged,
+        events_executed=result.deployment.sim.events_executed)
 
 
 def _emit_day(config: CampaignConfig, obs: Instrumentation,
-              popularity: Popularity, daily: DailyLocality) -> None:
+              popularity: Popularity, daily: DailyLocality,
+              restored: bool = False) -> None:
     """Campaign-level progress/trace for one finished day.
 
     Shared by the serial and parallel paths so both produce the same
     campaign-level event stream, in the same deterministic order.
+    ``restored`` marks a day replayed from a checkpoint rather than
+    simulated in this process; the flag is added to the records only
+    when set, so non-resumed streams stay byte-identical.
     """
     if not obs.enabled:
         return
+    restored_fields = {"restored": True} if restored else {}
     obs.trace.emit(0.0, INFO, "campaign_day",
                    day=daily.day + 1, days=config.days,
                    popularity=popularity.value,
                    population=daily.population,
-                   locality_by_isp=daily.locality_by_isp)
+                   locality_by_isp=daily.locality_by_isp,
+                   **restored_fields)
     bus = obs.progress_bus
     if bus is not None:
         bus.emit(KIND_DAY_COMPLETE,
@@ -199,7 +301,8 @@ def _emit_day(config: CampaignConfig, obs: Instrumentation,
                  population=daily.population,
                  locality_by_isp={label: round(value, 3)
                                   for label, value
-                                  in sorted(daily.locality_by_isp.items())})
+                                  in sorted(daily.locality_by_isp.items())},
+                 **restored_fields)
     if obs.spans.enabled:
         obs.spans.instant("campaign_day", "workload", float(daily.day),
                           actor="campaign", day=daily.day + 1,
@@ -259,48 +362,139 @@ def assemble_campaign(config: CampaignConfig,
                           unpopular=unpopular)
 
 
+def campaign_unit_keys(config: CampaignConfig) -> List[Tuple[str, int]]:
+    """Canonical unit order: popular days 0..N-1, then unpopular.
+
+    This is the order the serial loop simulates, the parallel job list
+    ships, and the resumed run replays — one ordering everywhere keeps
+    every campaign-level event stream deterministic."""
+    return [(popularity.value, day)
+            for popularity in (Popularity.POPULAR, Popularity.UNPOPULAR)
+            for day in range(config.days)]
+
+
+def _validate_restored(config: CampaignConfig,
+                       restored: Dict[Tuple[str, int], DailyLocality],
+                       store: CampaignCheckpointStore) -> None:
+    expected = set(campaign_unit_keys(config))
+    unknown = sorted(set(restored) - expected)
+    if unknown:
+        raise CheckpointError(
+            f"checkpoint at {store.root} contains units outside the "
+            f"campaign shape: {unknown[:3]}")
+
+
 def run_campaign(config: Optional[CampaignConfig] = None, *,
                  jobs: int = 1, timeout: Optional[float] = None,
-                 retries: int = 1) -> CampaignResult:
+                 retries: int = 1,
+                 checkpoint: Optional[CheckpointPolicy] = None
+                 ) -> CampaignResult:
     """Run the full campaign: ``days`` sessions per program.
 
     ``jobs`` fans the independent daily sessions out to that many worker
     processes (see ``docs/PARALLEL.md``); the result is byte-identical
     for every ``jobs`` value.  ``timeout``/``retries`` bound stuck and
     crashed workers when ``jobs > 1``.
+
+    ``checkpoint`` makes the campaign resumable (``docs/CHECKPOINT.md``):
+    completed (program, day) units are persisted as atomic,
+    digest-stamped artifacts every ``checkpoint.every`` units, and with
+    ``checkpoint.resume`` the persisted units are replayed instead of
+    re-simulated.  Because every unit's RNG streams derive from
+    ``(seed, day, program)`` alone, a resumed campaign is byte-identical
+    to an uninterrupted one.
     """
     config = config if config is not None else CampaignConfig()
     obs = resolve_obs(config.instrumentation)
+
+    store: Optional[CampaignCheckpointStore] = None
+    digest = ""
+    restored: Dict[Tuple[str, int], DailyLocality] = {}
+    if checkpoint is not None:
+        store = CampaignCheckpointStore(checkpoint.path)
+        digest = campaign_config_digest(config)
+        if checkpoint.resume:
+            store.load_manifest(digest)
+            for key, payload in store.iter_units(digest):
+                restored[key] = _daily_from_payload(key, payload)
+            _validate_restored(config, restored, store)
+        else:
+            store.initialize(digest, seed=config.seed, days=config.days,
+                             total_units=2 * config.days)
+
     bus = obs.progress_bus
     if bus is not None:
         # ``jobs`` is mode metadata; the deterministic cross-mode view
         # strips it (MODE_FIELDS) so serial and --jobs N streams match.
+        # ``resumed_units`` likewise, and it is only present on resumed
+        # runs so non-checkpointed streams are unchanged.
+        resume_fields = ({"resumed_units": len(restored)}
+                         if checkpoint is not None and checkpoint.resume
+                         else {})
         bus.emit(KIND_CAMPAIGN_START, days=config.days,
                  total_units=2 * config.days, seed=config.seed,
-                 jobs=jobs)
+                 jobs=jobs, **resume_fields)
 
     if jobs > 1:
-        merged = run_jobs(campaign_jobs(config), workers=jobs,
-                          timeout=timeout, retries=retries,
-                          obs=config.instrumentation)
+        all_jobs = campaign_jobs(config)
+        if store is None:
+            merged = run_jobs(all_jobs, workers=jobs, timeout=timeout,
+                              retries=retries,
+                              obs=config.instrumentation)
+        else:
+            merged = dict(restored)
+            pending = [job for job in all_jobs
+                       if job.key not in restored]
+            # Batches below ``jobs`` would serialise the pool, so the
+            # flush interval is at least one full batch of workers.
+            batch = max(checkpoint.every, jobs)
+            for index in range(0, len(pending), batch):
+                chunk = pending[index:index + batch]
+                done = run_jobs(chunk, workers=jobs, timeout=timeout,
+                                retries=retries,
+                                obs=config.instrumentation)
+                for key in sorted(done):
+                    store.write_unit(key, digest,
+                                     _unit_payload(done[key]))
+                merged.update(done)
         result = assemble_campaign(config, merged)
         for popularity, days in ((Popularity.POPULAR, result.popular),
                                  (Popularity.UNPOPULAR, result.unpopular)):
             for daily in days:
-                _emit_day(config, obs, popularity, daily)
+                _emit_day(config, obs, popularity, daily,
+                          restored=(popularity.value, daily.day)
+                          in restored)
         return result
 
     router = RandomRouter(config.seed)
+    merged = {}
+    unflushed: List[Tuple[str, int]] = []
 
-    def run_days(popularity: Popularity) -> List[DailyLocality]:
-        days = []
-        for day in range(config.days):
-            daily = _run_day(config, day, popularity, router)
-            days.append(daily)
-            _emit_day(config, obs, popularity, daily)
-        return days
+    def flush() -> None:
+        for key in unflushed:
+            store.write_unit(key, digest, _unit_payload(merged[key]))
+        unflushed.clear()
 
-    popular = run_days(Popularity.POPULAR)
-    unpopular = run_days(Popularity.UNPOPULAR)
-    return CampaignResult(config=config, popular=popular,
-                          unpopular=unpopular)
+    for key in campaign_unit_keys(config):
+        popularity = Popularity(key[0])
+        daily = restored.get(key)
+        if daily is not None:
+            merged[key] = daily
+            if obs.enabled:
+                # Fold the restored day's recorded event count into the
+                # live counter so the run_summary footer of a resumed
+                # run matches the uninterrupted run exactly.
+                obs.metrics.counter("sim.events_executed").inc(
+                    daily.events_executed)
+            _emit_day(config, obs, popularity, daily, restored=True)
+            continue
+        daily = _run_day(config, key[1], popularity, router)
+        merged[key] = daily
+        if store is not None:
+            unflushed.append(key)
+            if len(unflushed) >= checkpoint.every:
+                flush()
+        _emit_day(config, obs, popularity, daily)
+    if store is not None:
+        flush()
+    return assemble_campaign(config, merged)

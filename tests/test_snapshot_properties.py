@@ -1,0 +1,377 @@
+"""Hypothesis round-trips for the snapshot/restore layer.
+
+Everything the checkpoint/resume machinery relies on reduces to one
+property: ``snapshot -> restore -> snapshot`` is a fixed point, and a
+restored component behaves *identically* to the original from that
+point on — same pop order, same RNG draws, same eviction and
+tie-breaking decisions.  Hypothesis drives each component through
+randomized operation sequences and checks both halves.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.neighbors import NeighborTable
+from repro.protocol.peerlist import CandidatePool, ListSource
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.sim.random import RandomRouter
+
+
+def _cb() -> None:
+    """Module-level so snapshots stay picklable."""
+
+
+def _cb_arg(arg) -> None:
+    """Module-level single-arg callback for pooled events."""
+
+
+# ----------------------------------------------------------------------
+# EventQueue
+# ----------------------------------------------------------------------
+#: One queue operation: (kind, time-ish int).  Times are small ints so
+#: ties (the FIFO tie-break path) are common, not rare.
+_QUEUE_OPS = st.lists(
+    st.tuples(st.sampled_from(["schedule", "pooled", "cancel", "pop"]),
+              st.integers(min_value=0, max_value=7)),
+    max_size=60)
+
+
+def _apply_queue_ops(queue: EventQueue, ops):
+    handles = []
+    for kind, value in ops:
+        if kind == "schedule":
+            handles.append(queue.schedule(float(value), _cb,
+                                          label=f"t{value}"))
+        elif kind == "pooled":
+            queue.schedule_pooled(float(value), _cb_arg, arg=value,
+                                  label=f"p{value}")
+        elif kind == "cancel" and handles:
+            queue.cancel(handles[value % len(handles)])
+        elif kind == "pop":
+            event = queue.pop()
+            if event is not None:
+                # Mirror the engine: recycle pooled events, mark
+                # one-shot events consumed so a late cancel is a no-op.
+                if event.poolable:
+                    queue.recycle(event)
+                else:
+                    event.cancel()
+    return queue
+
+
+def _drain(queue: EventQueue):
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return order
+        order.append((event.time, event.seq, event.label, event.arg))
+
+
+class TestEventQueueSnapshot:
+    @given(ops=_QUEUE_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_snapshot_restore_is_a_fixed_point(self, ops):
+        queue = _apply_queue_ops(EventQueue(), ops)
+        state = queue.snapshot_state()
+        restored = EventQueue()
+        restored.restore_state(state)
+        assert restored.snapshot_state() == state
+        assert len(restored) == len(queue)
+
+    @given(ops=_QUEUE_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_restored_queue_pops_identically(self, ops):
+        queue = _apply_queue_ops(EventQueue(), ops)
+        restored = EventQueue()
+        restored.restore_state(queue.snapshot_state())
+        assert _drain(restored) == _drain(queue)
+
+    @given(ops=_QUEUE_OPS,
+           more=st.lists(st.integers(min_value=0, max_value=7),
+                         max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_restored_queue_continues_sequence_numbering(self, ops, more):
+        queue = _apply_queue_ops(EventQueue(), ops)
+        restored = EventQueue()
+        restored.restore_state(queue.snapshot_state())
+        # Scheduling the same tail on both sides must produce the same
+        # sequence numbers — FIFO tie-breaking cannot diverge on resume.
+        for value in more:
+            original = queue.schedule(float(value), _cb)
+            clone = restored.schedule(float(value), _cb)
+            assert clone.seq == original.seq
+        assert _drain(restored) == _drain(queue)
+
+    @given(ops=_QUEUE_OPS)
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_is_picklable(self, ops):
+        queue = _apply_queue_ops(EventQueue(), ops)
+        state = pickle.loads(pickle.dumps(queue.snapshot_state()))
+        restored = EventQueue()
+        restored.restore_state(state)
+        assert _drain(restored) == _drain(queue)
+
+
+# ----------------------------------------------------------------------
+# Simulator
+# ----------------------------------------------------------------------
+class TestSimulatorSnapshot:
+    @given(times=st.lists(st.integers(min_value=0, max_value=20),
+                          min_size=1, max_size=30),
+           run_until=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_mid_run_snapshot_round_trips(self, times, run_until):
+        sim = Simulator(seed=5)
+        for value in times:
+            sim.call_at(float(value), _cb, label=f"t{value}")
+        sim.run_until(float(run_until))
+        state = sim.snapshot_state()
+
+        clone = Simulator(seed=5)
+        clone.restore_state(state)
+        assert clone.snapshot_state() == state
+        assert clone.now == sim.now
+        assert clone.events_executed == sim.events_executed
+
+        end = float(max(times + [run_until]) + 1)
+        sim.run_until(end)
+        clone.run_until(end)
+        assert clone.now == sim.now
+        assert clone.events_executed == sim.events_executed
+
+    @given(draws=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_restored_sim_rng_streams_continue_identically(self, draws):
+        sim = Simulator(seed=9)
+        stream = sim.random.stream("latency")
+        for _ in range(draws):
+            stream.random()
+        clone = Simulator(seed=9)
+        clone.restore_state(sim.snapshot_state())
+        assert [clone.random.stream("latency").random()
+                for _ in range(5)] \
+            == [stream.random() for _ in range(5)]
+
+
+# ----------------------------------------------------------------------
+# RandomRouter
+# ----------------------------------------------------------------------
+class TestRandomRouterSnapshot:
+    @given(plan=st.dictionaries(
+        st.sampled_from(["latency", "churn", "sample", "campaign"]),
+        st.integers(min_value=0, max_value=30), max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_streams_resume_mid_sequence(self, plan):
+        router = RandomRouter(master_seed=13)
+        for name, draws in plan.items():
+            stream = router.stream(name)
+            for _ in range(draws):
+                stream.random()
+        state = router.snapshot_state()
+
+        restored = RandomRouter(master_seed=13)
+        restored.restore_state(state)
+        assert restored.snapshot_state() == state
+        for name in list(plan) + ["fresh-stream"]:
+            assert [restored.stream(name).random() for _ in range(4)] \
+                == [router.stream(name).random() for _ in range(4)]
+
+    @given(label=st.text(alphabet="abcdef:0123456789", min_size=1,
+                         max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_forks_are_stateless_and_unaffected_by_restore(self, label):
+        router = RandomRouter(master_seed=21)
+        before = router.fork(label).stream("campaign").random()
+        restored = RandomRouter(master_seed=21)
+        restored.restore_state(router.snapshot_state())
+        assert restored.fork(label).stream("campaign").random() == before
+
+
+# ----------------------------------------------------------------------
+# CandidatePool
+# ----------------------------------------------------------------------
+_ADDRESSES = [f"10.0.0.{i}:40000" for i in range(12)]
+
+_POOL_OPS = st.lists(
+    st.tuples(st.sampled_from(["add", "fail", "remove"]),
+              st.integers(min_value=0, max_value=11),
+              st.sampled_from(list(ListSource))),
+    max_size=50)
+
+
+def _apply_pool_ops(pool: CandidatePool, ops):
+    now = 0.0
+    for kind, index, source in ops:
+        now += 1.0
+        address = _ADDRESSES[index]
+        if kind == "add":
+            pool.add(address, now, source)
+        elif kind == "fail":
+            pool.note_failure(address, now)
+        else:
+            pool.remove(address)
+    return now
+
+
+class TestCandidatePoolSnapshot:
+    @given(ops=_POOL_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_fixed_point_and_future_behavior(self, ops):
+        pool = CandidatePool("10.0.0.99:40000", capacity=6)
+        now = _apply_pool_ops(pool, ops)
+        state = pool.snapshot_state()
+
+        restored = CandidatePool("x", capacity=1)
+        restored.restore_state(state)
+        assert restored.snapshot_state() == state
+        assert restored.addresses() == pool.addresses()
+        assert restored.connectable(now) == pool.connectable(now)
+        assert restored.build_peer_list([], 10, now) \
+            == pool.build_peer_list([], 10, now)
+
+        # Eviction order (dict insertion + last_seen ties) must survive
+        # the round-trip: fill both pools past capacity identically.
+        for extra in range(8):
+            address = f"10.1.0.{extra}:40000"
+            pool.add(address, now + 2.0, ListSource.TRACKER)
+            restored.add(address, now + 2.0, ListSource.TRACKER)
+        assert restored.addresses() == pool.addresses()
+
+
+# ----------------------------------------------------------------------
+# NeighborTable
+# ----------------------------------------------------------------------
+_TABLE_OPS = st.lists(
+    st.tuples(st.sampled_from(["add", "remove", "avail", "response",
+                               "miss"]),
+              st.integers(min_value=0, max_value=9),
+              st.integers(min_value=0, max_value=50)),
+    max_size=50)
+
+
+def _apply_table_ops(table: NeighborTable, ops):
+    now = 0.0
+    for kind, index, value in ops:
+        now += 0.5
+        address = _ADDRESSES[index]
+        state = table.get(address)
+        if kind == "add":
+            if not table.is_full and address not in table:
+                table.add(address, now)
+        elif kind == "remove":
+            table.remove(address)
+        elif state is not None and kind == "avail":
+            state.record_availability(value, now)
+        elif state is not None and kind == "response":
+            state.record_response(value / 100.0, alpha=0.3)
+        elif state is not None and kind == "miss":
+            state.record_miss(now)
+    return now
+
+
+class TestNeighborTableSnapshot:
+    @given(ops=_TABLE_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_fixed_point_and_scheduler_inputs(self, ops):
+        table = NeighborTable(capacity=5)
+        now = _apply_table_ops(table, ops)
+        state = table.snapshot_state()
+
+        restored = NeighborTable(capacity=1)
+        restored.restore_state(state)
+        assert restored.snapshot_state() == state
+        assert restored.addresses() == table.addresses()
+        assert restored.total_ever_connected == table.total_ever_connected
+        for original in table:
+            clone = restored.get(original.address)
+            assert clone.effective_response() \
+                == original.effective_response()
+            assert clone.estimated_have(now + 1.0, 4.0, 1.0, 2) \
+                == original.estimated_have(now + 1.0, 4.0, 1.0, 2)
+        assert restored.silent_since(now - 3.0) \
+            == table.silent_since(now - 3.0)
+
+    @given(ops=_TABLE_OPS)
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_is_picklable(self, ops):
+        table = NeighborTable(capacity=5)
+        _apply_table_ops(table, ops)
+        state = pickle.loads(pickle.dumps(table.snapshot_state()))
+        restored = NeighborTable(capacity=5)
+        restored.restore_state(state)
+        assert restored.snapshot_state() == table.snapshot_state()
+
+
+# ----------------------------------------------------------------------
+# Live protocol objects (tracker + peer on a real deployment)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def running_session():
+    from repro.workload.scenario import ScenarioConfig, SessionScenario
+    scenario = SessionScenario(ScenarioConfig(seed=3, population=8))
+    sim = Simulator(seed=3)
+    deployment = scenario.build_deployment(sim)
+    from tests.test_protocol_peer import make_peer
+    peer = make_peer(scenario, deployment)
+    peer.join()
+    sim.run_until(45.0)
+    return sim, deployment, peer
+
+
+class TestLiveProtocolSnapshots:
+    def test_tracker_round_trip_preserves_future_samples(
+            self, running_session):
+        sim, deployment, _peer = running_session
+        tracker = deployment.trackers[0]
+        state = pickle.loads(pickle.dumps(tracker.snapshot_state()))
+        draws = [tracker._rng.random() for _ in range(4)]
+        tracker.restore_state(state)
+        assert tracker.snapshot_state() == state
+        assert [tracker._rng.random() for _ in range(4)] == draws
+        tracker.restore_state(state)
+        assert tracker.snapshot_state() == state
+
+    def test_peer_round_trip_is_a_fixed_point(self, running_session):
+        _sim, _deployment, peer = running_session
+        state = peer.snapshot_state()
+        pickle.dumps(state)
+        peer.restore_state(state)
+        assert peer.snapshot_state() == state
+
+    def test_armed_fault_callbacks_are_picklable(self):
+        """The injector schedules partials of bound methods, never
+        closures: every armed fault event must survive pickling (the
+        requirement that forced the closure refactor)."""
+        from repro.faults import (FaultInjector, FaultSchedule, FlashCrowd,
+                                  LinkDegradation, PeerBlackout,
+                                  ServerOutage)
+        from repro.workload.scenario import ScenarioConfig, SessionScenario
+        scenario = SessionScenario(ScenarioConfig(seed=4, population=6))
+        sim = Simulator(seed=4)
+        deployment = scenario.build_deployment(sim)
+        schedule = FaultSchedule(events=(
+            ServerOutage(target="bootstrap", start=10.0, duration=5.0),
+            LinkDegradation(pair_class="domestic", start=12.0,
+                            duration=6.0, latency_multiplier=2.0),
+            PeerBlackout(isp_name="ChinaTelecom", start=15.0,
+                         fraction=0.5),
+            FlashCrowd(start=18.0, duration=4.0, arrivals=3),
+        ))
+        injector = FaultInjector(
+            sim, schedule, network=deployment.internet.udp,
+            latency=deployment.internet.latency,
+            bootstrap=deployment.bootstrap,
+            trackers=deployment.trackers, source=deployment.source,
+            population=object(), master_seed=4)
+        armed = injector.arm()
+        assert armed == len(schedule.events)
+        fault_events = [event for _t, _s, event in sim.queue._heap
+                        if event.label.startswith("fault")]
+        assert fault_events
+        for event in fault_events:
+            pickle.dumps(event.callback)

@@ -1,0 +1,161 @@
+"""Streaming aggregation: exact equivalence and bounded memory.
+
+A month-scale campaign cannot hold every day's artifact in memory to
+aggregate at the end.  :class:`StreamingAggregator` folds artifacts one
+at a time; these tests pin its two contractual properties:
+
+* the streamed fold is *exactly* ``aggregate_metrics`` over the same
+  rows — bootstrap confidence intervals included, not approximately;
+* folding N artifacts keeps RSS flat even when each artifact is
+  individually large (measured in a clean subprocess so this process's
+  own high-water mark cannot mask a leak).
+"""
+
+import json
+import subprocess
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.aggregate import (KIND_METRICS, SessionMetrics,
+                                      StreamingAggregator,
+                                      aggregate_metrics,
+                                      read_metrics_artifact,
+                                      write_metrics_artifact)
+from repro.checkpoint import read_artifact, write_artifact
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _rows(count=9):
+    """Deterministic per-session metrics with realistic gaps (every
+    third row lacks top10/correlation, as short sessions do)."""
+    rows = []
+    for index in range(count):
+        sparse = index % 3 == 2
+        rows.append(SessionMetrics(
+            seed=11 + index,
+            locality=0.55 + 0.03 * index,
+            data_transactions=900 + 17 * index,
+            top10_byte_share=None if sparse else 0.6 + 0.02 * index,
+            rtt_correlation=None if sparse else -0.4 + 0.05 * index,
+            probe_continuity=0.9 + 0.01 * index,
+        ))
+    return rows
+
+
+class TestExactEquivalence:
+    def test_fold_matches_one_shot_aggregation(self):
+        rows = _rows()
+        aggregator = StreamingAggregator()
+        aggregator.add_many(rows)
+        assert aggregator.result() == aggregate_metrics(rows)
+
+    def test_incremental_adds_match_bulk(self):
+        rows = _rows()
+        one_by_one = StreamingAggregator()
+        for row in rows:
+            one_by_one.add(row)
+        bulk = StreamingAggregator()
+        bulk.add_many(rows)
+        assert len(one_by_one) == len(bulk) == len(rows)
+        assert one_by_one.result() == bulk.result()
+
+    def test_chunked_artifacts_match_one_shot(self, tmp_path):
+        rows = _rows(10)
+        chunks = [rows[0:4], rows[4:7], rows[7:10]]
+        aggregator = StreamingAggregator()
+        for index, chunk in enumerate(chunks):
+            path = tmp_path / f"day-{index}.json"
+            write_metrics_artifact(path, chunk)
+            assert aggregator.add_artifact(path) == len(chunk)
+        assert aggregator.result() == aggregate_metrics(rows)
+
+    def test_resamples_flow_through(self):
+        rows = _rows()
+        aggregator = StreamingAggregator(resamples=50)
+        aggregator.add_many(rows)
+        result = aggregator.result()
+        assert result.locality_mean.resamples == 50
+        assert result == aggregate_metrics(rows, resamples=50)
+
+    def test_empty_fold_refuses_to_aggregate(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            StreamingAggregator().result()
+
+    def test_artifact_round_trip_is_exact(self, tmp_path):
+        rows = _rows()
+        path = tmp_path / "metrics.json"
+        write_metrics_artifact(path, rows)
+        assert read_metrics_artifact(path) == rows
+
+
+# ----------------------------------------------------------------------
+# Memory bound
+# ----------------------------------------------------------------------
+_FOLD_CHILD = """\
+import resource
+import sys
+
+sys.path.insert(0, sys.argv[1])
+from repro.analysis.aggregate import StreamingAggregator
+
+paths = sys.argv[2:]
+baseline = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+aggregator = StreamingAggregator(resamples=50)
+for path in paths:
+    aggregator.add_artifact(path)
+result = aggregator.result()
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(len(aggregator), peak - baseline)
+"""
+
+#: Artifacts in the fold and junk payload per artifact.
+_ARTIFACTS = 20
+_PAD_BYTES = 4_000_000
+
+
+class TestMemoryBound:
+    def test_fold_rss_stays_flat(self, tmp_path):
+        """Fold 20 artifacts of ~4 MB each (~80 MB total) in a clean
+        subprocess: peak RSS growth must stay far below the total —
+        only one artifact may ever be resident."""
+        rows = _rows(3)
+        padding = "x" * _PAD_BYTES
+        paths = []
+        for index in range(_ARTIFACTS):
+            path = tmp_path / f"day-{index:02d}.json"
+            write_artifact(path, KIND_METRICS,
+                           {"metrics": [asdict(r) for r in rows],
+                            "padding": padding})
+            paths.append(str(path))
+        completed = subprocess.run(
+            [sys.executable, "-c", _FOLD_CHILD, SRC, *paths],
+            capture_output=True, text=True, timeout=120)
+        assert completed.returncode == 0, completed.stderr
+        folded, grew_kib = map(int, completed.stdout.split())
+        assert folded == _ARTIFACTS * len(rows)
+        total_kib = _ARTIFACTS * _PAD_BYTES // 1024
+        # Holding every payload would grow RSS by >= ~78 MiB; one
+        # resident artifact plus parse scratch stays well under half.
+        assert grew_kib < total_kib // 2, (
+            f"fold grew RSS by {grew_kib} KiB over a {total_kib} KiB "
+            f"input set — artifacts are being retained")
+
+    def test_padded_artifact_still_validates(self, tmp_path):
+        """The RSS harness rides on real artifacts: padding must not
+        defeat digest verification."""
+        path = tmp_path / "padded.json"
+        write_artifact(path, KIND_METRICS,
+                       {"metrics": [asdict(r) for r in _rows(1)],
+                        "padding": "x" * 1000})
+        payload = read_artifact(path, KIND_METRICS)
+        assert len(payload["metrics"]) == 1
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["padding"] = "y" * 1000
+        path.write_text(json.dumps(envelope))
+        from repro.checkpoint import CheckpointError
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            read_artifact(path, KIND_METRICS)
