@@ -1,0 +1,196 @@
+"""Benchmark: flow accounting must cost <2% when on, nothing when off.
+
+The ``--flows`` ledger is the one observability facet that hooks every
+*delivered datagram* (the transport's flow-sink seam), so unlike the
+heartbeat-paced progress bus its cost scales with traffic volume.  The
+claims checked here:
+
+* **off** — a session without a flow spec installs no sink and no tap,
+  so the transport's delivery fast path is untouched (structural
+  asserts, not a timing gate);
+* **on** — the per-delivered-datagram work (one pending-accumulator
+  bump plus a window-boundary check; classification and sketch feeding
+  are deferred to window rolls) costs under 2% of the run's events/sec;
+* the ledger never changes the event stream: events executed are
+  EXACTLY equal with and without it (sinks observe, they never
+  schedule).
+
+The 2% gate is measured by *replaying the run's own delivery stream*
+through a fresh ledger via the same dispatch shape ``_deliver`` uses
+(None-check + sink call, wire size precomputed): the replay wall is
+precisely the work the enabled sink adds, free of the ±10%+
+scheduler-wide noise that swamps an end-to-end wall diff at this
+session size.  The replayed ledger must finish in exactly the state the
+in-run ledger reached — proving the replay measures the real work and
+re-checking stream determinism in the same breath.  An end-to-end wall
+gate stays on as a coarse backstop against regressions outside the sink
+(e.g. on the send path, which the ledger does not touch at all).
+"""
+
+import gc
+import time
+
+from repro.obs import FlowLedger, FlowSpec
+from repro.streaming import Popularity
+from repro.workload.popularity import popular_channel_mix
+from repro.workload.scenario import (TELE_PROBE, ScenarioConfig,
+                                     SessionScenario)
+
+ROUNDS = 5
+
+#: Per-delivered-datagram accounting must cost under this fraction of
+#: the bare run's wall time (equivalently, of its events/sec).
+MAX_OVERHEAD = 0.02
+
+
+def _config(flows, run_hook=None) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=5,
+        population=20,
+        mix=popular_channel_mix(),
+        popularity=Popularity.POPULAR,
+        probes=(TELE_PROBE,),
+        warmup=60.0,
+        duration=180.0,
+        flows=flows,
+        run_hook=run_hook,
+    )
+
+
+def _one_run(flows):
+    """(wall seconds, session result) for one session."""
+    started = time.perf_counter()
+    result = SessionScenario(_config(flows)).run()
+    wall = time.perf_counter() - started
+    return wall, result
+
+
+def _record_delivery_stream():
+    """Run the bare-config session once, capturing (datagram, time,
+    wire bytes) per delivered datagram — the stream the flow sink sees,
+    with the wire size ``_deliver`` hands over precomputed."""
+    deliveries = []
+
+    def attach(sim, deployment, manager, probe_peers):
+        deployment.internet.udp.set_flow_sink(
+            lambda datagram, now, wire: deliveries.append(
+                (datagram, now, wire)))
+
+    SessionScenario(_config(None, run_hook=attach)).run()
+    return deliveries
+
+
+def test_bench_flow_ledger_overhead(save_result):
+    spec = FlowSpec(window=60.0, top_k=32)
+
+    # One discarded warmup run, then interleaved rounds (min-wall), so a
+    # cold first arm cannot masquerade as ledger overhead (or speedup).
+    _one_run(None)
+    base_wall = flow_wall = float("inf")
+    base_result = flow_result = None
+    for _ in range(ROUNDS):
+        wall, base_result = _one_run(None)
+        base_wall = min(base_wall, wall)
+        wall, flow_result = _one_run(spec)
+        flow_wall = min(flow_wall, wall)
+
+    base_events = base_result.deployment.sim.events_executed
+    flow_events = flow_result.deployment.sim.events_executed
+    datagrams = flow_result.flows.totals["datagrams"]
+
+    # Structural halves, asserted exactly: the sink observes deliveries
+    # that already happen — the event stream is identical — and the run
+    # without a spec never installed a sink or a tap (delivery fast
+    # path intact).
+    assert flow_events == base_events
+    assert base_result.flows is None
+    assert base_result.deployment.internet.udp._taps == []
+    assert base_result.deployment.internet.udp._flow_sink is None
+    assert flow_result.deployment.internet.udp._flow_sink is None
+    assert flow_result.flows.totals["bytes"] == \
+        flow_result.deployment.internet.udp.bytes_delivered
+
+    # The precise cost: replay the run's own delivery stream through a
+    # fresh ledger, dispatched exactly like UdpNetwork._deliver does
+    # (None-check, then the sink call with the precomputed wire size).
+    # GC is off while timing (as timeit does) and the replay loop's own
+    # iteration cost — tuple unpacking that in-run code never pays — is
+    # calibrated out with a sink-less pass over the same stream.
+    deliveries = _record_delivery_stream()
+    assert len(deliveries) == datagrams
+    replay_raw = iter_wall = float("inf")
+    replay_ledger = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            for datagram, now, wire in deliveries:
+                pass
+            iter_wall = min(iter_wall, time.perf_counter() - started)
+            replay_ledger = FlowLedger(
+                flow_result.directory,
+                flow_result.deployment.internet.catalog, spec)
+            sink = replay_ledger.sink
+            started = time.perf_counter()
+            for datagram, now, wire in deliveries:
+                if sink is not None:
+                    sink(datagram, now, wire)
+            replay_raw = min(replay_raw, time.perf_counter() - started)
+            replay_ledger.finish(deliveries[-1][1])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    replay_wall = max(replay_raw - iter_wall, 0.0)
+
+    # The replayed ledger lands in exactly the in-run ledger's state:
+    # the replay timed the real work, and the stream is deterministic.
+    assert replay_ledger.snapshot_state() == \
+        flow_result.flows.snapshot_state()
+
+    overhead = replay_wall / base_wall
+    per_datagram_ns = 1e9 * replay_wall / datagrams
+
+    save_result(
+        "flows_overhead",
+        f"flow ledger overhead (small session, interleaved best of "
+        f"{ROUNDS}):\n"
+        f"  without ledger: {base_events / base_wall:,.0f} events/sec"
+        f" ({base_events} events, {base_wall:.3f}s)\n"
+        f"  with ledger:    {flow_events / flow_wall:,.0f} events/sec"
+        f" end-to-end ({datagrams:,} datagrams accounted)\n"
+        f"  accounting cost (replayed delivery stream, best of "
+        f"{ROUNDS}): {per_datagram_ns:,.0f} ns/datagram\n"
+        f"  events/sec cost when enabled = {overhead:+.2%} "
+        f"(budget {MAX_OVERHEAD:.0%})")
+
+    # The committed gate: what the sink adds per delivered datagram,
+    # as a fraction of the bare run's wall time.
+    assert overhead < MAX_OVERHEAD, (
+        f"flow accounting costs {per_datagram_ns:,.0f} ns/datagram = "
+        f"{overhead:+.2%} of the bare run (budget {MAX_OVERHEAD:.0%})")
+
+    # Coarse end-to-end backstop with the absolute noise pad this
+    # harness uses elsewhere: a ~1.2 s session swings ±10%+ run to run.
+    # A regression outside the sink itself (send-path work, an extra
+    # event per datagram) lands far above this line.
+    assert flow_wall <= base_wall * (1.0 + MAX_OVERHEAD) + 0.25, (
+        f"flow-ledger run took {flow_wall:.3f}s vs {base_wall:.3f}s bare "
+        f"(budget {MAX_OVERHEAD:.0%} + 0.25s noise)")
+
+
+def test_bench_flow_ledger_constant_memory():
+    # Structural half of the constant-memory claim: matrix cells are
+    # bounded by |ISPs|^2 x kinds, windows by the non-empty window
+    # count, the sketch by top_k — never by datagram count.
+    _, result = _one_run(FlowSpec(window=60.0, top_k=8))
+    ledger = result.flows
+    assert len(ledger._sketch) <= 8
+    state = ledger.snapshot_state()
+    span = _config(None).warmup + _config(None).duration
+    assert len(state["windows"]) <= int(span / 60.0) + 2
+    catalog_size = len(result.deployment.internet.catalog)
+    kinds = {row[2] for row in state["matrix"]}
+    assert len(state["matrix"]) <= catalog_size ** 2 * len(kinds)
+    # Thousands of datagrams were accounted into that bounded state.
+    assert ledger.totals["datagrams"] > 1000

@@ -9,9 +9,10 @@ from .contributions import (ContributionAnalysis, analyze_contributions,
 from .fairness import (FairnessReport, PeerFairness, analyze_fairness,
                        gini_coefficient, session_fairness)
 from .locality import (CATEGORY_ORDER, LocalityBreakdown, bytes_by_isp,
-                       locality_breakdown, own_isp_share_of_replies,
-                       returned_by_source, returned_peer_counts,
-                       traffic_locality, transmissions_by_isp,
+                       delivered_bytes_by_as_pair, locality_breakdown,
+                       own_isp_share_of_replies, returned_by_source,
+                       returned_peer_counts, traffic_locality,
+                       transit_byte_share, transmissions_by_isp,
                        unique_listed_peers)
 from .report import (bullet_list, counter_rows, format_category_counter,
                      format_seconds, format_table, percentage)
@@ -30,6 +31,7 @@ __all__ = [
     "returned_by_source", "own_isp_share_of_replies", "transmissions_by_isp",
     "bytes_by_isp", "traffic_locality", "unique_listed_peers",
     "CATEGORY_ORDER",
+    "transit_byte_share", "delivered_bytes_by_as_pair",
     "ResponseSeries", "peerlist_response_series", "data_response_series",
     "average_response_by_group", "fastest_group", "DISPLAY_CLIP_SECONDS",
     "ContributionAnalysis", "analyze_contributions", "requests_per_peer",

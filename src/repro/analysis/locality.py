@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from ..capture.matching import DataTransaction
 from ..capture.records import PEER_LIST_REPLY, TRACKER_REPLY
@@ -176,6 +176,60 @@ def traffic_locality(transactions: Sequence[DataTransaction],
     if total == 0:
         return 0.0
     return per_isp[own_category] / total
+
+
+# ----------------------------------------------------------------------
+# Swarm-wide delivery accounting (the flow ledger's post-hoc twin)
+# ----------------------------------------------------------------------
+#: One delivered datagram, as ``(src_address, dst_address, wire_bytes)``.
+Delivery = Tuple[str, str, int]
+
+
+def delivered_bytes_by_as_pair(deliveries: Iterable[Delivery],
+                               directory: AsnDirectory
+                               ) -> Dict[Tuple[int, int], int]:
+    """Wire bytes per directed ``(src ASN, dst ASN)`` pair.
+
+    Consumes a full delivery trace — every datagram the transport
+    handed to a host, not just one probe's capture — and joins both
+    endpoints through the same directory lookup the per-probe analyses
+    use.  Endpoints that resolve to no AS are skipped, mirroring the
+    live ledger's ``datagrams_ignored`` policy.
+    """
+    matrix: Dict[Tuple[int, int], int] = {}
+    for src, dst, wire_bytes in deliveries:
+        src_record = directory.lookup(src)
+        dst_record = directory.lookup(dst)
+        if src_record is None or dst_record is None:
+            continue
+        key = (src_record.asn, dst_record.asn)
+        matrix[key] = matrix.get(key, 0) + wire_bytes
+    return matrix
+
+
+def transit_byte_share(deliveries: Iterable[Delivery],
+                       directory: AsnDirectory) -> float:
+    """Share of delivered wire bytes that crossed an AS boundary.
+
+    The post-hoc ground truth for the live flow ledger: identical
+    integer byte totals and the identical ``(total - intra) / total``
+    expression as :func:`repro.obs.flows.transit_share`, so on the same
+    delivery stream the two agree *exactly* (asserted on the golden
+    campaign in ``tests/test_flows.py``).
+    """
+    total = 0
+    intra = 0
+    for src, dst, wire_bytes in deliveries:
+        src_record = directory.lookup(src)
+        dst_record = directory.lookup(dst)
+        if src_record is None or dst_record is None:
+            continue
+        total += wire_bytes
+        if src_record.asn == dst_record.asn:
+            intra += wire_bytes
+    if total == 0:
+        return 0.0
+    return (total - intra) / total
 
 
 @dataclass

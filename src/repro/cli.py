@@ -15,6 +15,11 @@ Usage::
     python -m repro fig06 --progress-jsonl progress.jsonl
     python -m repro status progress.jsonl
     python -m repro top progress.jsonl --interval 2
+    python -m repro fig06 --flows flows.jsonl
+    python -m repro flows summary flows.jsonl
+    python -m repro flows matrix flows.jsonl --by-kind
+    python -m repro flows windows flows.jsonl
+    python -m repro flows top flows.jsonl --limit 10
     python -m repro report --scale small --out scorecard.md
     python -m repro bench --quick --check
     python -m repro bench --diff BENCH_engine.json /tmp/new/BENCH_engine.json
@@ -60,6 +65,14 @@ mid-run (a torn final line is tolerated) or finished — and print a
 one-shot summary with ETA, or a refresh-loop live view, respectively
 (see ``docs/OBSERVABILITY.md``, "Watching a live run").
 
+``flows`` reads a ``--flows`` artifact (live or finished, torn-tail
+tolerant like ``status``) and prints the merged traffic view:
+``summary`` (totals, intra/transit shares), ``matrix`` (ISP×ISP bytes
+and datagrams, ``--by-kind`` for the per-message-kind split),
+``windows`` (the tumbling-window locality time-series) or ``top`` (the
+heaviest peer-pair flows) — see ``docs/OBSERVABILITY.md``,
+"Traffic flows".
+
 Observability flags (see ``docs/OBSERVABILITY.md``):
 
 * ``--metrics PATH``  — dump the metrics registry after the run
@@ -75,7 +88,12 @@ Observability flags (see ``docs/OBSERVABILITY.md``):
   start, heartbeats, per-day/per-job completions, terminal summary)
   to PATH as append-only JSONL; readable mid-run by ``repro status``
   / ``repro top``.  The ``run_summary`` footer is written even when
-  the run crashes or is interrupted.
+  the run crashes or is interrupted,
+* ``--flows PATH``    — account every delivered datagram into the
+  streaming traffic-flow ledger (ISP×ISP matrix, windowed locality,
+  top-k peer-pair flows) and write the versioned JSONL artifact to
+  PATH; ``--flows-window`` / ``--flows-top`` tune the ledger.  Read
+  it with ``repro flows``.
 
 Without any of these flags the simulator runs completely
 uninstrumented and its output is byte-identical to earlier releases.
@@ -98,10 +116,13 @@ from . import __version__
 from .checkpoint import CheckpointError
 from .experiments import (ALL_EXPERIMENT_IDS, EXPERIMENT_DESCRIPTIONS,
                           Scale, WorkloadBank, run_experiment)
-from .obs import (ChromeTraceSink, EngineProfiler, Instrumentation,
-                  JsonlSink, JsonlSpanSink, LoggingSink, ProgressBus,
-                  TeeSink, level_from_name, read_progress, render_status,
-                  summarize_progress, write_metrics_csv,
+from .obs import (ChromeTraceSink, EngineProfiler, FlowSpec, FlowsWriter,
+                  Instrumentation, JsonlSink, JsonlSpanSink, LoggingSink,
+                  ProgressBus, TeeSink, flows_summary_payload,
+                  level_from_name, read_flows, read_progress,
+                  render_flow_matrix, render_flow_summary,
+                  render_flow_top, render_flow_windows, render_status,
+                  summarize_flows, summarize_progress, write_metrics_csv,
                   write_metrics_jsonl)
 
 _LOG_LEVELS = ("debug", "info", "warning", "error")
@@ -186,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the live progress bus to PATH as append-only "
              "JSONL (tail it, or point 'repro status' / 'repro top' "
              "at it while the run executes)")
+    obs_group.add_argument(
+        "--flows", metavar="PATH", default=None,
+        help="account delivered traffic in the streaming flow ledger "
+             "(ISP×ISP matrix, windowed locality, top-k peer pairs) "
+             "and write the JSONL artifact to PATH; read it with "
+             "'repro flows'")
+    obs_group.add_argument(
+        "--flows-window", type=float, default=60.0, metavar="SECONDS",
+        help="flow-ledger tumbling-window length in simulated seconds "
+             "(default: 60)")
+    obs_group.add_argument(
+        "--flows-top", type=int, default=32, metavar="K",
+        help="capacity of the flow ledger's top-k peer-pair sketch "
+             "(default: 32)")
     return parser
 
 
@@ -268,13 +303,21 @@ def build_status_parser() -> argparse.ArgumentParser:
 def _read_summary(path: str):
     """Progress records -> status summary, or (None, exit_code)."""
     try:
-        records = read_progress(path)
+        records, tail = read_progress(path, with_tail=True)
     except OSError as exc:
         print(f"cannot read {path}: {exc}", file=sys.stderr)
         return None, 2
     except ValueError as exc:
         print(f"corrupt progress stream {path}: {exc}", file=sys.stderr)
         return None, 2
+    if not records and tail:
+        # Nothing but a torn fragment of the first record: the run is
+        # alive but there is no status to report yet.  Distinct from an
+        # empty file (exit 0, "no records yet").
+        print(f"{path}: no complete records yet (the first line is "
+              f"still being written); try again shortly",
+              file=sys.stderr)
+        return None, 1
     return summarize_progress(records), 0
 
 
@@ -330,6 +373,70 @@ def _top(argv: List[str]) -> int:
         return 0
 
 
+def build_flows_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro flows",
+        description="Inspect a run's --flows artifact: merged traffic "
+                    "totals, the ISP×ISP matrix, the windowed locality "
+                    "time-series, or the heaviest peer-pair flows.  "
+                    "Works on finished runs and mid-flight ones (a "
+                    "torn final line is tolerated).")
+    parser.add_argument("view",
+                        choices=("summary", "matrix", "windows", "top"),
+                        help="which traffic view to print")
+    parser.add_argument("path",
+                        help="flows.jsonl artifact (live or finished)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the view as JSON")
+    parser.add_argument("--by-kind", action="store_true",
+                        help="with 'matrix': keep the per-message-kind "
+                             "split instead of folding kinds together")
+    parser.add_argument("--limit", type=int, default=0, metavar="N",
+                        help="with 'top': print only the N heaviest "
+                             "flows (default: 0 = all tracked)")
+    return parser
+
+
+def _flows(argv: List[str]) -> int:
+    args = build_flows_parser().parse_args(argv)
+    try:
+        records, tail = read_flows(args.path, with_tail=True)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"corrupt flows artifact {args.path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not records and tail:
+        print(f"{args.path}: no complete records yet (the first line "
+              f"is still being written); try again shortly",
+              file=sys.stderr)
+        return 1
+    if args.view == "summary":
+        summary = summarize_flows(records)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_flow_summary(summary, source=args.path))
+        return 0
+    payload = flows_summary_payload(records)
+    if payload is None:
+        print(f"{args.path}: no unit flow records yet — the ledger "
+              f"reports each session/campaign unit as it finishes",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.view == "matrix":
+        print(render_flow_matrix(payload, by_kind=args.by_kind))
+    elif args.view == "windows":
+        print(render_flow_windows(payload))
+    else:
+        print(render_flow_top(payload, limit=args.limit or None))
+    return 0
+
+
 def build_report_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro report",
@@ -372,7 +479,8 @@ def build_report_parser() -> argparse.ArgumentParser:
 def build_instrumentation(args) -> Optional[Instrumentation]:
     """An enabled bundle when any obs flag was given, else ``None``."""
     if not (args.metrics or args.trace or args.spans or args.log_level
-            or args.progress or args.progress_jsonl):
+            or args.progress or args.progress_jsonl
+            or getattr(args, "flows", None)):
         return None
     trace_level = level_from_name(args.log_level or "info")
     sinks = []
@@ -395,10 +503,19 @@ def build_instrumentation(args) -> Optional[Instrumentation]:
             else JsonlSpanSink(args.spans)
     progress_bus = ProgressBus(args.progress_jsonl) \
         if args.progress_jsonl else None
+    flows = None
+    if getattr(args, "flows", None):
+        spec = FlowSpec(window=args.flows_window, top_k=args.flows_top)
+        try:
+            spec.validate()
+        except ValueError as exc:
+            raise SystemExit(f"bad --flows configuration: {exc}")
+        flows = FlowsWriter(args.flows, spec)
     return Instrumentation(trace=sink, spans=spans,
                            profiler=EngineProfiler(),
                            progress=args.progress,
-                           progress_bus=progress_bus)
+                           progress_bus=progress_bus,
+                           flows=flows)
 
 
 def _write_metrics(obs: Instrumentation, path: str) -> int:
@@ -495,6 +612,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] in ("status", "top"):
         handler = _status if argv[0] == "status" else _top
         return handler(argv[1:])
+    if argv and argv[0] == "flows":
+        return _flows(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         return _list_experiments(args.json)
@@ -563,6 +682,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
                     print(f"[progress ({run_state['status']}) -> "
                           f"{args.progress_jsonl}]", file=sys.stderr)
                 cleanup.callback(_footer)
+            if args.flows:
+                # The flows_summary footer itself lands in obs.close
+                # (registered first, so run last even on crash).
+                cleanup.callback(
+                    lambda: print(f"[flows -> {args.flows}]",
+                                  file=sys.stderr))
             if args.trace:
                 cleanup.callback(
                     lambda: print(f"[trace -> {args.trace}]",

@@ -131,6 +131,12 @@ class WorkloadBank:
             config.faults = self.faults
             result = SessionScenario(config).run()
             self._cache[key] = result
+            # One flows record per *simulated* session: memoised reuse
+            # across figures must not double-count the traffic.
+            writer = getattr(self.instrumentation, "flows", None)
+            if writer is not None and result.flows is not None:
+                writer.write_unit({"session": key.label},
+                                  result.flows.snapshot_state())
         return result
 
     def tele_popular(self, scale: Scale = Scale.DEFAULT,

@@ -12,8 +12,9 @@ the destination deregistered while the packet was in flight (peer churn),
 the packet is silently dropped — exactly what the real Internet does.
 
 Sniffer taps (:meth:`UdpNetwork.add_tap`) observe every datagram at send
-and delivery time; the capture substrate builds Wireshark-style traces on
-top of them without touching protocol internals.
+and delivery time — or only the events they subscribe to — and the
+capture substrate builds Wireshark-style traces on top of them without
+touching protocol internals.
 """
 
 from __future__ import annotations
@@ -118,12 +119,29 @@ class Host:
 class UdpNetwork:
     """The simulated Internet's datagram plane."""
 
+    #: The tap event vocabulary (`add_tap`'s ``events`` filter).
+    TAP_EVENTS = frozenset({"send", "recv", "drop_uplink", "drop_loss",
+                            "drop_fault"})
+
     def __init__(self, sim: Simulator, latency: LatencyModel,
                  obs: Optional[Instrumentation] = None) -> None:
         self.sim = sim
         self.latency = latency
         self._hosts: Dict[str, Host] = {}
         self._taps: List[TapFn] = []
+        #: tap -> frozenset of events it wants, or None for all of them.
+        self._tap_filters: Dict[TapFn, Optional[frozenset]] = {}
+        # Per-event dispatch lists, derived from _taps/_tap_filters: the
+        # send/recv hot paths loop over exactly the taps that asked for
+        # that event, so a recv-only ledger costs nothing at send time.
+        self._send_taps: List[TapFn] = []
+        self._recv_taps: List[TapFn] = []
+        #: Single-consumer per-delivery accounting sink, or None.  Taps
+        #: are the general observe-anything seam; the sink is the one
+        #: seam allowed on the delivery fast path with the wire size
+        #: handed over instead of recomputed (see set_flow_sink).
+        self._flow_sink: Optional[Callable[[Datagram, float, int], None]] \
+            = None
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
         self.datagrams_lost = 0
@@ -191,15 +209,83 @@ class UdpNetwork:
     # ------------------------------------------------------------------
     # Taps (capture substrate attaches here)
     # ------------------------------------------------------------------
-    def add_tap(self, tap: TapFn) -> None:
+    def add_tap(self, tap: TapFn, events=None) -> None:
+        """Register ``tap`` to observe datagram events.
+
+        With the default ``events=None`` the tap sees every event.  Pass
+        an iterable of event names (a subset of :data:`TAP_EVENTS`) to
+        subscribe to just those: a recv-only ledger then pays nothing on
+        the send path, which matters when a tap runs per delivered
+        datagram on the simulator hot path.
+
+        A tap may be registered at most once — double-accounting bytes
+        silently would corrupt any ledger attached here — so a duplicate
+        registration raises instead.
+        """
+        if tap in self._taps:
+            raise ValueError(f"tap {tap!r} is already registered")
+        if events is not None:
+            events = frozenset(events)
+            unknown = events - self.TAP_EVENTS
+            if unknown:
+                raise ValueError(
+                    f"unknown tap events {sorted(unknown)!r}; "
+                    f"expected a subset of {sorted(self.TAP_EVENTS)!r}")
         self._taps.append(tap)
+        self._tap_filters[tap] = events
+        self._rebuild_tap_lists()
 
     def remove_tap(self, tap: TapFn) -> None:
-        self._taps.remove(tap)
+        """Unregister ``tap``; safe mid-run.
+
+        Removing the last tap restores the no-tap fast path (`send` and
+        `_deliver` gate on the tap lists' truthiness, not on whether a
+        tap was ever attached).  Removing a tap that is not registered
+        raises to surface lifecycle bugs early.
+        """
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            raise ValueError(f"tap {tap!r} is not registered") from None
+        del self._tap_filters[tap]
+        self._rebuild_tap_lists()
+
+    def _rebuild_tap_lists(self) -> None:
+        filters = self._tap_filters
+        self._send_taps = [
+            tap for tap in self._taps
+            if filters[tap] is None or "send" in filters[tap]]
+        self._recv_taps = [
+            tap for tap in self._taps
+            if filters[tap] is None or "recv" in filters[tap]]
 
     def _notify(self, event: str, datagram: Datagram, time: float) -> None:
+        filters = self._tap_filters
         for tap in self._taps:
-            tap(event, datagram, time)
+            events = filters[tap]
+            if events is None or event in events:
+                tap(event, datagram, time)
+
+    def set_flow_sink(self, sink: Callable[[Datagram, float, int],
+                                           None]) -> None:
+        """Install the per-delivery accounting sink.
+
+        ``sink(datagram, now, wire_bytes)`` runs once per *delivered*
+        datagram, with the wire size ``_deliver`` already computed for
+        its own byte counters.  Exactly one sink may be installed —
+        double accounting is the same silent corruption double tap
+        registration guards against — so installing over an existing
+        sink raises.  Flow accounting attaches here; anything that
+        wants send/drop events, or several observers at once, belongs
+        on the tap seam instead.
+        """
+        if self._flow_sink is not None:
+            raise ValueError("a flow sink is already installed")
+        self._flow_sink = sink
+
+    def clear_flow_sink(self) -> None:
+        """Uninstall the sink; safe mid-run, restores the fast path."""
+        self._flow_sink = None
 
     # ------------------------------------------------------------------
     # Data plane
@@ -246,8 +332,10 @@ class UdpNetwork:
                 self._notify("drop_uplink", datagram, now)
             return False
         self._m_bytes_queued.inc(wire_bytes)
-        if taps:
-            self._notify("send", datagram, now)
+        send_taps = self._send_taps
+        if send_taps:
+            for tap in send_taps:
+                tap("send", datagram, now)
 
         latency = self.latency
         dst_host = self._hosts.get(dst)
@@ -300,6 +388,12 @@ class UdpNetwork:
         self.bytes_delivered += wire_bytes
         self._m_delivered.inc()
         self._m_bytes_delivered.inc(wire_bytes)
-        if self._taps:
-            self._notify("recv", datagram, self.sim.clock._now)
+        sink = self._flow_sink
+        if sink is not None:
+            sink(datagram, self.sim.clock._now, wire_bytes)
+        recv_taps = self._recv_taps
+        if recv_taps:
+            now = self.sim.clock._now
+            for tap in recv_taps:
+                tap("recv", datagram, now)
         host.handle_datagram(datagram)

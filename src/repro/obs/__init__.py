@@ -17,6 +17,9 @@ measurement substrate.  Three facets, bundled by
 * :mod:`repro.obs.live` — the streaming progress bus: constant-memory
   ``progress.jsonl`` heartbeats plus the status/ETA readers behind
   ``repro status`` / ``repro top``,
+* :mod:`repro.obs.flows` — the streaming traffic-flow ledger: ISP×ISP
+  traffic matrices, tumbling-window locality time-series and a top-k
+  peer-pair sketch behind ``--flows`` / ``repro flows``,
 * :mod:`repro.obs.attribution` — per-subsystem wall-time buckets
   (transport / protocol / playback / faults / engine dispatch / ...)
   derived from the profiler, embedded in the ``BENCH_*.json`` perf
@@ -31,6 +34,12 @@ from .attribution import (LABEL_SUBSYSTEMS, SUBSYSTEMS, build_attribution,
 from .export import (metrics_to_records, read_metrics_csv,
                      read_metrics_jsonl, strip_wall_metrics,
                      write_metrics_csv, write_metrics_jsonl)
+from .flows import (FLOWS_VERSION, FlowLedger, FlowSpec, FlowsWriter,
+                    SpaceSavingSketch, flows_summary_payload, intra_share,
+                    merge_flow_payloads, read_flows, render_flow_matrix,
+                    render_flow_summary, render_flow_top,
+                    render_flow_windows, summarize_flows, transit_share,
+                    validate_flow_payload)
 from .instrument import NULL_INSTRUMENTATION, Instrumentation, resolve
 from .live import (WALL_FIELDS, ProgressBus, deterministic_records,
                    peak_rss_bytes, read_progress, render_status,
@@ -66,6 +75,12 @@ __all__ = [
     "ProgressBus", "WALL_FIELDS", "read_progress", "strip_wall_fields",
     "deterministic_records", "summarize_progress", "render_status",
     "peak_rss_bytes",
+    "FlowLedger", "FlowSpec", "FlowsWriter", "FLOWS_VERSION",
+    "SpaceSavingSketch", "merge_flow_payloads", "validate_flow_payload",
+    "read_flows", "summarize_flows", "flows_summary_payload",
+    "intra_share", "transit_share",
+    "render_flow_summary", "render_flow_matrix", "render_flow_windows",
+    "render_flow_top",
     "SUBSYSTEMS", "LABEL_SUBSYSTEMS", "subsystem_of",
     "build_attribution", "render_attribution",
     "metrics_to_records", "strip_wall_metrics",

@@ -14,13 +14,16 @@ heartbeat timers and trace emission only happen on enabled bundles.
 
 from __future__ import annotations
 
-from typing import Optional, TextIO
+from typing import TYPE_CHECKING, Optional, TextIO
 
 from .live import ProgressBus
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .profiler import EngineProfiler
 from .spans import NULL_SPAN_SINK, SpanSink
 from .trace import NULL_SINK, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flows import FlowSpec, FlowsWriter
 
 
 class Instrumentation:
@@ -34,7 +37,9 @@ class Instrumentation:
                  progress_stream: Optional[TextIO] = None,
                  heartbeat_interval: float = 30.0,
                  progress_bus: Optional[ProgressBus] = None,
-                 heartbeat: bool = True) -> None:
+                 heartbeat: bool = True,
+                 flows: Optional["FlowsWriter"] = None,
+                 flows_spec: Optional["FlowSpec"] = None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else NULL_SINK
         self.spans = spans if spans is not None else NULL_SPAN_SINK
@@ -49,6 +54,12 @@ class Instrumentation:
         #: turn it off so the profiler can run without the sampler's
         #: timer events changing ``events_executed``.
         self.heartbeat = heartbeat
+        #: Flows artifact writer (``--flows``); parent-side only, like
+        #: the progress bus.  Workers account flows from the spec alone.
+        self.flows = flows
+        #: Ledger knobs; runs with a writer inherit its spec.
+        self.flows_spec = flows_spec if flows_spec is not None else (
+            flows.spec if flows is not None else None)
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -91,6 +102,8 @@ class Instrumentation:
         self.spans.close()
         if self.progress_bus is not None:
             self.progress_bus.close()
+        if self.flows is not None:
+            self.flows.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"

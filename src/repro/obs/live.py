@@ -141,12 +141,20 @@ class ProgressBus:
 # ----------------------------------------------------------------------
 # Reading (live- and finished-run tolerant)
 # ----------------------------------------------------------------------
-def read_progress(path_or_file: Union[str, IO[str]]) -> List[dict]:
+def read_progress(path_or_file: Union[str, IO[str]], *,
+                  with_tail: bool = False):
     """Parse a progress JSONL stream into record dicts.
 
     Tolerates a partially-written final line (a live run flushing
-    mid-record): the torn tail is silently dropped.  Any *earlier*
-    malformed line still raises — that is corruption, not liveness.
+    mid-record): the torn tail is dropped from the records.  Any
+    *earlier* malformed line still raises — that is corruption, not
+    liveness.  A line that parses but is not a JSON object counts as
+    malformed too (every record in these streams is an object).
+
+    With ``with_tail=True`` returns ``(records, tail)`` where ``tail``
+    is the dropped torn text (``""`` if the file ended cleanly) — the
+    readers use it to distinguish "no records yet" from "nothing but a
+    torn fragment", which deserve different exit codes.
     """
     if isinstance(path_or_file, str):
         with open(path_or_file, "r", encoding="utf-8") as handle:
@@ -154,16 +162,24 @@ def read_progress(path_or_file: Union[str, IO[str]]) -> List[dict]:
     else:
         lines = path_or_file.read().splitlines()
     records: List[dict] = []
+    tail = ""
     for index, line in enumerate(lines):
         line = line.strip()
         if not line:
             continue
         try:
-            records.append(json.loads(line))
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"line {index + 1} is not a JSON object: {line[:80]!r}")
         except ValueError:
             if index == len(lines) - 1:
-                break  # torn tail of a live run
+                tail = line  # torn tail of a live run
+                break
             raise
+        records.append(record)
+    if with_tail:
+        return records, tail
     return records
 
 
@@ -240,6 +256,8 @@ def summarize_progress(records: List[dict],
             summary["viewers"] = beat["viewers"]
         if "faults_active" in beat:
             summary["faults_active"] = beat["faults_active"]
+        if beat.get("flows"):
+            summary["flows"] = beat["flows"]
 
     campaign = _last_of(records, KIND_CAMPAIGN_START)
     days_done = [r for r in records if r.get("kind") == KIND_DAY_COMPLETE]
@@ -394,6 +412,19 @@ def render_status(summary: dict, source: str = "") -> str:
     swarm.append(f"faults {'none' if not faults else faults}")
     if swarm:
         lines.append("  " + " · ".join(swarm))
+
+    flows = summary.get("flows")
+    if flows:
+        traffic = []
+        if flows.get("intra_share") is not None:
+            traffic.append(f"intra {100.0 * flows['intra_share']:.1f}%")
+        if flows.get("transit_bytes") is not None:
+            traffic.append(f"transit {flows['transit_bytes']:,} B")
+        if flows.get("transit_bps") is not None:
+            traffic.append(
+                f"{flows['transit_bps'] / 1000.0:.1f} kbit/s transit")
+        if traffic:
+            lines.append("  traffic " + " · ".join(traffic))
 
     campaign = summary.get("campaign")
     if campaign:

@@ -31,7 +31,7 @@ from ..checkpoint import (CampaignCheckpointStore, CheckpointError,
                           CheckpointPolicy, config_digest_of)
 from ..faults import FaultSchedule
 from ..network.isp import ISPCategory
-from ..obs import INFO, Instrumentation
+from ..obs import INFO, FlowSpec, Instrumentation
 from ..obs import resolve as resolve_obs
 from ..obs.live import KIND_CAMPAIGN_START, KIND_DAY_COMPLETE
 from ..parallel.jobs import Job, run_jobs
@@ -74,6 +74,15 @@ class CampaignConfig:
     #: Fault schedule armed onto *every* daily session (times are
     #: session-relative seconds, like any scenario schedule).
     faults: Optional[FaultSchedule] = None
+    #: Traffic-flow ledger knobs for every daily session; ``None`` falls
+    #: back to the instrumentation bundle's ``flows_spec``.  Excluded
+    #: from the config digest like instrumentation — flow accounting
+    #: never changes simulation results.
+    flows: Optional[FlowSpec] = None
+    #: Extra per-session run hook (`hook(sim, deployment, manager,
+    #: probe_peers)`), composed with the kill-switch hook.  Test seam
+    #: for attaching extra taps/samplers to every campaign unit.
+    session_hook: Optional[Callable] = None
 
 
 @dataclass
@@ -89,6 +98,10 @@ class DailyLocality:
     #: checkpoint artifacts so a resumed run's ``run_summary`` footer
     #: matches the uninterrupted run.
     events_executed: int = 0
+    #: The day's flow-ledger snapshot (``FlowLedger.snapshot_state``)
+    #: when the campaign ran with a flow spec; carried through
+    #: checkpoints so resumed runs emit byte-identical flow artifacts.
+    flows: Optional[dict] = None
 
 
 @dataclass
@@ -168,9 +181,12 @@ def _unit_payload(daily: DailyLocality) -> dict:
     round-trip exactly in CPython, which is what makes a resumed
     campaign byte-identical to an uninterrupted one at the golden-digest
     level."""
-    return {"population": daily.population,
-            "locality_by_isp": dict(daily.locality_by_isp),
-            "events_executed": daily.events_executed}
+    payload = {"population": daily.population,
+               "locality_by_isp": dict(daily.locality_by_isp),
+               "events_executed": daily.events_executed}
+    if daily.flows is not None:
+        payload["flows"] = daily.flows
+    return payload
 
 
 def _daily_from_payload(key: Tuple[str, int],
@@ -181,7 +197,8 @@ def _daily_from_payload(key: Tuple[str, int],
         day=day, popularity=Popularity(popularity),
         population=payload["population"],
         locality_by_isp=dict(payload["locality_by_isp"]),
-        events_executed=payload.get("events_executed", 0))
+        events_executed=payload.get("events_executed", 0),
+        flows=payload.get("flows"))
 
 
 #: ``popularity:day:events`` — when set, the matching campaign unit
@@ -237,6 +254,16 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
     noise = math.exp(rng.gauss(0.0, config.audience_noise_sigma))
     population = max(10, int(round(base_population * factor * noise)))
 
+    kill_hook = _kill_switch_hook(day, popularity)
+    extra_hook = config.session_hook
+    if kill_hook is not None and extra_hook is not None:
+        def run_hook(sim, deployment, manager, probe_peers,
+                     _kill=kill_hook, _extra=extra_hook) -> None:
+            _kill(sim, deployment, manager, probe_peers)
+            _extra(sim, deployment, manager, probe_peers)
+    else:
+        run_hook = kill_hook if kill_hook is not None else extra_hook
+
     specs = _probe_specs(config.probe_isps)
     scenario_config = ScenarioConfig(
         seed=router.master_seed + day * 101 + (0 if popularity is
@@ -251,7 +278,8 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
         churn=ChurnModel(),
         instrumentation=config.instrumentation,
         faults=config.faults,
-        run_hook=_kill_switch_hook(day, popularity),
+        flows=config.flows,
+        run_hook=run_hook,
     )
     result = SessionScenario(scenario_config).run()
 
@@ -270,7 +298,9 @@ def _run_day(config: CampaignConfig, day: int, popularity: Popularity,
     return DailyLocality(
         day=day, popularity=popularity, population=population,
         locality_by_isp=averaged,
-        events_executed=result.deployment.sim.events_executed)
+        events_executed=result.deployment.sim.events_executed,
+        flows=(result.flows.snapshot_state()
+               if result.flows is not None else None))
 
 
 def _emit_day(config: CampaignConfig, obs: Instrumentation,
@@ -382,6 +412,44 @@ def _validate_restored(config: CampaignConfig,
         raise CheckpointError(
             f"checkpoint at {store.root} contains units outside the "
             f"campaign shape: {unknown[:3]}")
+    if config.flows is not None:
+        # A resumed flows-enabled run replays flow snapshots instead of
+        # re-simulating; a checkpoint written without them (or with a
+        # different ledger shape) cannot produce the byte-identical
+        # artifact the contract promises, so fail loudly.
+        for key in sorted(restored):
+            snapshot = restored[key].flows
+            if snapshot is None:
+                raise CheckpointError(
+                    f"checkpoint at {store.root} was written without "
+                    f"flow accounting (unit {key} has no flow snapshot) "
+                    f"but this run enables it; re-run without --flows "
+                    f"or restart the campaign")
+            if (snapshot.get("window") != config.flows.window
+                    or snapshot.get("top_k") != config.flows.top_k):
+                raise CheckpointError(
+                    f"checkpoint unit {key} recorded flows with window="
+                    f"{snapshot.get('window')} top_k="
+                    f"{snapshot.get('top_k')}, but this run uses window="
+                    f"{config.flows.window} top_k={config.flows.top_k}")
+
+
+def _emit_flows(config: CampaignConfig, obs: Instrumentation,
+                merged: Dict[Tuple[str, int], DailyLocality]) -> None:
+    """Write per-unit flow records to the artifact, in canonical order.
+
+    Parent-side only, after the deterministic merge — exactly like the
+    campaign-level progress records — so the flows artifact is
+    byte-identical for every ``jobs`` value and across resume.
+    """
+    writer = getattr(obs, "flows", None)
+    if writer is None or config.flows is None:
+        return
+    for key in campaign_unit_keys(config):
+        daily = merged.get(key)
+        if daily is not None and daily.flows is not None:
+            writer.write_unit({"day": key[1], "popularity": key[0]},
+                              daily.flows)
 
 
 def run_campaign(config: Optional[CampaignConfig] = None, *,
@@ -406,6 +474,11 @@ def run_campaign(config: Optional[CampaignConfig] = None, *,
     """
     config = config if config is not None else CampaignConfig()
     obs = resolve_obs(config.instrumentation)
+    if config.flows is None and obs.enabled and obs.flows_spec is not None:
+        # A --flows run turns on campaign-wide flow accounting through
+        # the bundle; the spec must live on the config so worker
+        # processes (shipped instrumentation=None) see it too.
+        config = dataclasses.replace(config, flows=obs.flows_spec)
 
     store: Optional[CampaignCheckpointStore] = None
     digest = ""
@@ -464,6 +537,7 @@ def run_campaign(config: Optional[CampaignConfig] = None, *,
                 _emit_day(config, obs, popularity, daily,
                           restored=(popularity.value, daily.day)
                           in restored)
+        _emit_flows(config, obs, merged)
         return result
 
     router = RandomRouter(config.seed)
@@ -497,4 +571,5 @@ def run_campaign(config: Optional[CampaignConfig] = None, *,
         _emit_day(config, obs, popularity, daily)
     if store is not None:
         flush()
+    _emit_flows(config, obs, merged)
     return assemble_campaign(config, merged)

@@ -27,7 +27,8 @@ from ..capture.store import TraceStore
 from ..faults import FaultInjector, FaultSchedule
 from ..network.bandwidth import ADSL, CAMPUS, AccessProfile
 from ..network.builder import Internet, build_internet
-from ..obs import INFO, HeartbeatSampler, Instrumentation
+from ..obs import (INFO, FlowLedger, FlowSpec, HeartbeatSampler,
+                   Instrumentation)
 from ..obs import resolve as resolve_obs
 from ..protocol.bootstrap import BootstrapServer
 from ..protocol.config import ProtocolConfig
@@ -105,6 +106,13 @@ class ScenarioConfig:
     #: Deterministic fault schedule armed onto the session (chaos runs);
     #: ``None`` injects nothing and changes nothing.
     faults: Optional[FaultSchedule] = None
+    #: Traffic-flow ledger knobs; a non-``None`` spec attaches a
+    #: :class:`FlowLedger` tap for the whole session.  Picklable, so
+    #: ``--jobs N`` workers (which carry no instrumentation) still
+    #: account flows.  ``None`` falls back to the instrumentation
+    #: bundle's ``flows_spec``, and attaches nothing if that is unset —
+    #: preserving the no-tap fast path.
+    flows: Optional[FlowSpec] = None
     #: Experiment hook called once, right before the simulation runs:
     #: ``run_hook(sim, deployment, manager, probe_peers)``.  Used by the
     #: chaos experiment to install windowed samplers; ``probe_peers``
@@ -154,6 +162,8 @@ class SessionResult:
     population: PopulationManager
     #: The armed fault injector, when the config carried a schedule.
     injector: Optional[FaultInjector] = None
+    #: The finished traffic-flow ledger, when a flow spec was active.
+    flows: Optional[FlowLedger] = None
 
     @property
     def directory(self):
@@ -274,7 +284,8 @@ class SessionScenario:
                            manager: "PopulationManager",
                            probe_peers: Dict[str, PPLivePeer],
                            injector: Optional[FaultInjector] = None,
-                           sim_end: Optional[float] = None
+                           sim_end: Optional[float] = None,
+                           ledger: Optional[FlowLedger] = None
                            ) -> HeartbeatSampler:
         """Periodic progress beacon: swarm size, neighbor fill, uplink
         backlog and playback health, as trace records, gauges and
@@ -303,6 +314,8 @@ class SessionScenario:
             fields["peers_by_isp"] = udp.online_by_isp()
             if injector is not None:
                 fields["faults_active"] = len(injector.active)
+            if ledger is not None:
+                fields["flows"] = ledger.heartbeat_fields()
             g_viewers.set(manager.active_count)
             g_online.set(udp.online_count)
             neighbor_fill = []
@@ -348,8 +361,15 @@ class SessionScenario:
 
         sim = Simulator(seed=cfg.seed, profiler=profiler)
         end_time = cfg.warmup + cfg.duration
+        flow_spec = cfg.flows if cfg.flows is not None else (
+            obs.flows_spec if obs.enabled else None)
         with phase("setup"):
             deployment = self.build_deployment(sim)
+            ledger = None
+            if flow_spec is not None:
+                ledger = FlowLedger(deployment.internet.directory,
+                                    deployment.internet.catalog, flow_spec)
+                deployment.internet.udp.set_flow_sink(ledger.sink)
             if obs.trace.enabled_for(INFO):
                 obs.trace.emit(sim.now, INFO, "session_start",
                                seed=cfg.seed,
@@ -411,7 +431,7 @@ class SessionScenario:
             if obs.wants_heartbeat:
                 heartbeat = self._install_heartbeat(
                     obs, sim, deployment, manager, probe_peers,
-                    injector=injector, sim_end=end_time)
+                    injector=injector, sim_end=end_time, ledger=ledger)
 
             if cfg.run_hook is not None:
                 cfg.run_hook(sim, deployment, manager, probe_peers)
@@ -421,6 +441,9 @@ class SessionScenario:
 
         if heartbeat is not None:
             heartbeat.stop()
+        if ledger is not None:
+            deployment.internet.udp.clear_flow_sink()
+            ledger.finish(sim.now)
         with phase("analysis"):
             if obs.enabled:
                 obs.metrics.counter("sim.events_executed").inc(
@@ -447,7 +470,7 @@ class SessionScenario:
                                 viewers_spawned=manager.total_spawned)
         return SessionResult(config=cfg, deployment=deployment,
                              probes=probes, population=manager,
-                             injector=injector)
+                             injector=injector, flows=ledger)
 
 
 def run_session(config: Optional[ScenarioConfig] = None) -> SessionResult:

@@ -432,6 +432,32 @@ class TestStatusCommand:
         assert "ETA" in out
         assert "60s / 240s" in out  # the torn record was ignored
 
+    def test_status_on_torn_only_first_line(self, tmp_path, capsys):
+        # A run caught while flushing its very first record: the file
+        # holds nothing but a torn fragment.  That is not "no records
+        # yet" (the run IS emitting) and not corruption — status must
+        # say so kindly and exit nonzero so scripts can retry.
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start","experiment":"fi')
+        assert main(["status", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no complete records yet" in err
+        assert "Traceback" not in err
+
+    def test_top_on_torn_only_first_line(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start","experiment":"fi')
+        assert main(["top", str(path), "--interval", "0.01",
+                     "--iterations", "2"]) == 1
+        assert "no complete records yet" in capsys.readouterr().err
+
+    def test_status_on_truly_empty_file_still_exits_zero(self, tmp_path,
+                                                         capsys):
+        path = tmp_path / "p.jsonl"
+        path.write_text("")
+        assert main(["status", str(path)]) == 0
+        assert "no records yet" in capsys.readouterr().out
+
     def test_status_missing_file(self, tmp_path, capsys):
         assert main(["status", str(tmp_path / "nope.jsonl")]) == 2
         assert "cannot read" in capsys.readouterr().err

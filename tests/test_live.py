@@ -92,6 +92,44 @@ class TestReadProgress:
         path.write_text('{"kind":"run_start"}\n\n{"kind":"heartbeat"}\n')
         assert len(read_progress(str(path))) == 2
 
+    def test_with_tail_returns_the_torn_fragment(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start"}\n{"kind":"heart')
+        records, tail = read_progress(str(path), with_tail=True)
+        assert [r["kind"] for r in records] == ["run_start"]
+        assert tail == '{"kind":"heart'
+
+    def test_with_tail_is_empty_on_a_clean_stream(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start"}\n')
+        records, tail = read_progress(str(path), with_tail=True)
+        assert len(records) == 1
+        assert tail == ""
+
+    def test_torn_only_first_line_yields_no_records_but_a_tail(
+            self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start","experiment":"fi')
+        records, tail = read_progress(str(path), with_tail=True)
+        assert records == []
+        assert tail.startswith('{"kind":"run_start"')
+
+    def test_non_object_mid_stream_line_is_corruption(self, tmp_path):
+        # A bare number parses as JSON but is not a record; treating it
+        # as one would crash summarize_progress later with a confusing
+        # AttributeError instead of a clear corruption report.
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start"}\n42\n{"kind":"heartbeat"}\n')
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_progress(str(path))
+
+    def test_non_object_final_line_counts_as_torn(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text('{"kind":"run_start"}\n42')
+        records, tail = read_progress(str(path), with_tail=True)
+        assert [r["kind"] for r in records] == ["run_start"]
+        assert tail == "42"
+
 
 class TestDeterministicView:
     def test_strip_wall_fields(self):

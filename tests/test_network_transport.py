@@ -5,6 +5,7 @@ import pytest
 from repro.network.bandwidth import (ADSL, SERVER, AccessProfile,
                                      UplinkQueue)
 from repro.network.builder import build_internet
+from repro.network.datagram import HEADER_BYTES
 from repro.network.transport import Host
 from repro.sim import Simulator
 
@@ -138,6 +139,146 @@ class TestTransport:
         a.send(b.address, "x", payload_bytes=10)
         sim.run()
         assert events == []
+
+    def test_duplicate_add_tap_rejected(self):
+        sim, internet, a, b = make_pair()
+        tap = lambda e, d, t: None
+        internet.udp.add_tap(tap)
+        with pytest.raises(ValueError, match="already registered"):
+            internet.udp.add_tap(tap)
+        # The failed add must not have registered a second copy.
+        assert internet.udp._taps == [tap]
+
+    def test_remove_unregistered_tap_rejected(self):
+        sim, internet, a, b = make_pair()
+        with pytest.raises(ValueError, match="not registered"):
+            internet.udp.remove_tap(lambda e, d, t: None)
+
+    def test_remove_tap_twice_rejected(self):
+        sim, internet, a, b = make_pair()
+        tap = lambda e, d, t: None
+        internet.udp.add_tap(tap)
+        internet.udp.remove_tap(tap)
+        with pytest.raises(ValueError, match="not registered"):
+            internet.udp.remove_tap(tap)
+
+    def test_bound_method_tap_round_trips(self):
+        # Bound methods compare by (__self__, __func__): ledger.tap-style
+        # registration must add/detect/remove cleanly even though each
+        # attribute access builds a fresh bound-method object.
+        sim, internet, a, b = make_pair()
+
+        class Sink:
+            def tap(self, event, datagram, time):
+                pass
+
+        sink = Sink()
+        internet.udp.add_tap(sink.tap)
+        with pytest.raises(ValueError, match="already registered"):
+            internet.udp.add_tap(sink.tap)
+        internet.udp.remove_tap(sink.tap)
+        assert internet.udp._taps == []
+
+    def test_removing_last_tap_mid_run_restores_fast_path(self):
+        sim, internet, a, b = make_pair()
+        events = []
+        tap = lambda e, d, t: events.append(e)
+        internet.udp.add_tap(tap)
+
+        a.send(b.address, "1", payload_bytes=10)
+        sim.call_after(5.0, lambda: internet.udp.remove_tap(tap),
+                       label="detach")
+        sim.call_after(10.0, lambda: a.send(b.address, "2",
+                                            payload_bytes=10),
+                       label="late-send")
+        sim.run()
+        # Only the first datagram was observed; after mid-run removal the
+        # tap list is empty again so send/_deliver take the no-tap branch.
+        assert events == ["send", "recv"]
+        assert internet.udp._taps == []
+        assert len(b.received) == 2
+
+    def test_tap_event_filter_limits_dispatch(self):
+        sim, internet, a, b = make_pair()
+        recv_only, everything = [], []
+        internet.udp.add_tap(lambda e, d, t: recv_only.append(e),
+                             events=("recv",))
+        internet.udp.add_tap(lambda e, d, t: everything.append(e))
+        a.send(b.address, "x", payload_bytes=10)
+        sim.run()
+        assert recv_only == ["recv"]
+        assert everything == ["send", "recv"]
+
+    def test_tap_filter_covers_drop_events(self):
+        sim, internet, a, b = make_pair()
+        drops, recvs = [], []
+        internet.udp.add_tap(lambda e, d, t: drops.append(e),
+                             events=("drop_uplink", "drop_loss",
+                                     "drop_fault"))
+        internet.udp.add_tap(lambda e, d, t: recvs.append(e),
+                             events=("recv",))
+        b.go_offline()
+        a.send(b.address, "x", payload_bytes=100)
+        sim.run()
+        # Offline destination is a silent counter, not a tap event, so
+        # neither tap fires — but the filtered lists stayed disjoint.
+        assert recvs == []
+        assert drops == []
+
+    def test_unknown_tap_event_rejected(self):
+        sim, internet, a, b = make_pair()
+        with pytest.raises(ValueError, match="unknown tap event"):
+            internet.udp.add_tap(lambda e, d, t: None,
+                                 events=("recv", "deliver"))
+        assert internet.udp._taps == []
+
+    def test_flow_sink_sees_deliveries_with_wire_bytes(self):
+        sim, internet, a, b = make_pair()
+        seen = []
+        internet.udp.set_flow_sink(
+            lambda d, now, wire: seen.append((d.dst, now, wire)))
+        a.send(b.address, "x", payload_bytes=100)
+        sim.run()
+        assert len(seen) == 1
+        dst, now, wire = seen[0]
+        assert dst == b.address
+        assert wire == 100 + HEADER_BYTES
+        assert now == pytest.approx(sim.now)
+
+    def test_flow_sink_not_called_for_drops(self):
+        sim, internet, a, b = make_pair()
+        seen = []
+        internet.udp.set_flow_sink(lambda d, now, wire: seen.append(d))
+        b.go_offline()
+        a.send(b.address, "x", payload_bytes=100)
+        sim.run()
+        assert seen == []
+        assert internet.udp.datagrams_dropped_offline == 1
+
+    def test_flow_sink_single_consumer(self):
+        sim, internet, a, b = make_pair()
+        internet.udp.set_flow_sink(lambda d, now, wire: None)
+        with pytest.raises(ValueError, match="already installed"):
+            internet.udp.set_flow_sink(lambda d, now, wire: None)
+        internet.udp.clear_flow_sink()
+        assert internet.udp._flow_sink is None
+        # A cleared slot accepts a fresh sink.
+        internet.udp.set_flow_sink(lambda d, now, wire: None)
+
+    def test_clear_flow_sink_restores_fast_path_mid_run(self):
+        sim, internet, a, b = make_pair()
+        seen = []
+        internet.udp.set_flow_sink(lambda d, now, wire: seen.append(d))
+        a.send(b.address, "1", payload_bytes=10)
+        sim.call_after(5.0, internet.udp.clear_flow_sink,
+                       label="detach-sink")
+        sim.call_after(10.0, lambda: a.send(b.address, "2",
+                                            payload_bytes=10),
+                       label="late-send")
+        sim.run()
+        assert len(seen) == 1
+        assert internet.udp._flow_sink is None
+        assert len(b.received) == 2
 
     def test_counters(self):
         sim, internet, a, b = make_pair()

@@ -78,3 +78,51 @@ class TestTelemetryNeutrality:
             ["popular", "popular", "unpopular", "unpopular"]
         for day in days:
             assert set(day["locality_by_isp"]) == {"CNC", "TELE", "Mason"}
+
+
+class TestPerIspKeyOrdering:
+    """Per-ISP mappings in the stream must be emitted key-sorted.
+
+    JSON objects preserve insertion order through a round-trip, so a
+    sorted emission order is what makes two streams (or two runs)
+    byte-comparable without any reader-side normalisation.  Checked for
+    both ``--jobs`` modes: serial streams carry heartbeats, parallel
+    streams carry only parent-side records, and every per-ISP dict in
+    either must already be ordered.
+    """
+
+    @staticmethod
+    def _assert_isp_maps_sorted(records):
+        checked = 0
+        for record in records:
+            for field in ("peers_by_isp", "locality_by_isp"):
+                mapping = record.get(field)
+                if mapping:
+                    keys = list(mapping)
+                    assert keys == sorted(keys), (record["kind"], field,
+                                                  keys)
+                    checked += 1
+        return checked
+
+    def test_heartbeat_and_day_isp_keys_sorted_serial(self, tmp_path):
+        _, path = _run(tmp_path, "keys-serial", jobs=1)
+        records = read_progress(str(path))
+        heartbeats = [r for r in records if r["kind"] == "heartbeat"]
+        assert heartbeats, "serial run emitted no heartbeats"
+        assert all("peers_by_isp" in beat for beat in heartbeats)
+        assert self._assert_isp_maps_sorted(records) >= len(heartbeats)
+
+    def test_day_isp_keys_sorted_jobs2(self, tmp_path):
+        _, path = _run(tmp_path, "keys-jobs2", jobs=2)
+        records = read_progress(str(path))
+        days = [r for r in records if r["kind"] == KIND_DAY_COMPLETE]
+        assert days, "parallel run emitted no day records"
+        assert self._assert_isp_maps_sorted(records) >= len(days)
+
+    def test_ordering_survives_a_json_round_trip(self, tmp_path):
+        import json
+        _, path = _run(tmp_path, "keys-roundtrip", jobs=1)
+        for line in open(path, encoding="utf-8"):
+            record = json.loads(line)
+            assert json.loads(json.dumps(record)) == record
+            self._assert_isp_maps_sorted([record])
