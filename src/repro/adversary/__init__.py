@@ -1,0 +1,26 @@
+"""Deterministic misbehaving-peer models (see docs/ROBUSTNESS.md).
+
+A fraction of churned-in viewers can be turned adversarial by an
+``adversary`` event in a :class:`repro.faults.FaultSchedule`; each
+attached model misbehaves at well-defined override points inside
+:class:`repro.protocol.peer.PPLivePeer` while the rest of the client
+stays honest.  Every model draws only from its own
+:class:`random.Random`, seeded from the fault event's stream, so
+adversarial runs are byte-identical at any ``--jobs`` and across
+checkpoint/resume.
+"""
+
+from .models import (ADVERSARY_BEHAVIORS, AdversaryModel, BufferMapLiar,
+                     ChunkPolluter, FreeRider, RequestFlooder,
+                     StalePeerlistResponder, build_adversary)
+
+__all__ = [
+    "ADVERSARY_BEHAVIORS",
+    "AdversaryModel",
+    "BufferMapLiar",
+    "ChunkPolluter",
+    "FreeRider",
+    "RequestFlooder",
+    "StalePeerlistResponder",
+    "build_adversary",
+]

@@ -35,11 +35,13 @@ worker processes with byte-identical output (see ``docs/PARALLEL.md``).
 unit to DIR as an atomic, digest-stamped artifact; ``--resume DIR``
 restarts a killed campaign from those artifacts, simulating only the
 missing days, with output byte-identical to an uninterrupted run
-(fig06 only — see ``docs/CHECKPOINT.md``).
+(fig06 and resilience — see ``docs/CHECKPOINT.md``).
 
 ``chaos`` runs the fault-injection study (see ``docs/ROBUSTNESS.md``):
 a clean and a faulted session from the same seed, with recovery
-measured per fault.  ``--faults script.json`` loads a declarative
+measured per fault.  ``resilience`` sweeps misbehaving-peer models
+over attachment fractions and scores each cell against a clean
+baseline.  ``--faults script.json`` loads a declarative
 :class:`repro.faults.FaultSchedule`; with any other experiment it arms
 the schedule onto the simulated sessions, showing that figure *under*
 faults.
@@ -154,7 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for parallelisable experiments (the "
-             "fig06 campaign, the chaos session pair); results are "
+             "fig06 campaign, the chaos session pair, the resilience "
+             "sweep); results are "
              "byte-identical for every N (default: 1 = serial "
              "in-process)")
     parser.add_argument(
@@ -166,7 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="with 'list': emit the experiment registry as JSON")
     ckpt_group = parser.add_argument_group(
-        "checkpointing (fig06 campaign; see docs/CHECKPOINT.md)")
+        "checkpointing (fig06 campaign and resilience sweep; see "
+        "docs/CHECKPOINT.md)")
     ckpt_group.add_argument(
         "--checkpoint", metavar="DIR", default=None,
         help="persist completed campaign (program, day) units to DIR "
@@ -630,9 +634,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     if args.checkpoint or args.resume:
-        if args.experiment != "fig06":
+        if args.experiment not in ("fig06", "resilience"):
             print(f"--checkpoint/--resume only apply to the fig06 "
-                  f"campaign, not {args.experiment!r}", file=sys.stderr)
+                  f"campaign and the resilience sweep, not "
+                  f"{args.experiment!r}", file=sys.stderr)
             return 2
         if args.checkpoint_every < 1:
             print(f"--checkpoint-every must be >= 1, got "
@@ -711,13 +716,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
         try:
             if args.experiment == "all":
                 for experiment_id in ALL_EXPERIMENT_IDS:
-                    if experiment_id in ("fig06", "chaos"):
+                    if experiment_id in ("fig06", "chaos",
+                                         "resilience"):
                         continue  # slower standalone runs: invoke explicitly
                     _run_one(experiment_id, bank, scale, args.seed,
                              instrumentation=obs, jobs=args.jobs,
                              faults=faults)
-                print("(fig06 and chaos skipped by 'all'; run them "
-                      "explicitly, e.g. 'python -m repro chaos')")
+                print("(fig06, chaos and resilience skipped by 'all'; "
+                      "run them explicitly, e.g. 'python -m repro "
+                      "chaos')")
                 return 0
 
             if args.experiment not in ALL_EXPERIMENT_IDS:

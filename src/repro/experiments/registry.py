@@ -73,6 +73,11 @@ def _build_descriptions() -> dict:
     descriptions["chaos"] = ("fault-injection study: locality, continuity "
                              "and recovery time before/during/after each "
                              "injected fault (accepts --faults)")
+    descriptions["resilience"] = ("adversarial-peer sweep: locality, "
+                                  "continuity, startup and contribution "
+                                  "shape per misbehaving-peer model vs a "
+                                  "clean baseline (accepts --jobs, "
+                                  "--checkpoint)")
     return descriptions
 
 
@@ -112,10 +117,11 @@ def run_experiment(experiment_id: str,
     :class:`repro.checkpoint.CheckpointPolicy`) makes the fig06
     campaign resumable; other experiments reject it.
     """
-    if checkpoint is not None and experiment_id != "fig06":
+    if checkpoint is not None and experiment_id not in ("fig06",
+                                                        "resilience"):
         raise ValueError(
-            f"--checkpoint/--resume only apply to the fig06 campaign, "
-            f"not {experiment_id!r}")
+            f"--checkpoint/--resume only apply to the fig06 campaign "
+            f"and the resilience sweep, not {experiment_id!r}")
     if bank is None:
         bank = WorkloadBank(instrumentation=instrumentation,
                             faults=faults) \
@@ -160,10 +166,15 @@ def run_experiment(experiment_id: str,
         from .chaos import run_chaos
         return run_chaos(schedule=faults, scale=scale, seed=seed,
                          instrumentation=instrumentation, jobs=jobs)
+    if experiment_id == "resilience":
+        from .resilience import run_resilience
+        return run_resilience(scale=scale, seed=seed,
+                              instrumentation=instrumentation, jobs=jobs,
+                              checkpoint=checkpoint)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 
 ALL_EXPERIMENT_IDS = tuple(
     sorted(set(_LOCALITY_FIGS) | set(_RESPONSE_FIGS)
            | set(_CONTRIBUTION_FIGS) | set(_RTT_FIGS)
-           | {"table1", "fig06", "chaos"}))
+           | {"table1", "fig06", "chaos", "resilience"}))

@@ -9,10 +9,12 @@ runs stay byte-reproducible at any ``--jobs`` level.  See
 """
 
 from .injector import FaultInjector
-from .schedule import (FaultEvent, FaultSchedule, FlashCrowd,
-                       LinkDegradation, PeerBlackout, ServerOutage)
+from .schedule import (AdversaryEvent, FaultEvent, FaultSchedule,
+                       FlashCrowd, LinkDegradation, PeerBlackout,
+                       ServerOutage)
 
 __all__ = [
     "FaultSchedule", "FaultEvent", "FaultInjector",
     "ServerOutage", "LinkDegradation", "PeerBlackout", "FlashCrowd",
+    "AdversaryEvent",
 ]

@@ -24,14 +24,15 @@ import random
 from functools import partial
 from typing import Dict, List, Optional, Sequence
 
+from ..adversary import build_adversary
 from ..network.latency import LatencyModel, PairClass, PathOverride
 from ..network.transport import Host, UdpNetwork
 from ..obs import INFO, Instrumentation
 from ..obs import resolve as resolve_obs
 from ..sim.engine import Simulator
 from ..sim.random import derive_seed
-from .schedule import (FaultSchedule, FlashCrowd, LinkDegradation,
-                       PeerBlackout, ServerOutage)
+from .schedule import (AdversaryEvent, FaultSchedule, FlashCrowd,
+                       LinkDegradation, PeerBlackout, ServerOutage)
 
 
 class FaultInjector:
@@ -44,6 +45,7 @@ class FaultInjector:
                  source: Optional[Host] = None,
                  population=None,
                  master_seed: int = 0,
+                 flow_ledger=None,
                  obs: Optional[Instrumentation] = None) -> None:
         self.sim = sim
         self.schedule = schedule
@@ -54,9 +56,15 @@ class FaultInjector:
         self.source = source
         self.population = population
         self.master_seed = master_seed
+        #: Optional :class:`repro.obs.FlowLedger` — adversarial peers'
+        #: addresses are marked so their bytes are tagged in flow totals.
+        self.flow_ledger = flow_ledger
 
         self.faults_begun = 0
         self.faults_ended = 0
+        self.adversaries_attached = 0
+        #: Fault name -> installed spawn hook, for window teardown.
+        self._adversary_hooks: Dict[str, object] = {}
         #: Names of currently active (windowed) faults.
         self.active: List[str] = []
         self._armed = False
@@ -89,6 +97,8 @@ class FaultInjector:
                 self._arm_blackout(name, event, rng)
             elif isinstance(event, FlashCrowd):
                 self._arm_flash_crowd(name, event, rng)
+            elif isinstance(event, AdversaryEvent):
+                self._arm_adversary(name, event, rng)
             else:  # pragma: no cover - schedule validation forbids this
                 raise TypeError(f"unknown fault event {event!r}")
         return len(self.schedule.events)
@@ -105,7 +115,8 @@ class FaultInjector:
         return {"faults_begun": self.faults_begun,
                 "faults_ended": self.faults_ended,
                 "armed": self._armed,
-                "active": list(self.active)}
+                "active": list(self.active),
+                "adversaries_attached": self.adversaries_attached}
 
     def restore_state(self, state: dict) -> None:
         """Rebuild the injector's mutable state in place from
@@ -114,6 +125,7 @@ class FaultInjector:
         self.faults_ended = state["faults_ended"]
         self._armed = state["armed"]
         self.active = list(state["active"])
+        self.adversaries_attached = state.get("adversaries_attached", 0)
         self._g_active.set(len(self.active))
 
     # ------------------------------------------------------------------
@@ -295,3 +307,52 @@ class FaultInjector:
 
     def _crowd_end(self, name: str, event: FlashCrowd) -> None:
         self._end(name, event, arrivals=event.arrivals)
+
+    # ------------------------------------------------------------------
+    # Adversarial peers
+    # ------------------------------------------------------------------
+    def _arm_adversary(self, name: str, event: AdversaryEvent,
+                       rng: random.Random) -> None:
+        self.sim.call_at(event.start,
+                         partial(self._adversary_begin, name, event, rng),
+                         label="fault-begin")
+        self.sim.call_at(event.end,
+                         partial(self._adversary_end, name, event),
+                         label="fault-end")
+
+    def _adversary_begin(self, name: str, event: AdversaryEvent,
+                         rng: random.Random) -> None:
+        if self.population is None:
+            raise ValueError("adversary needs a population manager")
+        hook = partial(self._adversary_spawn, name, event, rng)
+        self._adversary_hooks[name] = hook
+        self.population.add_spawn_hook(hook)
+        self._begin(name, event, behavior=event.behavior,
+                    fraction=event.fraction)
+
+    def _adversary_spawn(self, name: str, event: AdversaryEvent,
+                         rng: random.Random, viewer) -> None:
+        """Spawn hook: each arrival in the window independently turns
+        adversarial with probability ``fraction``.  All draws — the
+        attach decision and the attached model's seed — come from the
+        event's own stream, so honest peers' draw sequences never
+        move."""
+        if rng.random() >= event.fraction:
+            return
+        model = build_adversary(event.behavior, rng.getrandbits(64))
+        viewer.attach_adversary(model)
+        self.adversaries_attached += 1
+        self._metrics.counter("faults.adversaries_attached",
+                              {"behavior": event.behavior}).inc()
+        if self.flow_ledger is not None:
+            self.flow_ledger.mark_adversarial(viewer.address)
+        if self._trace.enabled_for(INFO):
+            self._trace.emit(self.sim.now, INFO, "adversary_attached",
+                             fault=name, behavior=event.behavior,
+                             peer=viewer.address)
+
+    def _adversary_end(self, name: str, event: AdversaryEvent) -> None:
+        hook = self._adversary_hooks.pop(name, None)
+        if hook is not None and self.population is not None:
+            self.population.remove_spawn_hook(hook)
+        self._end(name, event, behavior=event.behavior)

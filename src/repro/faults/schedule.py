@@ -18,7 +18,10 @@ ran under:
 * :class:`PeerBlackout`      — an ISP-wide incident crashes a fraction
   of one AS's viewers at an instant,
 * :class:`FlashCrowd`        — an arrival burst layered on the churn
-  model.
+  model,
+* :class:`AdversaryEvent`    — a fraction of viewers churning in
+  during the window run a misbehaving-peer model
+  (:mod:`repro.adversary`).
 
 Timestamps are simulation seconds from ``t = 0`` (the start of the
 scenario, i.e. *including* warm-up).  The actual injection mechanics
@@ -32,6 +35,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Tuple, Union
 
+from ..adversary import ADVERSARY_BEHAVIORS
 from ..network.latency import PairClass
 
 #: ``ServerOutage.target`` spellings that need no group suffix.
@@ -173,11 +177,48 @@ class FlashCrowd:
         return self.start + self.duration
 
 
-FaultEvent = Union[ServerOutage, LinkDegradation, PeerBlackout, FlashCrowd]
+@dataclass(frozen=True)
+class AdversaryEvent:
+    """A fraction of viewers churning in during the window misbehave.
+
+    Each arrival inside ``[start, end)`` independently becomes
+    adversarial with probability ``fraction`` (drawn from the fault's
+    own RNG stream); an attached viewer stays adversarial for its whole
+    session, even past the window's end.  ``behavior`` picks the model
+    from :data:`repro.adversary.ADVERSARY_BEHAVIORS`; each attached
+    model gets its own RNG seeded from the event's stream, so
+    adversarial runs stay byte-identical at any ``--jobs`` level and
+    across checkpoint/resume.
+    """
+
+    KIND = "adversary"
+
+    behavior: str
+    start: float
+    duration: float
+    fraction: float = 0.1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, "start must be >= 0")
+        _require(self.duration > 0.0, "duration must be positive")
+        _require(0.0 < self.fraction <= 1.0, "fraction must be in (0, 1]")
+        _require(self.behavior in ADVERSARY_BEHAVIORS,
+                 f"unknown adversary behavior {self.behavior!r}; expected "
+                 f"one of {list(ADVERSARY_BEHAVIORS)}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+FaultEvent = Union[ServerOutage, LinkDegradation, PeerBlackout,
+                   FlashCrowd, AdversaryEvent]
 
 _EVENT_TYPES: Dict[str, type] = {
     cls.KIND: cls
-    for cls in (ServerOutage, LinkDegradation, PeerBlackout, FlashCrowd)
+    for cls in (ServerOutage, LinkDegradation, PeerBlackout, FlashCrowd,
+                AdversaryEvent)
 }
 
 

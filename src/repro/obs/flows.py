@@ -250,7 +250,7 @@ class FlowLedger:
         "_classify", "_intra_class", "_ocean_class", "_isp_cache",
         "_scope_cache", "_pair_cache", "totals", "_matrix", "_windows",
         "_win", "_acc", "_fold_cache", "_pair_slots", "_isp_io",
-        "_win_until", "_sketch", "datagrams_ignored")
+        "_win_until", "_sketch", "datagrams_ignored", "_adversarial")
 
     def __init__(self, directory, catalog,
                  spec: Optional[FlowSpec] = None) -> None:
@@ -278,6 +278,11 @@ class FlowLedger:
         self.totals: Dict[str, int] = {
             "bytes": 0, "datagrams": 0, "intra_bytes": 0,
             "transit_bytes": 0, "transoceanic_bytes": 0}
+        #: Addresses flagged adversarial (fault injection); bytes *sent*
+        #: by them are tallied in ``totals["adversarial_bytes"]``.  The
+        #: key only materialises once such bytes exist, so clean-run
+        #: artifacts are byte-identical to the pre-adversary format.
+        self._adversarial: set = set()
         #: (src ISP name, dst ISP name, kind) -> [scope, bytes, datagrams]
         self._matrix: Dict[Tuple[str, str, str], List[Any]] = {}
         self._windows: List[list] = []
@@ -443,7 +448,7 @@ class FlowLedger:
         if pair_slot is None:
             pair_slot = self._pair_slots[pair] = [0, flow_key]
         return (cell, scope_idx, src_io, dst_io, pair_slot,
-                src_name == dst_name)
+                src_name == dst_name, src in self._adversarial)
 
     def _fold_pending(self) -> None:
         """Fold pending aggregates into totals/matrix/window/sketch.
@@ -460,7 +465,7 @@ class FlowLedger:
         win = self._win
         fold_cache = self._fold_cache
         touched: List[list] = []
-        fold_bytes = fold_datagrams = 0
+        fold_bytes = fold_datagrams = adversarial_bytes = 0
         scoped = [0, 0, 0]  # intra, transit, transoceanic
         for key, pending in acc.items():
             plan = fold_cache.get(key, _UNRESOLVED)
@@ -471,8 +476,10 @@ class FlowLedger:
                 self.datagrams_ignored += pending[1]
                 continue
             n_bytes = pending[0]
-            cell, scope_idx, src_io, dst_io, pair_slot, same = plan
+            cell, scope_idx, src_io, dst_io, pair_slot, same, adv = plan
 
+            if adv:
+                adversarial_bytes += n_bytes
             fold_bytes += n_bytes
             fold_datagrams += pending[1]
             scoped[scope_idx] += n_bytes
@@ -496,6 +503,9 @@ class FlowLedger:
         totals["intra_bytes"] += scoped[0]
         totals["transit_bytes"] += scoped[1]
         totals["transoceanic_bytes"] += scoped[2]
+        if adversarial_bytes:
+            totals["adversarial_bytes"] = (
+                totals.get("adversarial_bytes", 0) + adversarial_bytes)
         win[1] += fold_bytes
         win[2] += fold_datagrams
         win[3] += scoped[0]
@@ -593,6 +603,22 @@ class FlowLedger:
         """The headline number: share of delivered bytes crossing an AS."""
         return transit_share(self.totals)
 
+    def mark_adversarial(self, address: str) -> None:
+        """Tag an address as adversarial: its *sent* bytes count toward
+        ``totals["adversarial_bytes"]`` from here on.
+
+        Addresses are marked the moment the fault injector attaches a
+        model (at viewer spawn, before any of its datagrams deliver);
+        cached fold plans for the address are invalidated anyway, in
+        case an address is ever re-marked mid-stream.
+        """
+        if address in self._adversarial:
+            return
+        self._adversarial.add(address)
+        stale = [key for key in self._fold_cache if key[0] == address]
+        for key in stale:
+            del self._fold_cache[key]
+
     # ------------------------------------------------------------------
     # Snapshot / restore (checkpoint seam + artifact payload)
     # ------------------------------------------------------------------
@@ -607,11 +633,16 @@ class FlowLedger:
         every fold has already happened.
         """
         self._fold_pending()
-        return {
+        totals = dict(sorted(self.totals.items()))
+        if not totals.get("adversarial_bytes"):
+            # Clean runs keep the pre-adversary payload shape, so golden
+            # artifacts and their digests are unchanged.
+            totals.pop("adversarial_bytes", None)
+        state = {
             "version": FLOWS_VERSION,
             "window": float(self.spec.window),
             "top_k": int(self.spec.top_k),
-            "totals": dict(sorted(self.totals.items())),
+            "totals": totals,
             "matrix": [[src, dst, kind, cell[0], cell[1], cell[2]]
                        for (src, dst, kind), cell
                        in sorted(self._matrix.items())],
@@ -622,12 +653,16 @@ class FlowLedger:
                             if self._win is not None else None),
             "datagrams_ignored": self.datagrams_ignored,
         }
+        if self._adversarial:
+            state["adversarial"] = sorted(self._adversarial)
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`snapshot_state` dict (exact fixed point)."""
         validate_flow_payload(state, self.spec)
         self.totals = {key: int(value)
                        for key, value in state["totals"].items()}
+        self._adversarial = set(state.get("adversarial", []))
         self._matrix = {
             (src, dst, kind): [scope, int(n_bytes), int(n_datagrams)]
             for src, dst, kind, scope, n_bytes, n_datagrams

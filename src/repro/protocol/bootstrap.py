@@ -34,6 +34,7 @@ class BootstrapServer(Host):
         self._rotation: Dict[int, int] = {}
         self.channel_list_requests = 0
         self.playlink_requests = 0
+        self.rejected_messages = 0
 
     # ------------------------------------------------------------------
     # Deployment-time configuration
@@ -56,11 +57,18 @@ class BootstrapServer(Host):
     # ------------------------------------------------------------------
     def handle_datagram(self, datagram: Datagram) -> None:
         payload = datagram.payload
-        if isinstance(payload, m.ChannelListRequest):
-            self._serve_channel_list(datagram.src)
-        elif isinstance(payload, m.PlaylinkRequest):
-            self._serve_playlink(datagram.src, payload.channel_id)
-        # Anything else is noise; a real server would ignore it too.
+        try:
+            if isinstance(payload, m.ChannelListRequest):
+                self._serve_channel_list(datagram.src)
+            elif isinstance(payload, m.PlaylinkRequest):
+                self._serve_playlink(datagram.src, payload.channel_id)
+            else:
+                # Anything else is noise; count it and move on — a real
+                # server would ignore it too.
+                self.rejected_messages += 1
+        except (AttributeError, TypeError, ValueError, KeyError,
+                IndexError):
+            self.rejected_messages += 1
 
     def _serve_channel_list(self, requester: str) -> None:
         self.channel_list_requests += 1

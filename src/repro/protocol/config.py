@@ -9,7 +9,8 @@ externally visible behaviour plausible while staying simulation-friendly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 
 
 @dataclass
@@ -147,6 +148,74 @@ class ProtocolConfig:
     #: How long a neighbor is ineligible after answering with a miss.
     miss_cooldown: float = 0.5
 
+    # ------------------------------------------------------------------
+    # Adversary hardening (see docs/ROBUSTNESS.md).  The defaults are
+    # clean-path-neutral: with no adversaries in the swarm these knobs
+    # reproduce the pre-hardening behaviour bit for bit (flat 60 s
+    # candidate backoff, no rate cap, no advertise strikes), so golden
+    # digests are unchanged.  ``hardened()`` returns the profile the
+    # resilience experiment sweeps under.
+    # ------------------------------------------------------------------
+    #: Strikes before a neighbor is demoted and banned from the
+    #: candidate pool.  Poisoned chunks always strike; the other strike
+    #: weights below decide what else counts.
+    strike_limit: int = 3
+    #: How long a banned address stays ineligible (candidate pool).
+    ban_seconds: float = 240.0
+    #: Strikes charged per integrity-failed (poisoned) data reply.
+    strike_poisoned: int = 1
+    #: Strikes charged when a neighbor misses a request it advertised
+    #: coverage for.  0 keeps the clean path honest: legitimate misses
+    #: on extrapolated availability do happen, so this only turns on in
+    #: hardened profiles.
+    strike_false_advertise: int = 0
+    #: Strikes charged when a neighbor trips the serve-side rate cap.
+    strike_flood: int = 1
+    #: Serve-side per-neighbor data-request rate cap (requests/second,
+    #: token bucket).  0 disables the cap entirely (no limiter state is
+    #: even allocated).
+    request_rate_cap: float = 0.0
+    #: Token-bucket burst allowance when the rate cap is active.
+    request_rate_burst: float = 8.0
+    #: Consolidated retry policy for failed connection attempts: the
+    #: n-th consecutive failure backs a candidate off for
+    #: ``base * multiplier**(n-1)`` seconds, capped at ``max``, plus a
+    #: deterministic per-(address, attempt) jitter in [0, jitter).
+    #: Defaults reproduce the historical flat 60 s backoff exactly.
+    retry_backoff_base: float = 60.0
+    retry_backoff_multiplier: float = 1.0
+    retry_backoff_max: float = 60.0
+    retry_jitter: float = 0.0
+
+    def hardened(self) -> "ProtocolConfig":
+        """A copy with the adversary defenses fully engaged.
+
+        Used by the resilience experiment (clean baseline cell
+        included, so the sweep compares adversary damage, not config
+        drift): advertise-miss strikes on, serve-side rate caps on,
+        exponential connect retry with deterministic jitter.
+        """
+        return replace(
+            self, strike_false_advertise=1, request_rate_cap=6.0,
+            request_rate_burst=12.0, retry_backoff_multiplier=2.0,
+            retry_backoff_max=300.0, retry_jitter=5.0)
+
+    def retry_backoff(self, failures: int, key: str = "") -> float:
+        """Backoff seconds after the ``failures``-th consecutive failure.
+
+        Exponential with a deterministic jitter derived by hashing
+        ``(key, failures)`` — no RNG stream is consumed, so enabling the
+        policy never perturbs draw counts elsewhere.
+        """
+        exponent = max(0, failures - 1)
+        backoff = min(self.retry_backoff_base
+                      * self.retry_backoff_multiplier ** exponent,
+                      self.retry_backoff_max)
+        if self.retry_jitter > 0.0:
+            digest = zlib.crc32(f"{key}:{failures}".encode("utf-8"))
+            backoff += self.retry_jitter * (digest % 4096) / 4096.0
+        return backoff
+
     def __post_init__(self) -> None:
         if self.gossip_interval <= 0:
             raise ValueError("gossip_interval must be positive")
@@ -171,3 +240,24 @@ class ProtocolConfig:
         if self.prefetch_chunks < self.startup_chunks:
             raise ValueError(
                 "prefetch_chunks must cover the startup buffer")
+        if self.strike_limit < 1:
+            raise ValueError("strike_limit must be >= 1")
+        if self.ban_seconds <= 0:
+            raise ValueError("ban_seconds must be positive")
+        if min(self.strike_poisoned, self.strike_false_advertise,
+               self.strike_flood) < 0:
+            raise ValueError("strike weights cannot be negative")
+        if self.request_rate_cap < 0:
+            raise ValueError("request_rate_cap cannot be negative")
+        if self.request_rate_cap > 0 and self.request_rate_burst < 1:
+            raise ValueError("request_rate_burst must be >= 1 when the "
+                             "rate cap is active")
+        if self.retry_backoff_base <= 0:
+            raise ValueError("retry_backoff_base must be positive")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ValueError("retry_backoff_multiplier must be >= 1")
+        if self.retry_backoff_max < self.retry_backoff_base:
+            raise ValueError(
+                "retry_backoff_max must cover retry_backoff_base")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter cannot be negative")

@@ -207,9 +207,31 @@ class BufferMapAnnounce(Message):
     have_from: int = 0
 
 
+@dataclass(frozen=True)
+class PoisonedDataReply(Message):
+    """A data reply whose payload fails integrity verification.
+
+    Only chunk-polluting adversaries emit this; it is byte-laid-out
+    exactly like :class:`DataReply` (same fields, same body size) so a
+    polluted transfer costs the network the same bandwidth as a clean
+    one — the receiver detects the corruption only after paying for the
+    download, discards the payload and re-fetches the range.
+    """
+
+    TYPE = 0x11
+    channel_id: int = 0
+    chunk: int = 0
+    first: int = 0
+    last: int = 0
+    seq: int = 0
+    have_until: int = -1
+    have_from: int = 0
+    payload_bytes: int = 0
+
+
 ALL_MESSAGE_TYPES = (
     ChannelListRequest, ChannelListReply, PlaylinkRequest, PlaylinkReply,
     TrackerQuery, TrackerReply, Hello, HelloAck, HelloReject, Goodbye,
     PeerListRequest, PeerListReply, DataRequest, DataReply, DataMiss,
-    BufferMapAnnounce,
+    BufferMapAnnounce, PoisonedDataReply,
 )

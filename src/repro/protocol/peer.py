@@ -26,6 +26,7 @@ import heapq
 import math
 from typing import Dict, List, Optional
 
+from ..adversary import AdversaryModel, build_adversary
 from ..network.bandwidth import AccessProfile
 from ..network.datagram import Datagram
 from ..network.isp import ISP
@@ -41,8 +42,14 @@ from .config import ProtocolConfig
 from .neighbors import NeighborTable
 from .peerlist import CandidatePool, ListSource
 from .policy import PeerSelectionPolicy, PPLiveReferralPolicy
-from .scheduler import DataScheduler
+from .scheduler import DataScheduler, RequestRateLimiter
 from .wire import wire_size
+
+#: Sequence numbers used by adversarial flood requests.  Far above
+#: anything the honest scheduler's per-session counter can reach, so a
+#: victim's reply to a junk request never collides with a live pending
+#: entry (it lands in ``duplicate_replies`` instead).
+_FLOOD_SEQ_BASE = 1 << 30
 
 
 class PeerPhase(enum.Enum):
@@ -108,8 +115,19 @@ class PPLivePeer(Host):
         self.hello_rejects = 0
         self.resyncs = 0
         self.rebootstraps = 0
+        self.rejected_messages = 0
+        self.requests_rate_limited = 0
+        self.neighbors_banned = 0
+        self.poisoned_replies = 0
+        self.chunks_refetched = 0
         self.joined_at: Optional[float] = None
         self.departed_at: Optional[float] = None
+
+        # Adversary seam: honest clients never set these.  The serve-side
+        # rate limiter is lazily allocated only when the config enables it.
+        self.adversary: Optional[AdversaryModel] = None
+        self._rate_limiter: Optional[RequestRateLimiter] = None
+        self._flood_seq = _FLOOD_SEQ_BASE
 
         # Observability: per-ISP-tagged instruments, bound once.  Peers
         # in the same ISP share series; the default bundle is no-op.
@@ -141,6 +159,16 @@ class PPLivePeer(Host):
         self._m_resyncs = metrics.counter("proto.resyncs", self._obs_tags)
         self._m_rebootstraps = metrics.counter("proto.rebootstraps",
                                                self._obs_tags)
+        self._m_rejected = metrics.counter("proto.rejected_messages",
+                                           self._obs_tags)
+        self._m_rate_limited = metrics.counter(
+            "proto.requests_rate_limited", self._obs_tags)
+        self._m_banned = metrics.counter("proto.neighbors_banned",
+                                         self._obs_tags)
+        self._m_poisoned = metrics.counter("proto.poisoned_rejected",
+                                           self._obs_tags)
+        self._m_refetched = metrics.counter("proto.chunks_refetched",
+                                            self._obs_tags)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -254,6 +282,11 @@ class PPLivePeer(Host):
             "scheduler_rng": self._scheduler_rng.getstate(),
             "pool": self.pool.snapshot_state(),
             "neighbors": self.neighbors.snapshot_state(),
+            "flood_seq": self._flood_seq,
+            "rate_limiter": (self._rate_limiter.snapshot_state()
+                             if self._rate_limiter is not None else None),
+            "adversary": (self.adversary.snapshot_state()
+                          if self.adversary is not None else None),
             "counters": {
                 "peer_lists_sent": self.peer_lists_sent,
                 "peer_list_requests_received":
@@ -264,6 +297,11 @@ class PPLivePeer(Host):
                 "hello_rejects": self.hello_rejects,
                 "resyncs": self.resyncs,
                 "rebootstraps": self.rebootstraps,
+                "rejected_messages": self.rejected_messages,
+                "requests_rate_limited": self.requests_rate_limited,
+                "neighbors_banned": self.neighbors_banned,
+                "poisoned_replies": self.poisoned_replies,
+                "chunks_refetched": self.chunks_refetched,
                 "joined_at": self.joined_at,
                 "departed_at": self.departed_at,
             },
@@ -284,6 +322,22 @@ class PPLivePeer(Host):
         self._scheduler_rng.setstate(state["scheduler_rng"])
         self.pool.restore_state(state["pool"])
         self.neighbors.restore_state(state["neighbors"])
+        self._flood_seq = state.get("flood_seq", _FLOOD_SEQ_BASE)
+        limiter_state = state.get("rate_limiter")
+        if limiter_state is None:
+            self._rate_limiter = None
+        else:
+            self._rate_limiter = RequestRateLimiter(
+                self.config.request_rate_cap,
+                self.config.request_rate_burst)
+            self._rate_limiter.restore_state(limiter_state)
+        adversary_state = state.get("adversary")
+        if adversary_state is None:
+            self.adversary = None
+        else:
+            self.adversary = build_adversary(adversary_state["behavior"],
+                                             adversary_state["seed"])
+            self.adversary.restore_state(adversary_state)
         counters = state["counters"]
         self.peer_lists_sent = counters["peer_lists_sent"]
         self.peer_list_requests_received = \
@@ -294,6 +348,12 @@ class PPLivePeer(Host):
         self.hello_rejects = counters["hello_rejects"]
         self.resyncs = counters["resyncs"]
         self.rebootstraps = counters["rebootstraps"]
+        self.rejected_messages = counters.get("rejected_messages", 0)
+        self.requests_rate_limited = counters.get("requests_rate_limited",
+                                                  0)
+        self.neighbors_banned = counters.get("neighbors_banned", 0)
+        self.poisoned_replies = counters.get("poisoned_replies", 0)
+        self.chunks_refetched = counters.get("chunks_refetched", 0)
         self.joined_at = counters["joined_at"]
         self.departed_at = counters["departed_at"]
 
@@ -318,7 +378,9 @@ class PPLivePeer(Host):
         if address in self.neighbors or address in self._pending_hellos:
             return False
         candidate = self.pool.get(address)
-        if candidate is not None and candidate.backoff_until > self.sim.now:
+        if candidate is not None and (candidate.backoff_until > self.sim.now
+                                      or candidate.banned_until
+                                      > self.sim.now):
             return False
         return True
 
@@ -331,6 +393,31 @@ class PPLivePeer(Host):
         """Oldest chunk this client can serve (its buffer start)."""
         return self.buffer.first_chunk if self.buffer is not None else 0
 
+    @property
+    def advertised_have(self) -> int:
+        """The availability this client *claims* in outgoing messages.
+
+        Honest unless an attached adversary overrides it (the
+        buffer-map liar inflates it well past the real frontier).
+        """
+        have = self.have_until
+        if self.adversary is not None:
+            return self.adversary.advertised_have(have)
+        return have
+
+    # ------------------------------------------------------------------
+    # Adversary seam
+    # ------------------------------------------------------------------
+    def attach_adversary(self, model: AdversaryModel) -> None:
+        """Turn this viewer adversarial (see :mod:`repro.adversary`).
+
+        The model only drives the override points — serve decisions,
+        advertised availability, flood requests, peer-list forgery —
+        and draws only from its own RNG, so the honest machinery (and
+        every honest peer) keeps its exact draw sequence.
+        """
+        self.adversary = model
+
     # ------------------------------------------------------------------
     # Datagram dispatch
     # ------------------------------------------------------------------
@@ -339,8 +426,21 @@ class PPLivePeer(Host):
             return
         payload = datagram.payload
         handler = self._HANDLERS.get(type(payload))
-        if handler is not None:
+        if handler is None:
+            # Unknown payload type: drop and count, never raise.
+            self._reject_message()
+            return
+        try:
             handler(self, datagram.src, payload)
+        except (AttributeError, TypeError, ValueError, KeyError,
+                IndexError):
+            # A malformed-but-decodable payload (bad field types, absurd
+            # values) must not crash the node: count it and move on.
+            self._reject_message()
+
+    def _reject_message(self) -> None:
+        self.rejected_messages += 1
+        self._m_rejected.inc()
 
     # -- bootstrap phase ------------------------------------------------
     def _on_channel_list(self, src: str, msg: m.ChannelListReply) -> None:
@@ -528,7 +628,7 @@ class PPLivePeer(Host):
         chosen = self.policy.select_candidates(
             self, list(addresses), source, self._rng)
         hello = m.Hello(channel_id=self.channel.channel_id,
-                        have_until=self.have_until,
+                        have_until=self.advertised_have,
                         have_from=self.have_from)
         for address in chosen:
             if not self.can_attempt(address):
@@ -550,10 +650,22 @@ class PPLivePeer(Host):
                     source=source.value)
             self._transmit(address, hello)
 
+    def _note_connect_failure(self, address: str) -> None:
+        """Back the candidate off per the consolidated retry policy.
+
+        With default knobs ``retry_backoff`` is the historical flat
+        60 s; hardened profiles get exponential growth plus
+        deterministic per-(address, attempt) jitter.
+        """
+        failures = self.pool.failure_count(address) + 1
+        self.pool.note_failure(
+            address, self.sim.now,
+            self.config.retry_backoff(failures, key=address))
+
     def _on_hello_timeout(self, address: str) -> None:
         if self._pending_hellos.pop(address, None) is not None:
             self._m_hello_timeouts.inc()
-            self.pool.note_failure(address, self.sim.now)
+            self._note_connect_failure(address)
             span = self._hello_spans.pop(address, None)
             if span is not None:
                 span.finish(self.sim.now, "timeout")
@@ -563,12 +675,16 @@ class PPLivePeer(Host):
             return
         if msg.channel_id != self.channel.channel_id:
             return
+        if self.pool.is_banned(src, self.sim.now):
+            # A banned peer does not get back in by knocking again.
+            return
         if src in self.neighbors:
             self.neighbors.get(src).record_availability(
                 msg.have_until, self.sim.now, msg.have_from)
             self._transmit(src, m.HelloAck(
                 channel_id=self.channel.channel_id,
-                have_until=self.have_until, have_from=self.have_from))
+                have_until=self.advertised_have,
+                have_from=self.have_from))
             return
         if self.neighbors.is_full:
             self.hello_rejects += 1
@@ -581,7 +697,7 @@ class PPLivePeer(Host):
                                   msg.have_from)
         self.pool.add(src, self.sim.now, ListSource.NEIGHBOR)
         self._transmit(src, m.HelloAck(channel_id=self.channel.channel_id,
-                                       have_until=self.have_until,
+                                       have_until=self.advertised_have,
                                        have_from=self.have_from))
 
     def _on_hello_ack(self, src: str, msg: m.HelloAck) -> None:
@@ -615,6 +731,7 @@ class PPLivePeer(Host):
         state.hello_rtt = self.sim.now - sent_at
         state.record_availability(msg.have_until, self.sim.now,
                                   msg.have_from)
+        self.pool.note_success(src)
         self._m_races_won.inc()
         if span is not None:
             span.finish(self.sim.now, rtt=state.hello_rtt)
@@ -626,7 +743,7 @@ class PPLivePeer(Host):
             span = self._hello_spans.pop(src, None)
             if span is not None:
                 span.finish(self.sim.now, "rejected")
-        self.pool.note_failure(src, self.sim.now)
+        self._note_connect_failure(src)
 
     def _on_goodbye(self, src: str, msg: m.Goodbye) -> None:
         self._drop_neighbor(src)
@@ -635,6 +752,8 @@ class PPLivePeer(Host):
         if self.neighbors.remove(address) is not None:
             if self.scheduler is not None:
                 self.scheduler.forget_neighbor(address)
+            if self._rate_limiter is not None:
+                self._rate_limiter.forget(address)
             self._recruit_if_short()
 
     def _recruit_if_short(self) -> None:
@@ -655,7 +774,8 @@ class PPLivePeer(Host):
             self._open_peerlist_span(self._peerlist_request_id, target)
             self._transmit(target, m.PeerListRequest(
                 channel_id=self.channel.channel_id, enclosed=own_list,
-                have_until=self.have_until, have_from=self.have_from,
+                have_until=self.advertised_have,
+                have_from=self.have_from,
                 request_id=self._peerlist_request_id))
         elif self.trackers:
             live = [t for t in self.trackers
@@ -696,7 +816,8 @@ class PPLivePeer(Host):
             self._peerlist_request_id += 1
             request = m.PeerListRequest(
                 channel_id=self.channel.channel_id, enclosed=own_list,
-                have_until=self.have_until, have_from=self.have_from,
+                have_until=self.advertised_have,
+                have_from=self.have_from,
                 request_id=self._peerlist_request_id)
             self._open_peerlist_span(self._peerlist_request_id, target)
             self._transmit(target, request)
@@ -711,10 +832,19 @@ class PPLivePeer(Host):
         if neighbor is not None:
             neighbor.record_availability(msg.have_until, now,
                                          msg.have_from)
-        peers = tuple(self.pool.build_peer_list(
-            self.neighbors.addresses(), self.config.peer_list_max, now))
+        peers = None
+        if self.adversary is not None:
+            forged = self.adversary.peer_list(self.pool.candidates(),
+                                              self.config.peer_list_max)
+            if forged is not None:
+                peers = tuple(forged)
+        if peers is None:
+            peers = tuple(self.pool.build_peer_list(
+                self.neighbors.addresses(), self.config.peer_list_max,
+                now))
         reply = m.PeerListReply(channel_id=self.channel.channel_id,
-                                peers=peers, have_until=self.have_until,
+                                peers=peers,
+                                have_until=self.advertised_have,
                                 have_from=self.have_from,
                                 request_id=msg.request_id)
         self.peer_lists_sent += 1
@@ -747,7 +877,7 @@ class PPLivePeer(Host):
             return
         fanout = min(self.config.buffermap_fanout, len(targets))
         announce = m.BufferMapAnnounce(channel_id=self.channel.channel_id,
-                                       have_until=self.have_until,
+                                       have_until=self.advertised_have,
                                        have_from=self.have_from)
         for target in self._rng.sample(targets, fanout):
             self._transmit(target, announce)
@@ -768,27 +898,45 @@ class PPLivePeer(Host):
     def _on_data_request(self, src: str, msg: m.DataRequest) -> None:
         if self.phase is not PeerPhase.ACTIVE or self.buffer is None:
             return
+        now = self.sim.now
         neighbor = self.neighbors.get(src)
         if neighbor is not None:
-            neighbor.last_heard = self.sim.now
+            neighbor.last_heard = now
+        if self.config.request_rate_cap > 0:
+            if self._rate_limiter is None:
+                self._rate_limiter = RequestRateLimiter(
+                    self.config.request_rate_cap,
+                    self.config.request_rate_burst)
+            if not self._rate_limiter.allow(src, now):
+                # Over the per-neighbor cap: drop silently (an answer
+                # would reward the flood) and strike the requester.
+                self.requests_rate_limited += 1
+                self._m_rate_limited.inc()
+                self._strike(src, self.config.strike_flood)
+                return
         total = self.channel.geometry.subpieces_per_chunk
         valid_range = (msg.chunk >= 0 and 0 <= msg.first <= msg.last
                        and msg.last < total)
         has_range = valid_range and self.buffer.has_range(
             msg.chunk, msg.first, msg.last)
-        if not has_range:
+        action = "serve"
+        if has_range and self.adversary is not None:
+            action = self.adversary.serve_action()
+        if not has_range or action == "miss":
             self.data_misses_sent += 1
             self._transmit(src, m.DataMiss(
                 channel_id=self.channel.channel_id, chunk=msg.chunk,
-                seq=msg.seq, have_until=self.have_until,
+                seq=msg.seq, have_until=self.advertised_have,
                 have_from=self.have_from))
             return
         payload_bytes = self.channel.geometry.range_bytes(msg.first, msg.last)
-        reply = m.DataReply(channel_id=self.channel.channel_id,
-                            chunk=msg.chunk, first=msg.first, last=msg.last,
-                            seq=msg.seq, have_until=self.have_until,
-                            have_from=self.have_from,
-                            payload_bytes=payload_bytes)
+        reply_type = (m.PoisonedDataReply if action == "poison"
+                      else m.DataReply)
+        reply = reply_type(channel_id=self.channel.channel_id,
+                           chunk=msg.chunk, first=msg.first, last=msg.last,
+                           seq=msg.seq, have_until=self.advertised_have,
+                           have_from=self.have_from,
+                           payload_bytes=payload_bytes)
         self.data_requests_served += 1
         self.bytes_uploaded += payload_bytes
         self._transmit(src, reply)
@@ -801,10 +949,50 @@ class PPLivePeer(Host):
         if self.player is not None:
             self.player.tick(self.sim.now)
 
+    def _on_poisoned_reply(self, src: str, msg: m.PoisonedDataReply) -> None:
+        """Chunk integrity verification failed.
+
+        The bytes were already spent on the wire; the payload is
+        discarded (never buffered), the range returns to the wanted set
+        so the next tick re-fetches it elsewhere, and the sender is
+        struck toward a ban.
+        """
+        if self.scheduler is None:
+            return
+        self.poisoned_replies += 1
+        self._m_poisoned.inc()
+        if self.scheduler.on_poisoned(msg.seq):
+            self.chunks_refetched += 1
+            self._m_refetched.inc()
+        self._strike(src, self.config.strike_poisoned)
+
     def _on_data_miss(self, src: str, msg: m.DataMiss) -> None:
         if self.scheduler is None:
             return
+        if (self.config.strike_false_advertise > 0
+                and msg.have_from <= msg.chunk <= msg.have_until):
+            # The neighbor claims (in this very message) to cover the
+            # chunk it just refused to serve: a buffer-map lie.
+            self._strike(src, self.config.strike_false_advertise)
         self.scheduler.on_miss(msg.seq, msg.have_until, msg.have_from)
+
+    def _strike(self, address: str, count: int) -> None:
+        """Charge misbehaviour strikes; demote and ban at the limit."""
+        if count <= 0:
+            return
+        now = self.sim.now
+        if self.pool.strike(address, now, count, self.config.strike_limit,
+                            self.config.ban_seconds):
+            self.neighbors_banned += 1
+            self._m_banned.inc()
+            if self._trace.enabled_for(WARNING):
+                self._trace.emit(now, WARNING, "neighbor_banned",
+                                 peer=self.address, isp=self.isp.name,
+                                 banned=address)
+            if address in self.neighbors:
+                self._transmit(address, m.Goodbye(
+                    channel_id=self.channel.channel_id))
+                self._drop_neighbor(address)
 
     # -- periodic upkeep ---------------------------------------------------
     def _scheduler_tick(self) -> None:
@@ -820,6 +1008,38 @@ class PPLivePeer(Host):
             urgent_until = (self.buffer.first_chunk
                             + self.config.startup_chunks)
         self.scheduler.tick(live, self.player.playout_chunk, urgent_until)
+        if self.adversary is not None:
+            self._flood_tick()
+
+    def _flood_tick(self) -> None:
+        """Adversary override point: junk data requests on top of the
+        honest schedule, targets and count drawn from the model's own
+        RNG.  Replies land outside the scheduler's pending window and
+        are discarded as duplicates."""
+        count = self.adversary.flood_requests()
+        if count <= 0:
+            return
+        targets = self.neighbors.addresses()
+        if not targets:
+            return
+        last = self.channel.geometry.subpieces_per_chunk - 1
+        # Every tick's burst hammers one *persistent* victim (the
+        # lowest neighbor address): spread thin, or rotated per tick,
+        # the flood would stay under every per-neighbor rate cap and
+        # cost nobody anything.  When the victim defends itself and
+        # drops the link, the next-lowest neighbor inherits the flood.
+        address = min(targets)
+        neighbor = self.neighbors.get(address)
+        # Ask for something the victim probably holds, so the flood
+        # actually costs it upload bandwidth.
+        if neighbor is not None and neighbor.reported_have >= 0:
+            chunk = neighbor.reported_have
+        else:
+            chunk = max(0, self.have_until)
+        for _ in range(count):
+            self._flood_seq += 1
+            self._send_data_request(address, chunk, 0, last,
+                                    self._flood_seq)
 
     def _maintenance(self) -> None:
         if self.phase is not PeerPhase.ACTIVE:
@@ -929,6 +1149,7 @@ class PPLivePeer(Host):
         m.PeerListReply: _on_peer_list_reply,
         m.DataRequest: _on_data_request,
         m.DataReply: _on_data_reply,
+        m.PoisonedDataReply: _on_poisoned_reply,
         m.DataMiss: _on_data_miss,
         m.BufferMapAnnounce: _on_buffermap,
     }

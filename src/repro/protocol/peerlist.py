@@ -38,6 +38,14 @@ class Candidate:
     times_seen: int = 1
     #: Set when a connection attempt to this candidate failed recently.
     backoff_until: float = 0.0
+    #: Consecutive connection failures since the last success (feeds the
+    #: exponential retry policy in :class:`ProtocolConfig`).
+    failures: int = 0
+    #: Misbehaviour strikes accumulated against this address.
+    strikes: int = 0
+    #: Banned (ineligible for connection *and* referral) until this
+    #: simulation time; 0 means never banned.
+    banned_until: float = 0.0
 
 
 class CandidatePool:
@@ -84,6 +92,48 @@ class CandidatePool:
         candidate = self._candidates.get(address)
         if candidate is not None:
             candidate.backoff_until = now + backoff
+            candidate.failures += 1
+
+    def note_success(self, address: str) -> None:
+        """Clear the consecutive-failure count after a real connection."""
+        candidate = self._candidates.get(address)
+        if candidate is not None:
+            candidate.failures = 0
+
+    def failure_count(self, address: str) -> int:
+        candidate = self._candidates.get(address)
+        return candidate.failures if candidate is not None else 0
+
+    def strike(self, address: str, now: float, count: int, limit: int,
+               ban_seconds: float) -> bool:
+        """Charge ``count`` strikes; returns True when the ban fires.
+
+        Bans layer on top of the failure backoff: a banned address is
+        invisible to :meth:`connectable` and to peer-list padding until
+        ``ban_seconds`` elapse, and its strike count then restarts from
+        zero (repeat offenders just get banned again).  Unknown
+        addresses are registered first so a striker never loses the ban
+        record to pool churn.
+        """
+        if count <= 0 or address == self.self_address:
+            return False
+        candidate = self._candidates.get(address)
+        if candidate is None:
+            self._evict_if_full(now)
+            candidate = Candidate(address=address, first_seen=now,
+                                  last_seen=now,
+                                  source=ListSource.NEIGHBOR)
+            self._candidates[address] = candidate
+        candidate.strikes += count
+        if candidate.strikes >= limit:
+            candidate.strikes = 0
+            candidate.banned_until = now + ban_seconds
+            return True
+        return False
+
+    def is_banned(self, address: str, now: float) -> bool:
+        candidate = self._candidates.get(address)
+        return candidate is not None and candidate.banned_until > now
 
     def remove(self, address: str) -> None:
         self._candidates.pop(address, None)
@@ -94,7 +144,8 @@ class CandidatePool:
         excluded = set(exclude)
         excluded.add(self.self_address)
         return [c.address for c in self._candidates.values()
-                if c.address not in excluded and c.backoff_until <= now]
+                if c.address not in excluded and c.backoff_until <= now
+                and c.banned_until <= now]
 
     #: A client with fewer neighbors than this pads its returned list
     #: with recently seen candidates so newcomers still get referrals.
@@ -121,7 +172,7 @@ class CandidatePool:
             fresh = heapq.nlargest(
                 target - len(out),
                 (c for c in self._candidates.values()
-                 if c.address not in seen),
+                 if c.address not in seen and c.banned_until <= now),
                 key=lambda c: c.last_seen)
             out.extend(candidate.address for candidate in fresh)
         return out
@@ -142,7 +193,9 @@ class CandidatePool:
                 {"address": c.address, "first_seen": c.first_seen,
                  "last_seen": c.last_seen, "source": c.source.value,
                  "times_seen": c.times_seen,
-                 "backoff_until": c.backoff_until}
+                 "backoff_until": c.backoff_until,
+                 "failures": c.failures, "strikes": c.strikes,
+                 "banned_until": c.banned_until}
                 for c in self._candidates.values()],
         }
 
@@ -158,11 +211,18 @@ class CandidatePool:
                 last_seen=fields["last_seen"],
                 source=ListSource(fields["source"]),
                 times_seen=fields["times_seen"],
-                backoff_until=fields["backoff_until"])
+                backoff_until=fields["backoff_until"],
+                failures=fields.get("failures", 0),
+                strikes=fields.get("strikes", 0),
+                banned_until=fields.get("banned_until", 0.0))
             self._candidates[candidate.address] = candidate
 
     def addresses(self) -> List[str]:
         return list(self._candidates)
+
+    def candidates(self) -> List[Candidate]:
+        """Every held candidate, in insertion order."""
+        return list(self._candidates.values())
 
     def _evict_if_full(self, now: float) -> None:
         if len(self._candidates) < self.capacity:

@@ -40,6 +40,50 @@ from .neighbors import NeighborState, NeighborTable
 SendRequestFn = Callable[[str, int, int, int, int], None]
 
 
+class RequestRateLimiter:
+    """Per-requester token bucket for the serve side of the data plane.
+
+    One bucket per requesting address, refilled continuously at ``rate``
+    tokens/second up to ``burst``.  ``allow`` spends one token and
+    returns False when the bucket is dry — the caller drops (and may
+    strike) the request.  Pure arithmetic on the simulation clock: no
+    RNG, no timers, so an idle limiter costs nothing and a busy one
+    stays deterministic.
+    """
+
+    __slots__ = ("rate", "burst", "_buckets")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        #: address -> (tokens, last_refill_time)
+        self._buckets: Dict[str, tuple] = {}
+
+    def allow(self, address: str, now: float) -> bool:
+        entry = self._buckets.get(address)
+        if entry is None:
+            tokens = self.burst
+        else:
+            tokens, last = entry
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens < 1.0:
+            self._buckets[address] = (tokens, now)
+            return False
+        self._buckets[address] = (tokens - 1.0, now)
+        return True
+
+    def forget(self, address: str) -> None:
+        self._buckets.pop(address, None)
+
+    def snapshot_state(self) -> dict:
+        return {"buckets": {address: list(entry) for address, entry
+                            in self._buckets.items()}}
+
+    def restore_state(self, state: dict) -> None:
+        self._buckets = {address: tuple(entry) for address, entry
+                         in state["buckets"].items()}
+
+
 @dataclass
 class PendingRequest:
     """One in-flight data request."""
@@ -90,6 +134,7 @@ class DataScheduler:
         self.misses_handled = 0
         self.timeouts = 0
         self.duplicate_replies = 0
+        self.poisoned_rejected = 0
         # Observability: series shared per tag set (usually per ISP).
         obs = resolve_obs(obs)
         self._trace = obs.trace
@@ -324,6 +369,39 @@ class DataScheduler:
                 neighbor.reported_have = have_until
                 neighbor.reported_at = self.sim.now
                 neighbor.reported_from = have_from
+
+    def on_poisoned(self, seq: int) -> bool:
+        """Handle a reply whose payload failed integrity verification.
+
+        The pending entry is settled and its ``_requested`` bits are
+        cleared *without* adding anything to the buffer, so the very
+        next tick re-plans the range — the poisoned-chunk re-fetch.
+        The polluter is cooled down like a timed-out neighbor (the
+        caller additionally strikes it), and its EWMA is penalised with
+        the full data timeout: a poisoned transfer wasted at least that
+        much playout headroom.  Returns True when a live request was
+        settled (the range will be re-fetched), False for a duplicate.
+        """
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            self.duplicate_replies += 1
+            return False
+        self._settle(pending)
+        self.poisoned_rejected += 1
+        if pending.span is not None:
+            pending.span.finish(self.sim.now, "poisoned")
+        if self._trace.enabled_for(WARNING):
+            self._trace.emit(self.sim.now, WARNING, "poisoned_reply",
+                             neighbor=pending.neighbor, seq=pending.seq,
+                             chunk=pending.chunk)
+        neighbor = self.neighbors.get(pending.neighbor)
+        if neighbor is not None:
+            neighbor.cooldown_until = (self.sim.now
+                                       + self.config.timeout_cooldown)
+            self._m_cooldowns.inc()
+            neighbor.record_response(self.config.data_timeout,
+                                     self.config.ewma_alpha)
+        return True
 
     def _on_timeout(self, seq: int) -> None:
         pending = self._pending.pop(seq, None)

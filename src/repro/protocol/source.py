@@ -47,6 +47,7 @@ class SourceServer(Host):
         self.data_requests_served = 0
         self.bytes_uploaded = 0
         self.hello_rejects = 0
+        self.rejected_messages = 0
 
     # ------------------------------------------------------------------
     # Availability
@@ -61,14 +62,22 @@ class SourceServer(Host):
     # ------------------------------------------------------------------
     def handle_datagram(self, datagram: Datagram) -> None:
         payload = datagram.payload
-        if isinstance(payload, m.Hello):
-            self._on_hello(datagram.src, payload)
-        elif isinstance(payload, m.PeerListRequest):
-            self._on_peer_list_request(datagram.src, payload)
-        elif isinstance(payload, m.DataRequest):
-            self._on_data_request(datagram.src, payload)
-        elif isinstance(payload, m.Goodbye):
-            self._children.pop(datagram.src, None)
+        try:
+            if isinstance(payload, m.Hello):
+                self._on_hello(datagram.src, payload)
+            elif isinstance(payload, m.PeerListRequest):
+                self._on_peer_list_request(datagram.src, payload)
+            elif isinstance(payload, m.DataRequest):
+                self._on_data_request(datagram.src, payload)
+            elif isinstance(payload, m.Goodbye):
+                self._children.pop(datagram.src, None)
+            else:
+                # Unknown payloads are counted and dropped, never raised:
+                # the origin must outlive anything the swarm throws at it.
+                self.rejected_messages += 1
+        except (AttributeError, TypeError, ValueError, KeyError,
+                IndexError):
+            self.rejected_messages += 1
 
     def _note_child(self, src: str) -> bool:
         """Track a contact; returns False when the table is full."""

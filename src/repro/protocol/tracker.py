@@ -43,6 +43,7 @@ class TrackerServer(Host):
         self._rng = sim.random.fork(f"tracker:{address}").stream("sample")
         self.queries_served = 0
         self.peers_expired = 0
+        self.rejected_messages = 0
 
     # ------------------------------------------------------------------
     # Registry management
@@ -82,6 +83,7 @@ class TrackerServer(Host):
             "rng": self._rng.getstate(),
             "queries_served": self.queries_served,
             "peers_expired": self.peers_expired,
+            "rejected_messages": self.rejected_messages,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -92,17 +94,26 @@ class TrackerServer(Host):
         self._rng.setstate(state["rng"])
         self.queries_served = state["queries_served"]
         self.peers_expired = state["peers_expired"]
+        self.rejected_messages = state.get("rejected_messages", 0)
 
     # ------------------------------------------------------------------
     # Protocol handling
     # ------------------------------------------------------------------
     def handle_datagram(self, datagram: Datagram) -> None:
         payload = datagram.payload
-        if isinstance(payload, m.TrackerQuery):
-            self._serve_query(datagram.src, payload.channel_id)
-        elif isinstance(payload, m.Goodbye):
-            for channel_id in list(self._registry):
-                self.forget_peer(channel_id, datagram.src)
+        try:
+            if isinstance(payload, m.TrackerQuery):
+                self._serve_query(datagram.src, payload.channel_id)
+            elif isinstance(payload, m.Goodbye):
+                for channel_id in list(self._registry):
+                    self.forget_peer(channel_id, datagram.src)
+            else:
+                # Unknown payloads are counted and dropped; a public
+                # server cannot afford to crash on garbage.
+                self.rejected_messages += 1
+        except (AttributeError, TypeError, ValueError, KeyError,
+                IndexError):
+            self.rejected_messages += 1
 
     def _serve_query(self, requester: str, channel_id: int) -> None:
         self.queries_served += 1

@@ -137,7 +137,7 @@ def _encode_body(msg: m.Message) -> bytes:
         return (U32.pack(msg.channel_id) + I64.pack(msg.chunk)
                 + U16.pack(msg.first) + U16.pack(msg.last)
                 + U32.pack(msg.seq))
-    if isinstance(msg, m.DataReply):
+    if isinstance(msg, (m.DataReply, m.PoisonedDataReply)):
         return (U32.pack(msg.channel_id) + I64.pack(msg.chunk)
                 + U16.pack(msg.first) + U16.pack(msg.last)
                 + U32.pack(msg.seq) + I64.pack(msg.have_until)
@@ -183,7 +183,9 @@ def wire_size(msg: m.Message) -> int:
         return header + 4 + 2 + ADDRESS_BYTES * len(msg.peers) + 8 + 8 + 4
     if isinstance(msg, m.DataRequest):
         return header + 4 + 8 + 2 + 2 + 4
-    if isinstance(msg, m.DataReply):
+    if isinstance(msg, (m.DataReply, m.PoisonedDataReply)):
+        # A poisoned reply is laid out (and therefore billed) exactly
+        # like the clean reply it impersonates.
         return header + 4 + 8 + 2 + 2 + 4 + 8 + 8 + 4 + msg.payload_bytes
     if isinstance(msg, m.DataMiss):
         return header + 4 + 8 + 4 + 8 + 8
@@ -336,6 +338,21 @@ def _decode_data_reply(data, offset):
                        have_from=have_from, payload_bytes=payload_bytes)
 
 
+def _decode_poisoned_data_reply(data, offset):
+    (channel_id,) = U32.unpack_from(data, offset)
+    (chunk,) = I64.unpack_from(data, offset + 4)
+    (first,) = U16.unpack_from(data, offset + 12)
+    (last,) = U16.unpack_from(data, offset + 14)
+    (seq,) = U32.unpack_from(data, offset + 16)
+    (have_until,) = I64.unpack_from(data, offset + 20)
+    (have_from,) = I64.unpack_from(data, offset + 28)
+    (payload_bytes,) = U32.unpack_from(data, offset + 36)
+    return m.PoisonedDataReply(
+        channel_id=channel_id, chunk=chunk, first=first, last=last,
+        seq=seq, have_until=have_until, have_from=have_from,
+        payload_bytes=payload_bytes)
+
+
 def _decode_buffer_map(data, offset):
     (channel_id,) = U32.unpack_from(data, offset)
     (have_until,) = I64.unpack_from(data, offset + 4)
@@ -371,4 +388,5 @@ _DECODERS = {
     m.DataReply.TYPE: _decode_data_reply,
     m.DataMiss.TYPE: _decode_data_miss,
     m.BufferMapAnnounce.TYPE: _decode_buffer_map,
+    m.PoisonedDataReply.TYPE: _decode_poisoned_data_reply,
 }

@@ -68,6 +68,11 @@ class PopulationManager:
         self.total_spawned = 0
         self.total_departed = 0
         self.total_crashed = 0
+        #: Called with each freshly spawned viewer (fault injection uses
+        #: this to turn a fraction of arrivals adversarial).  Hooks make
+        #: zero draws from the population stream, so an empty list — the
+        #: clean path — changes nothing.
+        self._spawn_hooks: List[Callable[[object], None]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -97,6 +102,17 @@ class PopulationManager:
         """
         self._arrive()
 
+    def add_spawn_hook(self, hook: Callable[[object], None]) -> None:
+        """Observe every future arrival (the new viewer is passed in)."""
+        self._spawn_hooks.append(hook)
+
+    def remove_spawn_hook(self, hook: Callable[[object], None]) -> None:
+        """Detach a spawn hook; unknown hooks are ignored."""
+        try:
+            self._spawn_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def crash_viewer(self, viewer: object) -> bool:
         """Crash one active viewer *now* (correlated blackouts).
 
@@ -122,6 +138,8 @@ class PopulationManager:
         viewer = self.spawn_viewer()
         self.active.append(viewer)
         self.total_spawned += 1
+        for hook in list(self._spawn_hooks):
+            hook(viewer)
         duration = self.churn.sample_session(self._rng)
         self.sim.call_after(duration, lambda: self._depart(viewer),
                             label="viewer-depart")

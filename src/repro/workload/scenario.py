@@ -404,7 +404,8 @@ class SessionScenario:
                     source=deployment.source,
                     population=manager,
                     master_seed=cfg.seed,
-                    obs=cfg.instrumentation)
+                    obs=cfg.instrumentation,
+                    flow_ledger=ledger)
                 injector.arm()
 
             # Probes join after the warm-up, with sniffers already

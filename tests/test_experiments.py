@@ -134,7 +134,8 @@ class TestRegistry:
         assert "fig02" in ALL_EXPERIMENT_IDS
         assert "table1" in ALL_EXPERIMENT_IDS
         assert "chaos" in ALL_EXPERIMENT_IDS
-        assert len(ALL_EXPERIMENT_IDS) == 19
+        assert "resilience" in ALL_EXPERIMENT_IDS
+        assert len(ALL_EXPERIMENT_IDS) == 20
 
     def test_run_experiment_uses_bank(self, bank):
         fig = run_experiment("fig11", bank=bank, scale=Scale.SMALL, seed=5)

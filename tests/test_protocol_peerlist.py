@@ -70,6 +70,64 @@ class TestConnectable:
         pool.remove("1.0.0.1")  # idempotent
 
 
+class TestStrikesAndBans:
+    def test_strike_below_limit_no_ban(self, pool):
+        pool.add("1.0.0.1", now=0.0, source=ListSource.TRACKER)
+        assert not pool.strike("1.0.0.1", now=0.0, count=1, limit=3,
+                               ban_seconds=240.0)
+        assert not pool.strike("1.0.0.1", now=1.0, count=1, limit=3,
+                               ban_seconds=240.0)
+        assert pool.get("1.0.0.1").strikes == 2
+        assert not pool.is_banned("1.0.0.1", now=2.0)
+        assert pool.connectable(now=2.0) == ["1.0.0.1"]
+
+    def test_strike_to_limit_bans(self, pool):
+        pool.add("1.0.0.1", now=0.0, source=ListSource.TRACKER)
+        assert pool.strike("1.0.0.1", now=5.0, count=3, limit=3,
+                           ban_seconds=240.0)
+        assert pool.is_banned("1.0.0.1", now=6.0)
+        # Strikes reset so the next offense starts a fresh count.
+        assert pool.get("1.0.0.1").strikes == 0
+        assert pool.connectable(now=6.0) == []
+
+    def test_ban_expires(self, pool):
+        pool.add("1.0.0.1", now=0.0, source=ListSource.TRACKER)
+        pool.strike("1.0.0.1", now=0.0, count=3, limit=3,
+                    ban_seconds=240.0)
+        assert pool.is_banned("1.0.0.1", now=239.0)
+        assert not pool.is_banned("1.0.0.1", now=241.0)
+        assert pool.connectable(now=241.0) == ["1.0.0.1"]
+
+    def test_banned_excluded_from_peer_list_padding(self):
+        pool = CandidatePool("9.9.9.9", capacity=100)
+        for i in range(1, 10):
+            pool.add(f"2.0.0.{i}", now=float(i),
+                     source=ListSource.TRACKER)
+        pool.strike("2.0.0.9", now=9.0, count=3, limit=3,
+                    ban_seconds=240.0)
+        out = pool.build_peer_list(["3.0.0.1"], limit=60, now=10.0)
+        assert "2.0.0.9" not in out
+
+    def test_strike_unknown_address_registers_it(self, pool):
+        assert not pool.strike("1.0.0.7", now=0.0, count=1, limit=3,
+                               ban_seconds=240.0)
+        assert "1.0.0.7" in pool
+        assert pool.get("1.0.0.7").strikes == 1
+
+    def test_snapshot_round_trips_strikes_and_bans(self, pool):
+        pool.add("1.0.0.1", now=0.0, source=ListSource.TRACKER)
+        pool.add("1.0.0.2", now=0.0, source=ListSource.TRACKER)
+        pool.strike("1.0.0.1", now=1.0, count=2, limit=3,
+                    ban_seconds=240.0)
+        pool.strike("1.0.0.2", now=1.0, count=3, limit=3,
+                    ban_seconds=240.0)
+        restored = CandidatePool(self_address="1.0.0.99", capacity=10)
+        restored.restore_state(pool.snapshot_state())
+        assert restored.get("1.0.0.1").strikes == 2
+        assert restored.is_banned("1.0.0.2", now=2.0)
+        assert not restored.is_banned("1.0.0.2", now=242.0)
+
+
 class TestBuildPeerList:
     def test_neighbors_come_first(self, pool):
         for i in range(1, 4):

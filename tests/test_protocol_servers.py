@@ -251,3 +251,76 @@ class TestSource:
                  if isinstance(p, m.PeerListReply)][0]
         assert a.address in reply.peers
         assert reply.request_id == 3
+
+
+class TestGarbagePayloads:
+    """Public servers count garbage and keep serving — never raise."""
+
+    def deliver(self, server, payload):
+        from repro.network.datagram import Datagram
+        server.handle_datagram(
+            Datagram(src="9.9.9.9", dst=server.address, payload=payload,
+                     payload_bytes=8, sent_at=0.0))
+
+    def test_tracker_unknown_and_malformed(self, world):
+        sim, internet, tele, config, channel = world
+        tracker = TrackerServer(sim, internet.udp,
+                                internet.allocator.allocate(tele), tele,
+                                config)
+        tracker.go_online()
+        self.deliver(tracker, object())                 # unknown type
+        self.deliver(tracker, "not a message")          # unknown type
+        # Decodable type with an unusable field (unhashable channel id).
+        self.deliver(tracker, m.TrackerQuery(channel_id=[]))
+        assert tracker.rejected_messages == 3
+        # Still serves honest traffic afterwards.
+        client = make_collector(sim, internet, tele)
+        client.send(tracker.address, m.TrackerQuery(channel_id=1), 10)
+        sim.run()
+        assert client.address in tracker.active_peers(1)
+
+    def test_tracker_rejections_survive_snapshot(self, world):
+        sim, internet, tele, config, channel = world
+        tracker = TrackerServer(sim, internet.udp,
+                                internet.allocator.allocate(tele), tele,
+                                config)
+        self.deliver(tracker, object())
+        state = tracker.snapshot_state()
+        fresh = TrackerServer(sim, internet.udp,
+                              internet.allocator.allocate(tele), tele,
+                              config)
+        fresh.restore_state(state)
+        assert fresh.rejected_messages == 1
+
+    def test_bootstrap_unknown_and_malformed(self, world):
+        sim, internet, tele, config, channel = world
+        server = BootstrapServer(sim, internet.udp,
+                                 internet.allocator.allocate(tele), tele)
+        server.go_online()
+        server.publish_channel(
+            channel, [[internet.allocator.allocate(tele)]])
+        self.deliver(server, object())
+        self.deliver(server, m.PlaylinkRequest(channel_id=[]))
+        assert server.rejected_messages == 2
+        client = make_collector(sim, internet, tele)
+        client.send(server.address, m.ChannelListRequest(), 10)
+        sim.run()
+        assert any(isinstance(p, m.ChannelListReply)
+                   for p in client.inbox)
+
+    def test_source_unknown_and_malformed(self, world):
+        sim, internet, tele, config, channel = world
+        source = SourceServer(sim, internet.udp,
+                              internet.allocator.allocate(tele), tele,
+                              channel, config, max_children=2)
+        source.go_online()
+        sim.run_until(40.0)
+        self.deliver(source, object())
+        # first=None breaks the range check deep in the serve path.
+        self.deliver(source, m.DataRequest(channel_id=1, chunk=0,
+                                           first=None, last=2, seq=1))
+        assert source.rejected_messages == 2
+        client = make_collector(sim, internet, tele)
+        client.send(source.address, m.Hello(channel_id=1), 20)
+        sim.run()
+        assert any(isinstance(p, m.HelloAck) for p in client.inbox)

@@ -1,0 +1,179 @@
+"""The resilience sweep: scoring, --jobs byte-identity, checkpointing,
+and the SIGKILL/--resume cycle.
+
+The full sweep is an experiment-sized run; these tests shrink the SMALL
+scale and restrict the sweep to one behavior × one fraction (a baseline
+plus a single adversarial cell), which exercises every code path —
+fan-out, scoring, checkpoint write/replay — at unit-test cost.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import CheckpointPolicy
+from repro.experiments.base import SCALE_PARAMS, Scale, ScaleParams
+from repro.experiments.registry import run_experiment
+from repro.experiments.resilience import (KILL_SWITCH_ENV, build_cells,
+                                          resilience_params,
+                                          run_resilience)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: A seconds-long stand-in for the SMALL scale.
+TINY = ScaleParams(popular_population=12, unpopular_population=6,
+                   duration=180.0, warmup=90.0)
+BEHAVIORS = ("chunk_polluter",)
+FRACTIONS = (0.4,)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_small_scale():
+    saved = SCALE_PARAMS[Scale.SMALL]
+    SCALE_PARAMS[Scale.SMALL] = TINY
+    yield
+    SCALE_PARAMS[Scale.SMALL] = saved
+
+
+def tiny_sweep(jobs=1, checkpoint=None):
+    return run_resilience(scale=Scale.SMALL, seed=7, jobs=jobs,
+                          fractions=FRACTIONS, behaviors=BEHAVIORS,
+                          checkpoint=checkpoint)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return tiny_sweep()
+
+
+class TestParams:
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversary"):
+            resilience_params(behaviors=("meteor",))
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fractions"):
+            resilience_params(fractions=(0.0,))
+        with pytest.raises(ValueError, match="fractions"):
+            resilience_params(fractions=(1.5,))
+
+    def test_cell_zero_is_baseline(self):
+        cells = build_cells(resilience_params(
+            behaviors=("free_rider", "chunk_polluter"),
+            fractions=(0.1, 0.3)))
+        assert cells[0].label == "baseline"
+        assert [c.label for c in cells[1:]] == [
+            "free_rider@0.1", "free_rider@0.3",
+            "chunk_polluter@0.1", "chunk_polluter@0.3"]
+
+
+class TestScoring:
+    def test_four_statistics_per_adversarial_cell(self, serial):
+        labels = [cell.label for cell in serial.cells[1:]]
+        for label in labels:
+            stats = [s for s in serial.statistics if s.figure == label]
+            assert [s.name for s in stats] == [
+                "continuity", "transit byte share", "startup delay",
+                "top-10% upload share"]
+
+    def test_baseline_not_scored_against_itself(self, serial):
+        assert all(s.figure != "baseline" for s in serial.statistics)
+
+    def test_render_mentions_every_cell(self, serial):
+        rendered = serial.render()
+        assert "baseline:" in rendered
+        for cell in serial.cells[1:]:
+            assert cell.label in rendered
+
+
+class TestJobsByteIdentity:
+    def test_parallel_matches_serial(self, serial):
+        parallel = tiny_sweep(jobs=2)
+        assert parallel.outcomes == serial.outcomes
+        assert parallel.render() == serial.render()
+
+
+class TestCheckpoint:
+    def test_fresh_checkpointed_run_matches_plain(self, serial,
+                                                  tmp_path):
+        root = tmp_path / "ckpt"
+        fresh = tiny_sweep(checkpoint=CheckpointPolicy(path=str(root)))
+        assert fresh.outcomes == serial.outcomes
+        assert fresh.render() == serial.render()
+        units = sorted(p.name for p in (root / "units").glob("*.json"))
+        assert units == ["cell-0000.json", "cell-0001.json"]
+
+    def test_resume_replays_missing_cell(self, serial, tmp_path):
+        root = tmp_path / "ckpt"
+        tiny_sweep(checkpoint=CheckpointPolicy(path=str(root)))
+        os.unlink(root / "units" / "cell-0001.json")
+        resumed = tiny_sweep(checkpoint=CheckpointPolicy(
+            path=str(root), resume=True))
+        assert resumed.outcomes == serial.outcomes
+        assert resumed.render() == serial.render()
+        units = sorted(p.name for p in (root / "units").glob("*.json"))
+        assert units == ["cell-0000.json", "cell-0001.json"]
+
+    def test_other_experiments_still_reject_checkpoint(self, tmp_path):
+        with pytest.raises(ValueError, match="only apply"):
+            run_experiment("table1", checkpoint=CheckpointPolicy(
+                path=str(tmp_path / "nope")))
+
+
+# ----------------------------------------------------------------------
+# kill -9 mid-sweep, then --resume
+# ----------------------------------------------------------------------
+#: Child entry point: the tiny sweep with per-cell checkpointing.
+_CHILD = """\
+import sys
+from repro.checkpoint import CheckpointPolicy
+from repro.experiments.base import SCALE_PARAMS, Scale, ScaleParams
+SCALE_PARAMS[Scale.SMALL] = ScaleParams(
+    popular_population=12, unpopular_population=6,
+    duration=180.0, warmup=90.0)
+from repro.experiments.resilience import run_resilience
+result = run_resilience(
+    scale=Scale.SMALL, seed=7,
+    fractions=(0.4,), behaviors=("chunk_polluter",),
+    checkpoint=CheckpointPolicy(path=sys.argv[1],
+                                resume="resume" in sys.argv[2:],
+                                every=1))
+sys.stdout.write(result.render() + "\\n")
+"""
+
+
+def _sweep_process(ckpt, tmp_path, resume=False, kill_at=None,
+                   timeout=240):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop(KILL_SWITCH_ENV, None)
+    if kill_at is not None:
+        env[KILL_SWITCH_ENV] = kill_at
+    args = [sys.executable, "-c", _CHILD, str(ckpt)]
+    if resume:
+        args.append("resume")
+    return subprocess.run(args, cwd=str(tmp_path), env=env,
+                          capture_output=True, text=True,
+                          timeout=timeout)
+
+
+class TestKillResume:
+    def test_sigkill_then_resume_matches_uninterrupted(self, tmp_path):
+        full = _sweep_process(tmp_path / "full", tmp_path)
+        assert full.returncode == 0, full.stderr
+
+        # SIGKILL the sweep early in its adversarial cell: the baseline
+        # is flushed, the in-flight cell dies un-checkpointed.
+        ckpt = tmp_path / "ckpt"
+        killed = _sweep_process(ckpt, tmp_path, kill_at="1:2000")
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+        flushed = sorted(p.name for p in (ckpt / "units").glob("*.json"))
+        assert flushed == ["cell-0000.json"]
+
+        resumed = _sweep_process(ckpt, tmp_path, resume=True)
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == full.stdout
