@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import platform as _platform
 import subprocess
 import sys
 import time
@@ -60,6 +61,27 @@ CAMPAIGN_FILE = "BENCH_campaign.json"
 
 ENGINE_PROFILES = ("quick", "default")
 CAMPAIGN_PROFILES = ("quick", "default")
+
+
+def _environment() -> dict:
+    """Host fingerprint stored next to ``git_rev`` in every artifact.
+
+    Wall-clock numbers are only comparable when they were measured on
+    the same interpreter with the same fast-path dependencies;
+    ``diff_records`` warns (never fails) when two artifacts disagree
+    here, so a cross-machine comparison is flagged as apples-to-oranges
+    instead of read as a regression.
+    """
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python_version": _platform.python_version(),
+        "platform": _platform.platform(),
+        "numpy": numpy_version,
+    }
 
 
 def _git_rev() -> str:
@@ -257,6 +279,7 @@ def _merged(path: Path, benchmark: str, records: Dict[str, dict]) -> dict:
         "benchmark": benchmark,
         "command": "repro bench",
         "git_rev": _git_rev(),
+        "environment": _environment(),
         "profiles": profiles,
     }
 
@@ -314,6 +337,21 @@ def diff_records(base: dict, new: dict, threshold: float, name: str,
     one side are reported but never fail the diff.
     """
     failures: List[str] = []
+    base_env, new_env = base.get("environment"), new.get("environment")
+    if base_env != new_env:
+        # Older artifacts predate the environment header (None); either
+        # way the wall-clock comparison below is cross-host, so say so.
+        def _env_label(env: Optional[dict]) -> str:
+            if not env:
+                return "unrecorded"
+            numpy_version = env.get("numpy")
+            return (f"py {env.get('python_version', '?')} on "
+                    f"{env.get('platform', '?')}, numpy "
+                    f"{numpy_version if numpy_version else 'absent'}")
+        print(f"[diff] {name}: WARNING environments differ — timing "
+              f"deltas are apples-to-oranges\n"
+              f"[diff]   baseline: {_env_label(base_env)}\n"
+              f"[diff]   new:      {_env_label(new_env)}", file=out)
     base_profiles = base.get("profiles", {})
     new_profiles = new.get("profiles", {})
     for profile in sorted(set(base_profiles) | set(new_profiles)):
@@ -421,8 +459,10 @@ def run_bench(out_dir: Path, quick: bool = False, check: bool = False,
             failures += _check_drift(base, records, "engine", out)
         failures += _check_coverage(records, "engine")
         if diff_baseline:
-            failures += diff_records(base or {}, {"profiles": records},
-                                     threshold, "engine", out)
+            failures += diff_records(
+                base or {},
+                {"profiles": records, "environment": _environment()},
+                threshold, "engine", out)
         path.write_text(json.dumps(_merged(path, "engine", records),
                                    indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
@@ -444,8 +484,10 @@ def run_bench(out_dir: Path, quick: bool = False, check: bool = False,
             failures += _check_drift(base, records, "campaign", out)
         failures += _check_coverage(records, "campaign")
         if diff_baseline:
-            failures += diff_records(base or {}, {"profiles": records},
-                                     threshold, "campaign", out)
+            failures += diff_records(
+                base or {},
+                {"profiles": records, "environment": _environment()},
+                threshold, "campaign", out)
         path.write_text(json.dumps(_merged(path, "campaign", records),
                                    indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")

@@ -1,0 +1,51 @@
+"""Fast-path vs reference-path gating for the simulator hot paths.
+
+The scheduler and the transport each carry two implementations of their
+hot loops: an optimised *fast path* (incrementally maintained scheduler
+state, cohort-batched datagram dispatch) and the straightforward
+*reference path* the fast path must reproduce byte for byte.  Both are
+kept alive on purpose — the reference path is the executable
+specification the equivalence tests pin the fast path against, and the
+escape hatch when a determinism bug needs bisecting.
+
+Two environment variables control the choice:
+
+``REPRO_REFERENCE_PATH``
+    Any value other than empty/``0`` forces the unbatched reference
+    dispatch and full-rebuild scheduler paths everywhere.  Golden
+    digests are identical either way; only wall-clock time differs.
+
+``REPRO_FASTPATH_VERIFY``
+    Debug cross-checking: the fast paths recompute their incremental
+    state from scratch and assert agreement on every use.  Slower than
+    either path alone; meant for tests and bug hunts, never production
+    runs.
+
+Both variables are sampled at *object construction time* (network,
+scheduler), not per call: a test that sets the variable and builds a
+fresh simulation gets the requested path, while an already-running
+simulation never flips mid-flight.  Worker processes spawned by
+``--jobs N`` inherit the parent's environment, so a reference-path run
+stays reference-path at every parallelism level.
+"""
+
+from __future__ import annotations
+
+import os
+
+REFERENCE_ENV = "REPRO_REFERENCE_PATH"
+VERIFY_ENV = "REPRO_FASTPATH_VERIFY"
+
+
+def _truthy(value) -> bool:
+    return value is not None and value != "" and value != "0"
+
+
+def reference_path_enabled() -> bool:
+    """Whether new components must use the unbatched reference paths."""
+    return _truthy(os.environ.get(REFERENCE_ENV))
+
+
+def fastpath_verify_enabled() -> bool:
+    """Whether fast paths must assert against a from-scratch rebuild."""
+    return _truthy(os.environ.get(VERIFY_ENV))

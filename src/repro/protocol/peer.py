@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import heapq
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..adversary import AdversaryModel, build_adversary
 from ..network.bandwidth import AccessProfile
@@ -210,10 +210,11 @@ class PPLivePeer(Host):
         if self.phase is PeerPhase.DEPARTED:
             return
         goodbye = m.Goodbye(channel_id=self.channel.channel_id)
-        for neighbor in self.neighbors.addresses():
-            self._transmit(neighbor, goodbye)
-        for tracker in self.trackers:
-            self._transmit(tracker, goodbye)
+        size = wire_size(goodbye)
+        self._transmit_many(
+            [(neighbor, goodbye, size)
+             for neighbor in self.neighbors.addresses()]
+            + [(tracker, goodbye, size) for tracker in self.trackers])
         self._shutdown()
 
     def crash(self) -> None:
@@ -322,6 +323,11 @@ class PPLivePeer(Host):
         self._scheduler_rng.setstate(state["scheduler_rng"])
         self.pool.restore_state(state["pool"])
         self.neighbors.restore_state(state["neighbors"])
+        if self.scheduler is not None:
+            # Neighbor state was rewritten underneath the scheduler:
+            # its incremental fast-path caches must rebuild from the
+            # restored epochs, not the pre-restore ones.
+            self.scheduler.invalidate_caches()
         self._flood_seq = state.get("flood_seq", _FLOOD_SEQ_BASE)
         limiter_state = state.get("rate_limiter")
         if limiter_state is None:
@@ -498,7 +504,8 @@ class PPLivePeer(Host):
             self.sim, self.config, geometry, self.buffer, self.neighbors,
             self._send_data_request, source_address=self.source_address,
             rng=self._scheduler_rng, obs=self._obs, obs_tags=self._obs_tags,
-            actor=self.address, span_parent=self._join_span)
+            actor=self.address, span_parent=self._join_span,
+            send_requests=self._send_data_requests)
         # Initial burst: query every tracker group at once.
         for tracker in self.trackers:
             self._query_tracker(tracker)
@@ -812,6 +819,8 @@ class PPLivePeer(Host):
         own_list = tuple(self.pool.build_peer_list(
             self.neighbors.addresses(), self.config.peer_list_max,
             self.sim.now))
+        sends: List[Tuple[str, m.Message, int]] = []
+        size = -1
         for target in chosen:
             self._peerlist_request_id += 1
             request = m.PeerListRequest(
@@ -820,7 +829,12 @@ class PPLivePeer(Host):
                 have_from=self.have_from,
                 request_id=self._peerlist_request_id)
             self._open_peerlist_span(self._peerlist_request_id, target)
-            self._transmit(target, request)
+            if size < 0:
+                # Every request this round encloses the same peer list, so
+                # they all serialize to the same number of wire bytes.
+                size = wire_size(request)
+            sends.append((target, request, size))
+        self._transmit_many(sends)
 
     def _on_peer_list_request(self, src: str, msg: m.PeerListRequest) -> None:
         if self.phase is not PeerPhase.ACTIVE:
@@ -879,8 +893,9 @@ class PPLivePeer(Host):
         announce = m.BufferMapAnnounce(channel_id=self.channel.channel_id,
                                        have_until=self.advertised_have,
                                        have_from=self.have_from)
-        for target in self._rng.sample(targets, fanout):
-            self._transmit(target, announce)
+        size = wire_size(announce)
+        self._transmit_many([(target, announce, size)
+                             for target in self._rng.sample(targets, fanout)])
 
     def _on_buffermap(self, src: str, msg: m.BufferMapAnnounce) -> None:
         neighbor = self.neighbors.get(src)
@@ -894,6 +909,21 @@ class PPLivePeer(Host):
         request = m.DataRequest(channel_id=self.channel.channel_id,
                                 chunk=chunk, first=first, last=last, seq=seq)
         self._transmit(address, request)
+
+    def _send_data_requests(self, issues: List[tuple]) -> None:
+        """Transmit one scheduler tick's worth of requests as a cohort."""
+        channel_id = self.channel.channel_id
+        size = -1
+        sends: List[Tuple[str, m.Message, int]] = []
+        for address, chunk, first, last, seq in issues:
+            request = m.DataRequest(channel_id=channel_id, chunk=chunk,
+                                    first=first, last=last, seq=seq)
+            if size < 0:
+                # DataRequest has a fixed-width body: every request in the
+                # batch occupies the same number of wire bytes.
+                size = wire_size(request)
+            sends.append((address, request, size))
+        self._transmit_many(sends)
 
     def _on_data_request(self, src: str, msg: m.DataRequest) -> None:
         if self.phase is not PeerPhase.ACTIVE or self.buffer is None:
@@ -1136,6 +1166,15 @@ class PPLivePeer(Host):
     # -- low-level send ------------------------------------------------------
     def _transmit(self, dst: str, msg: m.Message) -> bool:
         return self.send(dst, msg, wire_size(msg))
+
+    def _transmit_many(self, sends: List[Tuple[str, m.Message, int]]) -> None:
+        # One transport call for a whole fanout round: the network layer
+        # batches the loss/jitter draws and merges same-timestamp deliveries.
+        if len(sends) == 1:
+            dst, msg, size = sends[0]
+            self.send(dst, msg, size)
+        elif sends:
+            self.send_many(sends)
 
     _HANDLERS = {
         m.ChannelListReply: _on_channel_list,

@@ -18,6 +18,7 @@ the ``(time, seq)`` heap order alone.
 
 from __future__ import annotations
 
+import math
 from heapq import heappop
 from time import perf_counter
 from typing import Any, Callable, Optional
@@ -160,16 +161,21 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Execute the next pending event.  Returns False when idle."""
-        queue = self.queue
-        event = queue.pop()
-        if event is None:
-            return False
-        self.clock.advance_to(event.time)
+    def _dispatch(self, event: Event) -> None:
+        """Invoke one popped live event and retire it.
+
+        The single definition of dispatch semantics, shared by
+        :meth:`step`, :meth:`run_until` and :meth:`run`: profiler
+        accounting around the callback, the ``arg is _NO_ARG`` calling
+        convention, recycling for pooled events, and consumed-marking
+        for handle events (so a later ``cancel()`` of a fired handle —
+        a Timer stopping itself from its own callback, a timeout
+        cleared after it fired — does not decrement the live count
+        again).  The caller has already popped the event, advanced the
+        clock and counted it in ``events_executed``.
+        """
         callback = event.callback
         arg = event.arg
-        self.events_executed += 1
         if callback is not None:
             profiler = self.profiler
             if profiler is None:
@@ -185,12 +191,18 @@ class Simulator:
                     callback(arg)
                 profiler.record(event.label, perf_counter() - started)
         if event.poolable:
-            queue.recycle(event)
+            self.queue.recycle(event)
         else:
-            # Mark consumed: a later cancel() of this handle (a Timer
-            # stopping itself from its own callback, a timeout cleared
-            # after it fired) must not decrement the live count again.
             event.cancel()
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self.events_executed += 1
+        self._dispatch(event)
         return True
 
     def run_until(self, end_time: float,
@@ -215,13 +227,12 @@ class Simulator:
         # clear), so holding a local alias across callbacks is safe.
         queue = self.queue
         heap = queue._heap
-        recycle = queue.recycle
-        profiler = self.profiler
-        no_arg = _NO_ARG
+        dispatch = self._dispatch
         pop = heappop
+        bound = math.inf if max_events is None else max_events
         try:
             while heap:
-                if max_events is not None and executed >= max_events:
+                if executed >= bound:
                     break
                 entry = heap[0]
                 event = entry[2]
@@ -238,26 +249,7 @@ class Simulator:
                 # directly instead of re-checking monotonicity per event.
                 clock._now = time
                 self.events_executed += 1
-                callback = event.callback
-                arg = event.arg
-                if profiler is None:
-                    if arg is no_arg:
-                        callback()
-                    else:
-                        callback(arg)
-                else:
-                    started = perf_counter()
-                    if arg is no_arg:
-                        callback()
-                    else:
-                        callback(arg)
-                    profiler.record(event.label, perf_counter() - started)
-                if event.poolable:
-                    recycle(event)
-                else:
-                    # Consumed: a later cancel() of this handle must
-                    # not decrement the live count again.
-                    event.cancel()
+                dispatch(event)
                 executed += 1
         finally:
             self._running = False
@@ -273,10 +265,9 @@ class Simulator:
         clock = self.clock
         queue = self.queue
         heap = queue._heap
-        recycle = queue.recycle
-        profiler = self.profiler
-        no_arg = _NO_ARG
+        dispatch = self._dispatch
         pop = heappop
+        bound = math.inf if max_events is None else max_events
         try:
             while heap:
                 entry = heap[0]
@@ -289,27 +280,9 @@ class Simulator:
                 queue._live -= 1
                 clock._now = entry[0]
                 self.events_executed += 1
-                callback = event.callback
-                arg = event.arg
-                if profiler is None:
-                    if arg is no_arg:
-                        callback()
-                    else:
-                        callback(arg)
-                else:
-                    started = perf_counter()
-                    if arg is no_arg:
-                        callback()
-                    else:
-                        callback(arg)
-                    profiler.record(event.label, perf_counter() - started)
-                if event.poolable:
-                    recycle(event)
-                else:
-                    # Consumed: see run_until.
-                    event.cancel()
+                dispatch(event)
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= bound:
                     break
         finally:
             self._running = False

@@ -5,6 +5,7 @@ import pytest
 from repro.network.isp import ISP, ISPCategory, default_isp_catalog
 from repro.network.latency import (LatencyConfig, LatencyModel, PairClass,
                                    RttBand, classify_pair)
+from repro.network import latency as latency_module
 
 
 @pytest.fixture
@@ -148,3 +149,58 @@ class TestLoss:
         comcast = catalog.by_name("Comcast")
         assert not any(model.is_lost(tele, tele) for _ in range(50))
         assert all(model.is_lost(tele, comcast) for _ in range(50))
+
+
+class TestBatchEquivalence:
+    """The cohort batch helpers against per-packet calls, bit for bit.
+
+    ``one_way_delays`` / ``are_lost`` promise the exact floats and
+    verdicts of the equivalent per-packet call sequence: one draw per
+    item in item order on each RNG stream, with numpy (when present)
+    used only for exactly-rounded elementwise arithmetic.  Each case
+    runs both a cohort below the numpy crossover (scalar fallback) and
+    one far above it.
+    """
+
+    COUNTS = (3, 200)
+
+    @staticmethod
+    def _items(catalog, count):
+        isps = [catalog.by_name(name) for name in
+                ("ChinaTelecom", "ChinaNetcom", "CERNET", "Comcast")]
+        return [(f"10.0.{i % 5}.1", isps[i % 4],
+                 f"10.1.{(i * 3) % 7}.2", isps[(i * 7 + 3) % 4],
+                 28 + (i % 4) * 400)
+                for i in range(count)]
+
+    def test_delays_match_per_packet_reference(self, catalog):
+        for count in self.COUNTS:
+            batched = LatencyModel(LatencyConfig(), master_seed=5)
+            reference = LatencyModel(LatencyConfig(), master_seed=5)
+            items = self._items(catalog, count)
+            assert (batched.one_way_delays(items)
+                    == [reference.one_way_delay(*item) for item in items])
+
+    def test_losses_match_per_packet_reference(self, catalog):
+        for count in self.COUNTS:
+            pairs = [(item[1], item[3])
+                     for item in self._items(catalog, count)]
+            batched = LatencyModel(LatencyConfig(), master_seed=5)
+            reference = LatencyModel(LatencyConfig(), master_seed=5)
+            assert (list(batched.are_lost(pairs))
+                    == [reference.is_lost(a, b) for a, b in pairs])
+
+    @pytest.mark.skipif(latency_module._np is None,
+                        reason="numpy unavailable")
+    def test_batches_identical_with_and_without_numpy(self, catalog,
+                                                      monkeypatch):
+        items = self._items(catalog, 200)
+        pairs = [(item[1], item[3]) for item in items]
+        with_numpy = LatencyModel(LatencyConfig(), master_seed=5)
+        numpy_delays = with_numpy.one_way_delays(items)
+        numpy_lost = list(with_numpy.are_lost(pairs))
+        with monkeypatch.context() as patch:
+            patch.setattr(latency_module, "_np", None)
+            scalar = LatencyModel(LatencyConfig(), master_seed=5)
+            assert scalar.one_way_delays(items) == numpy_delays
+            assert list(scalar.are_lost(pairs)) == numpy_lost
